@@ -1,0 +1,46 @@
+"""Ablation A1 — LAWAN's priority queue vs re-scanning the active matches.
+
+LAWAN maintains the lineages of the currently valid negative tuples in a
+priority queue keyed on end point; the straightforward alternative recomputes
+the active set for every elementary segment.  Both produce identical negating
+windows; the queue-based sweep does asymptotically less work per segment when
+many matches are concurrently valid (the Meteo-like situation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lawan_rescan, overlap_join
+from repro.core.lawan import negating_windows
+from repro.lineage import canonical
+
+
+@pytest.fixture(scope="module")
+def dense_groups(meteo_window_workload):
+    positive, negative, theta = meteo_window_workload
+    return overlap_join(positive, negative, theta)
+
+
+@pytest.mark.benchmark(group="ablation-lawan-queue")
+def test_ablation_priority_queue_sweep(benchmark, dense_groups):
+    windows = benchmark(negating_windows, dense_groups)
+    assert windows
+
+
+@pytest.mark.benchmark(group="ablation-lawan-queue")
+def test_ablation_rescan_sweep(benchmark, dense_groups):
+    windows = benchmark(lawan_rescan, dense_groups)
+    assert windows
+
+
+def test_ablation_variants_produce_identical_windows(dense_groups):
+    queue_based = {
+        (w.fact_r, w.interval, str(canonical(w.lineage_s)))
+        for w in negating_windows(dense_groups)
+    }
+    rescanned = {
+        (w.fact_r, w.interval, str(canonical(w.lineage_s)))
+        for w in lawan_rescan(dense_groups)
+    }
+    assert queue_based == rescanned

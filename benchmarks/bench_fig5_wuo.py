@@ -1,0 +1,55 @@
+"""Figure 5 — WUO: overlapping and unmatched windows, NJ vs TA.
+
+The paper's Fig. 5 plots the runtime of computing the overlapping and
+unmatched windows on the WebKit (5a) and Meteo (5b) datasets for input sizes
+of 50K–200K tuples.  Both approaches are dominated by a conventional left
+outer join; NJ executes it once, TA twice, so NJ is reported to be two to
+four times faster with both growing near-linearly.
+
+These benchmarks measure the same two computations (``nj_wuo`` vs ``ta_wuo``)
+on the synthetic WebKit-like and Meteo-like workloads.  Compare the NJ and TA
+means per dataset: the expected shape is TA/NJ ≈ 2–4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ta_wuo
+from repro.core import nj_wuo
+
+
+@pytest.mark.benchmark(group="fig5a-webkit-wuo")
+def test_fig5a_nj_webkit(benchmark, webkit_window_workload):
+    positive, negative, theta = webkit_window_workload
+    windows = benchmark(nj_wuo, positive, negative, theta)
+    assert windows
+
+
+@pytest.mark.benchmark(group="fig5a-webkit-wuo")
+def test_fig5a_ta_webkit(benchmark, webkit_window_workload):
+    positive, negative, theta = webkit_window_workload
+    windows = benchmark(ta_wuo, positive, negative, theta)
+    assert windows
+
+
+@pytest.mark.benchmark(group="fig5b-meteo-wuo")
+def test_fig5b_nj_meteo(benchmark, meteo_window_workload):
+    positive, negative, theta = meteo_window_workload
+    windows = benchmark(nj_wuo, positive, negative, theta)
+    assert windows
+
+
+@pytest.mark.benchmark(group="fig5b-meteo-wuo")
+def test_fig5b_ta_meteo(benchmark, meteo_window_workload):
+    positive, negative, theta = meteo_window_workload
+    windows = benchmark(ta_wuo, positive, negative, theta)
+    assert windows
+
+
+def test_fig5_nj_and_ta_produce_the_same_window_multiset(webkit_window_workload):
+    """Sanity check attached to the benchmark: both series compute the same WUO."""
+    positive, negative, theta = webkit_window_workload
+    nj = nj_wuo(positive, negative, theta)
+    ta = ta_wuo(positive, negative, theta)
+    assert len(nj) == len(ta)

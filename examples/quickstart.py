@@ -1,0 +1,63 @@
+"""Quickstart: build two TP relations and run every TP join with negation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Schema,
+    TPRelation,
+    equi_join_on,
+    tp_anti_join,
+    tp_full_outer_join,
+    tp_left_outer_join,
+    tp_right_outer_join,
+)
+
+
+def main() -> None:
+    # A tiny sensor scenario: predictions that a machine is in use, and
+    # predictions that a technician is on site, both uncertain and temporal.
+    machines = TPRelation.from_rows(
+        Schema.of("Machine", "Hall"),
+        [
+            ("press-1", "H1", "m1", 0, 12, 0.9),
+            ("press-2", "H2", "m2", 3, 9, 0.6),
+            ("lathe-1", "H1", "m3", 14, 20, 0.8),
+        ],
+        name="machines",
+    )
+    technicians = TPRelation.from_rows(
+        Schema.of("Tech", "Hall"),
+        [
+            ("alice", "H1", "t1", 4, 10, 0.7),
+            ("bob", "H1", "t2", 8, 16, 0.5),
+            ("carol", "H3", "t3", 0, 20, 0.9),
+        ],
+        name="technicians",
+    )
+    theta = equi_join_on(machines.schema, technicians.schema, [("Hall", "Hall")])
+
+    print("machines:")
+    print(machines.pretty())
+    print("\ntechnicians:")
+    print(technicians.pretty())
+
+    print("\nTP left outer join (machine in use, technician present or not):")
+    print(tp_left_outer_join(machines, technicians, theta).pretty())
+
+    print("\nTP anti join (machine in use with *no* technician in the hall):")
+    print(tp_anti_join(machines, technicians, theta).pretty())
+
+    print("\nTP right outer join:")
+    print(tp_right_outer_join(machines, technicians, theta).pretty())
+
+    print("\nTP full outer join:")
+    print(tp_full_outer_join(machines, technicians, theta).pretty())
+
+
+if __name__ == "__main__":
+    main()

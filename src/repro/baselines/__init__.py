@@ -1,0 +1,37 @@
+"""Baselines: the naive per-time-point oracle and Temporal Alignment (TA)."""
+
+from .naive import (
+    naive_anti_join,
+    naive_full_outer_join,
+    naive_left_outer_join,
+    naive_windows,
+)
+from .temporal_alignment import (
+    AlignedFragment,
+    align,
+    ta_anti_join,
+    ta_full_outer_join,
+    ta_left_outer_join,
+    ta_negating_windows,
+    ta_overlapping_windows,
+    ta_unmatched_windows,
+    ta_wuo,
+    ta_wuon,
+)
+
+__all__ = [
+    "AlignedFragment",
+    "align",
+    "naive_anti_join",
+    "naive_full_outer_join",
+    "naive_left_outer_join",
+    "naive_windows",
+    "ta_anti_join",
+    "ta_full_outer_join",
+    "ta_left_outer_join",
+    "ta_negating_windows",
+    "ta_overlapping_windows",
+    "ta_unmatched_windows",
+    "ta_wuo",
+    "ta_wuon",
+]

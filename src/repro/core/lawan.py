@@ -1,0 +1,174 @@
+"""LAWAN — Lineage-Aware Window Algorithm for Negating windows.
+
+LAWAN extends the set ``WUO`` produced by LAWAU (all overlapping and
+unmatched windows, grouped per positive-relation tuple and ordered by start)
+with the **negating windows**: for every maximal sub-interval of an ``r``
+tuple during which the set of valid, θ-matching ``s`` tuples is constant and
+non-empty, a window carrying the disjunction of those tuples' lineages.
+
+The sweep follows the paper's description:
+
+* windows are processed group by group (same ``Fr`` / same originating ``r``
+  tuple) in start order;
+* a **priority queue** keyed on interval end point holds the lineages of the
+  ``s`` tuples whose overlapping windows are currently "active";
+* a new negating window is emitted at every starting and ending point within
+  the group — i.e. whenever an ``s`` tuple starts or stops being valid — with
+  ``λs`` equal to the disjunction of the lineages currently in the queue
+  (the paper's Fig. 4 cases: the next boundary is either the next window's
+  start, the smallest end point in the queue, or the start of a new group);
+* unmatched and overlapping windows of ``WUO`` are copied to the output
+  unchanged, interleaved with the negating windows they give rise to.
+
+The module also contains :func:`lawan_rescan`, a deliberately simpler variant
+that re-scans the active matches for every elementary segment instead of
+maintaining the priority queue.  It produces the same windows and exists only
+as the comparison point for the ablation benchmark (DESIGN.md, ablation A1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterable, Iterator
+
+from ..lineage import LineageExpr, disjunction_of
+from ..temporal import Interval
+from .overlap import OverlapGroup
+from .lawau import iter_lawau
+from .windows import Window, WindowClass
+
+
+def lawan(groups: Iterable[OverlapGroup]) -> list[Window]:
+    """Run the full NJ window pipeline: overlap join → LAWAU → LAWAN.
+
+    Returns ``WUON``: every overlapping, unmatched and negating window of the
+    positive relation with respect to the negative one.
+    """
+    return list(iter_lawan(groups))
+
+
+def iter_lawan(groups: Iterable[OverlapGroup]) -> Iterator[Window]:
+    """Pipelined LAWAN: yield overlapping, unmatched and negating windows.
+
+    The unmatched and overlapping windows are produced by the embedded LAWAU
+    sweep (they must be copied to the output); negating windows are
+    interleaved per group, ordered by start.
+    """
+    for group in groups:
+        # Copy WUO windows of this group to the output (the paper: "the
+        # unmatched and overlapping windows in WUO need to be also copied").
+        yield from iter_lawau([group])
+        # Emit the group's negating windows from the priority-queue sweep.
+        yield from _negating_sweep(group)
+
+
+def negating_windows(groups: Iterable[OverlapGroup]) -> list[Window]:
+    """Only the negating windows ``WN(r; s, θ)`` (the paper's WN measurement)."""
+    windows: list[Window] = []
+    for group in groups:
+        windows.extend(_negating_sweep(group))
+    return windows
+
+
+def _negating_sweep(group: OverlapGroup) -> Iterator[Window]:
+    """Priority-queue sweep over one group's overlapping windows.
+
+    The queue holds ``(end, tiebreak, lineage)`` entries for the currently
+    active overlapping windows.  Between two consecutive boundaries (window
+    starts and ends) the active set is constant; if it is non-empty, that
+    segment is a negating window whose ``λs`` is the disjunction of the
+    active lineages.
+    """
+    matches = group.matches
+    if not matches:
+        return
+    r = group.r
+    tiebreak = count()
+    queue: list[tuple[int, int, LineageExpr]] = []
+    index = 0
+    total = len(matches)
+    current_time: int | None = None
+
+    while index < total or queue:
+        if not queue:
+            # Case 3 of Fig. 4: a new (sub-)group of overlapping windows
+            # starts; jump the sweep position to its first start point.
+            current_time = matches[index].interval.start
+            while index < total and matches[index].interval.start == current_time:
+                record = matches[index]
+                heapq.heappush(queue, (record.interval.end, next(tiebreak), record.s.lineage))
+                index += 1
+            continue
+
+        next_start = matches[index].interval.start if index < total else None
+        smallest_end = queue[0][0]
+        if next_start is not None and next_start < smallest_end:
+            boundary = next_start
+        else:
+            boundary = smallest_end
+
+        assert current_time is not None
+        if boundary > current_time:
+            lineage_s = disjunction_of(entry[2] for entry in queue)
+            yield Window(
+                fact_r=r.fact,
+                fact_s=None,
+                interval=Interval(current_time, boundary),
+                lineage_r=r.lineage,
+                lineage_s=lineage_s,
+                window_class=WindowClass.NEGATING,
+                source_interval=r.interval,
+            )
+            current_time = boundary
+
+        # Admit windows starting at the boundary, then retire finished ones.
+        while index < total and matches[index].interval.start == boundary:
+            record = matches[index]
+            heapq.heappush(queue, (record.interval.end, next(tiebreak), record.s.lineage))
+            index += 1
+        while queue and queue[0][0] <= current_time:
+            heapq.heappop(queue)
+
+
+def lawan_rescan(groups: Iterable[OverlapGroup]) -> list[Window]:
+    """Ablation variant of LAWAN without the priority queue.
+
+    For every elementary segment of an ``r`` tuple's interval (split at every
+    start and end of a matching overlapping window) the active matches are
+    re-scanned from scratch.  Asymptotically this is quadratic in the number
+    of concurrent matches per tuple, whereas the queue-based sweep is
+    log-linear; the ablation benchmark measures the difference.  The output
+    windows are identical.
+    """
+    windows: list[Window] = []
+    for group in groups:
+        if not group.matches:
+            continue
+        r = group.r
+        boundaries: set[int] = set()
+        for record in group.matches:
+            boundaries.add(record.interval.start)
+            boundaries.add(record.interval.end)
+        ordered = sorted(boundaries)
+        for start, end in zip(ordered, ordered[1:]):
+            segment = Interval(start, end)
+            active = [
+                record.s.lineage
+                for record in group.matches
+                if record.interval.contains_interval(segment)
+            ]
+            if not active:
+                continue
+            windows.append(
+                Window(
+                    fact_r=r.fact,
+                    fact_s=None,
+                    interval=segment,
+                    lineage_r=r.lineage,
+                    lineage_s=disjunction_of(active),
+                    window_class=WindowClass.NEGATING,
+                    source_interval=r.interval,
+                )
+            )
+    return windows

@@ -1,0 +1,70 @@
+"""Pipelined (streaming) window and join computation.
+
+The paper's second contribution is that the window computation needs *no*
+tuple replication and can be evaluated in a pipeline, which is what allows
+the approach to be integrated into the executor of a DBMS such as PostgreSQL.
+This module exposes the same computation as :mod:`repro.core.joins` but as
+generators: windows and output tuples are produced one at a time, driven by
+the consumer, and nothing beyond the current group of overlapping windows is
+buffered.
+
+The query engine's physical operators (:mod:`repro.engine.physical`) are thin
+wrappers around these generators; they are also used directly by the
+benchmarks that measure time-to-first-result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..relation import Schema, TPRelation, TPTuple, ThetaCondition
+from .concat import window_to_positive_tuple, window_to_tuple
+from .lawan import iter_lawan
+from .lawau import iter_lawau
+from .overlap import overlap_join
+from .windows import Window, WindowClass
+
+
+def stream_wuo(
+    positive: TPRelation, negative: TPRelation, theta: ThetaCondition
+) -> Iterator[Window]:
+    """Yield the WUO windows (overlapping + unmatched) incrementally."""
+    groups = overlap_join(positive, negative, theta)
+    yield from iter_lawau(groups)
+
+
+def stream_windows(
+    positive: TPRelation, negative: TPRelation, theta: ThetaCondition
+) -> Iterator[Window]:
+    """Yield the full WUON window stream (overlapping, unmatched, negating)."""
+    groups = overlap_join(positive, negative, theta)
+    yield from iter_lawan(groups)
+
+
+def stream_anti_join(
+    positive: TPRelation, negative: TPRelation, theta: ThetaCondition
+) -> Iterator[TPTuple]:
+    """Yield the anti-join output tuples incrementally (no materialisation)."""
+    for window in stream_windows(positive, negative, theta):
+        if window.window_class is WindowClass.OVERLAPPING:
+            continue
+        yield window_to_positive_tuple(window)
+
+
+def stream_left_outer_join(
+    positive: TPRelation, negative: TPRelation, theta: ThetaCondition
+) -> Iterator[TPTuple]:
+    """Yield the left-outer-join output tuples incrementally."""
+    left_width, right_width = len(positive.schema), len(negative.schema)
+    for window in stream_windows(positive, negative, theta):
+        yield window_to_tuple(window, left_width, right_width, left_is_positive=True)
+
+
+def output_schema(left: TPRelation, right: TPRelation) -> Schema:
+    """The combined output schema used by the streaming outer join."""
+    left_names = set(left.schema.attributes)
+    right_attributes = tuple(
+        f"{right.name or 's'}.{name}" if name in left_names else name
+        for name in right.schema.attributes
+    )
+    return Schema(left.schema.attributes + right_attributes)

@@ -1,0 +1,270 @@
+"""Generalized lineage-aware temporal windows.
+
+The central data structure of the paper: a window
+``w = (Fr, Fs, T, λr, λs)`` binds an interval to the lineages of the matching
+valid tuples of each input relation.  Given two TP relations ``r`` and ``s``
+and a join condition ``θ``, the windows of ``r`` with respect to ``s`` fall
+into three disjoint classes (the paper's Table I):
+
+* **overlapping** — ``T = r.T ∩ s.T`` for a matching pair ``(r, s)``; both
+  facts and both lineages are those of the pair.
+* **unmatched** — a maximal sub-interval of an ``r`` tuple's interval during
+  which no ``s`` tuple is valid and satisfies θ; ``Fs`` and ``λs`` are null.
+* **negating** — a maximal sub-interval of an ``r`` tuple's interval during
+  which the set of valid, θ-matching ``s`` tuples is constant and non-empty;
+  ``Fs`` is null and ``λs`` is the disjunction of the matching lineages.
+
+Besides the :class:`Window` record used by the algorithms, this module also
+provides *declarative* predicates that restate Table I directly in terms of
+per-time-point matching lineages.  The algorithms never call them (they would
+be quadratic); the test suite uses them to verify that every window emitted
+by LAWAU / LAWAN satisfies its class definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..lineage import FALSE, LineageExpr, disjunction_of, equivalent
+from ..relation import TPRelation, TPTuple, ThetaCondition
+from ..temporal import Interval
+
+
+class WindowClass(str, Enum):
+    """The three disjoint window classes of the paper's Table I."""
+
+    OVERLAPPING = "overlapping"
+    UNMATCHED = "unmatched"
+    NEGATING = "negating"
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """A generalized lineage-aware temporal window ``(Fr, Fs, T, λr, λs)``.
+
+    Attributes:
+        fact_r: the fact of the positive-relation tuple the window belongs to.
+        fact_s: the fact of the matching negative-relation tuple for
+            overlapping windows; ``None`` for unmatched and negating windows.
+        interval: the window's interval ``T``.
+        lineage_r: the lineage ``λr`` contributed by the positive relation.
+        lineage_s: the lineage ``λs`` contributed by the negative relation;
+            ``None`` for unmatched windows, the matching tuple's lineage for
+            overlapping windows, and the disjunction of all matching lineages
+            for negating windows.
+        window_class: which of the three classes the window belongs to.
+        source_interval: the full validity interval of the positive-relation
+            tuple the window was derived from.  Not part of the paper's
+            window schema, but the overlap join "enhances every window with
+            the initial time-interval of the tuple of r valid over each
+            window" precisely so that LAWAU can fill the gaps; it is carried
+            here for the same purpose (and dropped when output tuples are
+            formed).
+    """
+
+    fact_r: tuple
+    fact_s: Optional[tuple]
+    interval: Interval
+    lineage_r: LineageExpr
+    lineage_s: Optional[LineageExpr]
+    window_class: WindowClass
+    source_interval: Optional[Interval] = None
+
+    def __str__(self) -> str:
+        fact_s = "null" if self.fact_s is None else str(self.fact_s)
+        lineage_s = "null" if self.lineage_s is None else str(self.lineage_s)
+        return (
+            f"{self.window_class.value}({self.fact_r}, {fact_s}, {self.interval}, "
+            f"{self.lineage_r}, {lineage_s})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WindowSet:
+    """All windows needed to assemble the TP joins of the paper's Table II.
+
+    ``overlapping`` is symmetric (``WO(r;s,θ) = WO(s;r,θ)`` up to the order of
+    the two facts), so it is stored once from ``r``'s perspective.
+    """
+
+    overlapping: tuple[Window, ...]
+    unmatched_r: tuple[Window, ...]
+    negating_r: tuple[Window, ...]
+    unmatched_s: tuple[Window, ...] = ()
+    negating_s: tuple[Window, ...] = ()
+
+    def all_of_r(self) -> tuple[Window, ...]:
+        """Every window of ``r`` with respect to ``s`` (WUO ∪ WN)."""
+        return self.unmatched_r + self.overlapping + self.negating_r
+
+    def counts(self) -> dict[str, int]:
+        """Window counts per class (used by EXPLAIN and the harness)."""
+        return {
+            "overlapping": len(self.overlapping),
+            "unmatched_r": len(self.unmatched_r),
+            "negating_r": len(self.negating_r),
+            "unmatched_s": len(self.unmatched_s),
+            "negating_s": len(self.negating_s),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Declarative (per-time-point) restatement of Table I, used for verification.
+# --------------------------------------------------------------------------- #
+def matching_lineage_at(
+    positive_tuple: TPTuple,
+    negative: TPRelation,
+    theta: ThetaCondition,
+    time_point: int,
+) -> Optional[LineageExpr]:
+    """Return ``λs,θ`` at ``time_point``: the disjunction of the lineages of
+    the ``negative`` tuples valid at that time point and matching
+    ``positive_tuple`` under θ, or ``None`` when there is no such tuple.
+
+    This is the quantity written ``λ^{s,θ}_{w̃t}`` in the paper's Table I.
+    """
+    matching = [
+        s.lineage
+        for s in negative
+        if time_point in s.interval and theta.evaluate(positive_tuple, s)
+    ]
+    if not matching:
+        return None
+    return disjunction_of(matching)
+
+
+def _positive_tuple_for(window: Window, positive: TPRelation) -> Optional[TPTuple]:
+    """Find the positive-relation tuple whose fact and lineage match the window."""
+    for candidate in positive:
+        if candidate.fact == window.fact_r and equivalent(candidate.lineage, window.lineage_r):
+            return candidate
+    return None
+
+
+def is_overlapping_window(
+    window: Window,
+    positive: TPRelation,
+    negative: TPRelation,
+    theta: ThetaCondition,
+) -> bool:
+    """Check the overlapping-window definition of Table I.
+
+    There must be tuples ``r ∈ positive`` and ``s ∈ negative`` such that the
+    window carries their facts and lineages, θ holds, and the window interval
+    is exactly ``r.T ∩ s.T``.
+    """
+    if window.fact_s is None or window.lineage_s is None:
+        return False
+    for r in positive:
+        if r.fact != window.fact_r or not equivalent(r.lineage, window.lineage_r):
+            continue
+        for s in negative:
+            if s.fact != window.fact_s or not equivalent(s.lineage, window.lineage_s):
+                continue
+            if not theta.evaluate(r, s):
+                continue
+            if r.interval.intersect(s.interval) == window.interval:
+                return True
+    return False
+
+
+def is_unmatched_window(
+    window: Window,
+    positive: TPRelation,
+    negative: TPRelation,
+    theta: ThetaCondition,
+) -> bool:
+    """Check the unmatched-window definition of Table I.
+
+    ``Fs`` and ``λs`` must be null; at every time point of the interval the
+    positive tuple must be valid and have no θ-matching valid negative tuple;
+    and the interval must be maximal (at the point before the start and at
+    the end either the positive tuple is not valid or a match appears).
+    """
+    if window.fact_s is not None or window.lineage_s is not None:
+        return False
+    r = _positive_tuple_for(window, positive)
+    if r is None:
+        return False
+    for time_point in window.interval.time_points():
+        if time_point not in r.interval:
+            return False
+        if matching_lineage_at(r, negative, theta, time_point) is not None:
+            return False
+    for boundary in (window.interval.start - 1, window.interval.end):
+        inside_r = boundary in r.interval
+        has_match = (
+            matching_lineage_at(r, negative, theta, boundary) is not None
+            if inside_r
+            else None
+        )
+        if inside_r and has_match is False:
+            # The positive tuple is still valid and still unmatched beyond the
+            # window boundary: the window is not maximal.
+            return False
+    return True
+
+
+def is_negating_window(
+    window: Window,
+    positive: TPRelation,
+    negative: TPRelation,
+    theta: ThetaCondition,
+) -> bool:
+    """Check the negating-window definition of Table I.
+
+    ``Fs`` must be null; at every time point of the interval the positive
+    tuple must be valid and ``λs`` must equal the disjunction of the matching
+    valid negative lineages (which must be non-null); and the interval must
+    be maximal (just outside it, either the positive tuple is invalid or the
+    matching disjunction differs).
+    """
+    if window.fact_s is not None or window.lineage_s is None:
+        return False
+    r = _positive_tuple_for(window, positive)
+    if r is None:
+        return False
+    for time_point in window.interval.time_points():
+        if time_point not in r.interval:
+            return False
+        lineage_at_t = matching_lineage_at(r, negative, theta, time_point)
+        if lineage_at_t is None or not equivalent(lineage_at_t, window.lineage_s):
+            return False
+    for boundary in (window.interval.start - 1, window.interval.end):
+        if boundary not in r.interval:
+            continue
+        lineage_at_boundary = matching_lineage_at(r, negative, theta, boundary)
+        if lineage_at_boundary is not None and equivalent(
+            lineage_at_boundary, window.lineage_s
+        ):
+            # The same matching disjunction extends beyond the window: not maximal.
+            return False
+    return True
+
+
+def classify_window(
+    window: Window,
+    positive: TPRelation,
+    negative: TPRelation,
+    theta: ThetaCondition,
+) -> Optional[WindowClass]:
+    """Return the (unique) class whose Table I definition the window satisfies.
+
+    Returns ``None`` if the window satisfies no definition.  The three
+    definitions are mutually exclusive by construction (they disagree on the
+    nullness of ``Fs`` / ``λs``), which the test suite also verifies.
+    """
+    if is_overlapping_window(window, positive, negative, theta):
+        return WindowClass.OVERLAPPING
+    if is_unmatched_window(window, positive, negative, theta):
+        return WindowClass.UNMATCHED
+    if is_negating_window(window, positive, negative, theta):
+        return WindowClass.NEGATING
+    return None
+
+
+def negating_lineage(window: Window) -> LineageExpr:
+    """The negative-side lineage of a window, with null treated as ``false``."""
+    return window.lineage_s if window.lineage_s is not None else FALSE

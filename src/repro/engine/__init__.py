@@ -1,0 +1,67 @@
+"""Pipelined query engine: catalog, plans, planner, executor and SQL front end."""
+
+from .catalog import Catalog, RelationStats
+from .errors import CatalogError, EngineError, PlanError, SQLSyntaxError
+from .executor import Engine, execute_sql
+from .explain import explain_logical, explain_physical
+from .iterators import PhysicalOperator
+from .logical import (
+    JoinKind,
+    JoinStrategy,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    Timeslice,
+    TPJoin,
+    find_scans,
+    walk,
+)
+from .physical import (
+    FilterOperator,
+    NaiveJoinOperator,
+    NJJoinOperator,
+    ProjectOperator,
+    ScanOperator,
+    TAJoinOperator,
+    TimesliceOperator,
+)
+from .planner import Planner, PlannerConfig
+from .sql import ParsedQuery, parse_plan, parse_query, tokenize
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Engine",
+    "EngineError",
+    "FilterOperator",
+    "JoinKind",
+    "JoinStrategy",
+    "LogicalPlan",
+    "NJJoinOperator",
+    "NaiveJoinOperator",
+    "ParsedQuery",
+    "PhysicalOperator",
+    "PlanError",
+    "Planner",
+    "PlannerConfig",
+    "Project",
+    "ProjectOperator",
+    "RelationStats",
+    "SQLSyntaxError",
+    "Scan",
+    "ScanOperator",
+    "Select",
+    "TAJoinOperator",
+    "TPJoin",
+    "Timeslice",
+    "TimesliceOperator",
+    "execute_sql",
+    "explain_logical",
+    "explain_physical",
+    "find_scans",
+    "parse_plan",
+    "parse_query",
+    "tokenize",
+    "walk",
+]

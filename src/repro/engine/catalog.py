@@ -1,0 +1,91 @@
+"""Relation catalog.
+
+The catalog plays the role of PostgreSQL's system catalog for this library's
+query engine: it maps relation names to in-memory :class:`TPRelation`
+instances and exposes the statistics the planner consults (cardinalities,
+distinct join-key counts) when choosing between the NJ and TA physical
+operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from ..relation import TPRelation
+from .errors import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class RelationStats:
+    """Planner-visible statistics of one catalogued relation."""
+
+    cardinality: int
+    attribute_distinct_counts: dict[str, int]
+    timespan_length: int
+
+    def distinct(self, attribute: str) -> int:
+        """Distinct-value count of one attribute (0 when unknown)."""
+        return self.attribute_distinct_counts.get(attribute, 0)
+
+
+class Catalog:
+    """A named collection of TP relations, with statistics."""
+
+    __slots__ = ("_relations", "_stats")
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, TPRelation] = {}
+        self._stats: Dict[str, RelationStats] = {}
+
+    def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
+        """Register a relation under ``name``.
+
+        Raises:
+            CatalogError: if the name is taken and ``replace`` is not set.
+        """
+        if name in self._relations and not replace:
+            raise CatalogError(f"relation {name!r} already registered")
+        self._relations[name] = relation
+        self._stats[name] = _compute_stats(relation)
+
+    def lookup(self, name: str) -> TPRelation:
+        """Return the relation registered under ``name``.
+
+        Raises:
+            CatalogError: if the name is unknown.
+        """
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown relation {name!r}; registered: {sorted(self._relations)}"
+            ) from exc
+
+    def stats(self, name: str) -> RelationStats:
+        """Return the statistics of the relation registered under ``name``."""
+        self.lookup(name)
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def names(self) -> list[str]:
+        """All registered relation names, sorted."""
+        return sorted(self._relations)
+
+
+def _compute_stats(relation: TPRelation) -> RelationStats:
+    distinct_counts = {
+        attribute: len(set(relation.attribute_values(attribute)))
+        for attribute in relation.schema.attributes
+    }
+    timespan = relation.timespan()
+    return RelationStats(
+        cardinality=len(relation),
+        attribute_distinct_counts=distinct_counts,
+        timespan_length=0 if timespan is None else timespan.duration,
+    )

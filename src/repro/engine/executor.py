@@ -1,0 +1,101 @@
+"""The query engine façade.
+
+:class:`Engine` bundles a catalog, a planner and an executor behind a small
+API mirroring how the paper's implementation sits inside PostgreSQL: register
+relations, then run TP queries — either as logical plans built
+programmatically or as SQL-ish strings — and get TP relations back.  The
+engine evaluates physical plans by pulling tuples through the Volcano
+operators, so NJ joins stream their windows exactly as the paper's pipelined
+integration does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..relation import TPRelation
+from .catalog import Catalog
+from .errors import PlanError
+from .explain import explain_logical, explain_physical
+from .logical import JoinStrategy, LogicalPlan, find_scans
+from .planner import Planner, PlannerConfig
+from .sql import parse_query
+
+
+class Engine:
+    """An in-memory TP query engine with a SQL-ish front end."""
+
+    def __init__(self, default_strategy: JoinStrategy = JoinStrategy.NJ) -> None:
+        self._catalog = Catalog()
+        self._planner = Planner(
+            self._catalog, PlannerConfig(default_strategy=default_strategy)
+        )
+
+    # ------------------------------------------------------------------ #
+    # catalog management
+    # ------------------------------------------------------------------ #
+    @property
+    def catalog(self) -> Catalog:
+        """The engine's relation catalog."""
+        return self._catalog
+
+    def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
+        """Register a relation so queries can refer to it by name."""
+        self._catalog.register(name, relation, replace=replace)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: LogicalPlan, compute_probabilities: bool = True) -> TPRelation:
+        """Execute a logical plan and return the result as a TP relation."""
+        physical = self._planner.plan(plan)
+        events = self._merged_events(plan)
+        with physical:
+            tuples = list(physical)
+        result = TPRelation(
+            physical.output_schema(), tuples, events, name="result", check_constraint=False
+        )
+        return result.with_probabilities() if compute_probabilities else result
+
+    def execute_sql(self, sql: str, compute_probabilities: bool = True) -> TPRelation:
+        """Parse and execute a SQL-ish query string."""
+        return self.execute(parse_query(sql).plan, compute_probabilities)
+
+    def explain(self, plan: LogicalPlan) -> str:
+        """Return the logical and physical EXPLAIN text for a plan."""
+        physical = self._planner.plan(plan)
+        return (
+            "Logical plan:\n"
+            + explain_logical(plan)
+            + "\nPhysical plan:\n"
+            + explain_physical(physical)
+        )
+
+    def explain_sql(self, sql: str) -> str:
+        """Parse a query and return its EXPLAIN text."""
+        return self.explain(parse_query(sql).plan)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _merged_events(self, plan: LogicalPlan):
+        scans = find_scans(plan)
+        if not scans:
+            raise PlanError("plan contains no scans")
+        events = self._catalog.lookup(scans[0].relation_name).events
+        for scan in scans[1:]:
+            events = events.merge(self._catalog.lookup(scan.relation_name).events)
+        return events
+
+
+def execute_sql(
+    sql: str,
+    relations: dict[str, TPRelation],
+    default_strategy: JoinStrategy = JoinStrategy.NJ,
+    compute_probabilities: bool = True,
+) -> TPRelation:
+    """One-shot convenience: build an engine, register ``relations``, run ``sql``."""
+    engine = Engine(default_strategy=default_strategy)
+    for name, relation in relations.items():
+        engine.register(name, relation)
+    return engine.execute_sql(sql, compute_probabilities=compute_probabilities)

@@ -1,0 +1,32 @@
+"""EXPLAIN output for logical and physical plans."""
+
+from __future__ import annotations
+
+from .iterators import PhysicalOperator
+from .logical import LogicalPlan
+
+
+def explain_logical(plan: LogicalPlan) -> str:
+    """Render a logical plan as an indented tree."""
+    lines: list[str] = []
+    _render_logical(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _render_logical(plan: LogicalPlan, depth: int, lines: list[str]) -> None:
+    lines.append("  " * depth + plan.describe())
+    for child in plan.children():
+        _render_logical(child, depth + 1, lines)
+
+
+def explain_physical(operator: PhysicalOperator) -> str:
+    """Render a physical plan as an indented tree with cost estimates."""
+    lines: list[str] = []
+    _render_physical(operator, 0, lines)
+    return "\n".join(lines)
+
+
+def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -> None:
+    lines.append("  " * depth + f"{operator.describe()}  (cost≈{operator.estimated_cost():.0f})")
+    for child in operator.children():
+        _render_physical(child, depth + 1, lines)

@@ -1,0 +1,176 @@
+"""Rule-based planner: logical plans → physical plans.
+
+The planner mirrors, at small scale, the role of PostgreSQL's
+optimizer in the paper's implementation: it decides which physical join
+operator evaluates a TP join.  The default policy is
+
+* honour an explicitly pinned strategy (``USING NJ`` / ``USING TA`` /
+  ``USING NAIVE`` in the SQL front end) — the benchmarks use this to compare
+  the implementations on identical plans;
+* otherwise pick NJ, the paper's approach, unless the planner is constructed
+  with ``prefer_ta=True`` (useful for demonstrating the baseline end-to-end).
+
+Pushing selections below joins is the only rewrite performed; it is enough
+for the example workloads and keeps the planner easy to reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relation import TPRelation
+from .catalog import Catalog
+from .errors import PlanError
+from .iterators import PhysicalOperator
+from .logical import (
+    JoinKind,
+    JoinStrategy,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    Timeslice,
+    TPJoin,
+)
+from .physical import (
+    FilterOperator,
+    ProjectOperator,
+    ScanOperator,
+    TimesliceOperator,
+    join_operator_for,
+)
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner policy knobs."""
+
+    default_strategy: JoinStrategy = JoinStrategy.NJ
+    push_down_selections: bool = True
+
+
+class Planner:
+    """Turn logical plans into physical operator trees over a catalog."""
+
+    def __init__(self, catalog: Catalog, config: PlannerConfig | None = None) -> None:
+        self._catalog = catalog
+        self._config = config or PlannerConfig()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def plan(self, logical: LogicalPlan) -> PhysicalOperator:
+        """Produce the physical plan for a logical plan."""
+        rewritten = self._push_down(logical) if self._config.push_down_selections else logical
+        return self._physicalise(rewritten)
+
+    def resolve_strategy(self, requested: JoinStrategy) -> JoinStrategy:
+        """Resolve AUTO to the planner's default strategy."""
+        if requested is JoinStrategy.AUTO:
+            return self._config.default_strategy
+        return requested
+
+    # ------------------------------------------------------------------ #
+    # rewriting
+    # ------------------------------------------------------------------ #
+    def _push_down(self, plan: LogicalPlan) -> LogicalPlan:
+        """Push equality selections below TP joins when they bind one side."""
+        if isinstance(plan, Select):
+            child = self._push_down(plan.child)
+            if isinstance(child, TPJoin):
+                pushed = self._try_push_into_join(plan, child)
+                if pushed is not None:
+                    return pushed
+            return Select(child, plan.attribute, plan.value)
+        if isinstance(plan, Project):
+            return Project(self._push_down(plan.child), plan.attributes)
+        if isinstance(plan, Timeslice):
+            return Timeslice(self._push_down(plan.child), plan.interval)
+        if isinstance(plan, TPJoin):
+            return TPJoin(
+                self._push_down(plan.left),
+                self._push_down(plan.right),
+                plan.kind,
+                plan.on,
+                plan.strategy,
+            )
+        return plan
+
+    def _try_push_into_join(self, select: Select, join: TPJoin) -> LogicalPlan | None:
+        left_schema = self._output_schema(join.left)
+        right_schema = self._output_schema(join.right)
+        if select.attribute in left_schema:
+            new_left = Select(join.left, select.attribute, select.value)
+            return TPJoin(new_left, join.right, join.kind, join.on, join.strategy)
+        if select.attribute in right_schema and join.kind in (
+            JoinKind.INNER,
+            JoinKind.LEFT_OUTER,
+        ):
+            # Safe only for the sides whose tuples cannot be padded with nulls.
+            new_right = Select(join.right, select.attribute, select.value)
+            return TPJoin(join.left, new_right, join.kind, join.on, join.strategy)
+        return None
+
+    def _output_schema(self, plan: LogicalPlan):
+        if isinstance(plan, Scan):
+            return self._catalog.lookup(plan.relation_name).schema
+        if isinstance(plan, (Select, Timeslice)):
+            return self._output_schema(plan.child)
+        if isinstance(plan, Project):
+            return self._output_schema(plan.child).project(plan.attributes)
+        if isinstance(plan, TPJoin):
+            left = self._output_schema(plan.left)
+            right = self._output_schema(plan.right)
+            if plan.kind is JoinKind.ANTI:
+                return left
+            left_names = set(left.attributes)
+            renamed = tuple(
+                f"s.{name}" if name in left_names else name for name in right.attributes
+            )
+            from ..relation import Schema
+
+            return Schema(left.attributes + renamed)
+        raise PlanError(f"cannot infer schema of {plan.describe()}")
+
+    # ------------------------------------------------------------------ #
+    # physicalisation
+    # ------------------------------------------------------------------ #
+    def _physicalise(self, plan: LogicalPlan) -> PhysicalOperator:
+        if isinstance(plan, Scan):
+            return ScanOperator(self._catalog.lookup(plan.relation_name), plan.relation_name)
+        if isinstance(plan, Select):
+            return FilterOperator(self._physicalise(plan.child), plan.attribute, plan.value)
+        if isinstance(plan, Timeslice):
+            return TimesliceOperator(self._physicalise(plan.child), plan.interval)
+        if isinstance(plan, Project):
+            return ProjectOperator(
+                self._physicalise(plan.child), plan.attributes, self._merged_events(plan)
+            )
+        if isinstance(plan, TPJoin):
+            strategy = self.resolve_strategy(plan.strategy)
+            return join_operator_for(
+                strategy,
+                self._physicalise(plan.left),
+                self._physicalise(plan.right),
+                plan.kind,
+                plan.on,
+                self._merged_events(plan),
+            )
+        raise PlanError(f"unsupported logical node {type(plan).__name__}")
+
+    def _merged_events(self, plan: LogicalPlan):
+        """Merge the event spaces of every relation scanned below ``plan``."""
+        from .logical import find_scans
+
+        scans = find_scans(plan)
+        if not scans:
+            raise PlanError("plan contains no scans")
+        events = self._catalog.lookup(scans[0].relation_name).events
+        for scan in scans[1:]:
+            events = events.merge(self._catalog.lookup(scan.relation_name).events)
+        return events
+
+
+def base_relation(catalog: Catalog, name: str) -> TPRelation:
+    """Convenience lookup used by the executor and tests."""
+    return catalog.lookup(name)

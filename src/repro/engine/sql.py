@@ -1,0 +1,301 @@
+"""A small SQL-ish front end for TP queries.
+
+The paper modified PostgreSQL's parser so that temporal-probabilistic joins
+can be written in SQL.  This module provides the equivalent surface for the
+Python engine: a hand-written recursive-descent parser for a compact dialect
+covering exactly the operations the engine supports.
+
+Grammar (case-insensitive keywords)::
+
+    query      :=  SELECT select_list FROM relation join_clause?
+                   where_clause? during_clause? using_clause?
+    select_list:=  '*' | identifier (',' identifier)*
+    join_clause:=  TP join_kind JOIN relation ON condition (AND condition)*
+    join_kind  :=  LEFT OUTER | RIGHT OUTER | FULL OUTER | ANTI | INNER
+    condition  :=  qualified '=' qualified
+    qualified  :=  identifier ('.' identifier)?
+    where_clause := WHERE identifier '=' literal (AND identifier '=' literal)*
+    during_clause := DURING '[' number ',' number ')'
+    using_clause  := USING (NJ | TA | NAIVE)
+    literal    :=  number | quoted string
+
+Examples::
+
+    SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc
+    SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann'
+    SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc DURING [4, 8) USING TA
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..temporal import Interval
+from .errors import SQLSyntaxError
+from .logical import (
+    JoinKind,
+    JoinStrategy,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    Timeslice,
+    TPJoin,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        '(?:[^']*)'            # quoted string
+      | [A-Za-z_][A-Za-z_0-9]* # identifier / keyword
+      | \d+\.\d+               # float
+      | \d+                    # integer
+      | [*,().=\[\)]           # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "tp", "left", "right", "full", "outer", "anti", "inner",
+    "join", "on", "and", "where", "during", "using",
+}
+
+_JOIN_KINDS = {
+    ("left", "outer"): JoinKind.LEFT_OUTER,
+    ("right", "outer"): JoinKind.RIGHT_OUTER,
+    ("full", "outer"): JoinKind.FULL_OUTER,
+    ("anti",): JoinKind.ANTI,
+    ("inner",): JoinKind.INNER,
+}
+
+_STRATEGIES = {"nj": JoinStrategy.NJ, "ta": JoinStrategy.TA, "naive": JoinStrategy.NAIVE}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The outcome of parsing: a logical plan plus surface details."""
+
+    plan: LogicalPlan
+    select_list: tuple[str, ...]
+    left_relation: str
+    right_relation: Optional[str]
+    join_kind: Optional[JoinKind]
+    strategy: JoinStrategy
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a query string into tokens; raises on unrecognised characters."""
+    tokens: list[str] = []
+    position = 0
+    stripped = text.strip()
+    while position < len(stripped):
+        match = _TOKEN_PATTERN.match(stripped, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {stripped[position]!r} at offset {position}"
+            )
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------- #
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _peek_keyword(self) -> Optional[str]:
+        token = self._peek()
+        return token.lower() if token is not None else None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.lower() != keyword:
+            raise SQLSyntaxError(f"expected {keyword.upper()!r}, got {token!r}")
+
+    def _expect(self, literal: str) -> None:
+        token = self._advance()
+        if token != literal:
+            raise SQLSyntaxError(f"expected {literal!r}, got {token!r}")
+
+    def _identifier(self) -> str:
+        token = self._advance()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token.lower() in _KEYWORDS:
+            raise SQLSyntaxError(f"expected identifier, got {token!r}")
+        return token
+
+    # -- grammar ----------------------------------------------------------#
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        select_list = self._select_list()
+        self._expect_keyword("from")
+        left_relation = self._identifier()
+
+        join_kind: Optional[JoinKind] = None
+        right_relation: Optional[str] = None
+        on_pairs: tuple[tuple[str, str], ...] = ()
+        if self._peek_keyword() == "tp":
+            self._advance()
+            join_kind = self._join_kind()
+            self._expect_keyword("join")
+            right_relation = self._identifier()
+            self._expect_keyword("on")
+            on_pairs = self._conditions(left_relation, right_relation)
+
+        filters = self._where_clause()
+        during = self._during_clause()
+        strategy = self._using_clause()
+        if self._peek() is not None:
+            raise SQLSyntaxError(f"trailing tokens starting at {self._peek()!r}")
+
+        plan: LogicalPlan = Scan(left_relation)
+        if join_kind is not None:
+            assert right_relation is not None
+            plan = TPJoin(Scan(left_relation), Scan(right_relation), join_kind, on_pairs, strategy)
+        for attribute, value in filters:
+            plan = Select(plan, attribute, value)
+        if during is not None:
+            plan = Timeslice(plan, during)
+        if select_list != ("*",):
+            plan = Project(plan, select_list)
+        return ParsedQuery(
+            plan=plan,
+            select_list=select_list,
+            left_relation=left_relation,
+            right_relation=right_relation,
+            join_kind=join_kind,
+            strategy=strategy,
+        )
+
+    def _select_list(self) -> tuple[str, ...]:
+        if self._peek() == "*":
+            self._advance()
+            return ("*",)
+        names = [self._identifier()]
+        while self._peek() == ",":
+            self._advance()
+            names.append(self._identifier())
+        return tuple(names)
+
+    def _join_kind(self) -> JoinKind:
+        first = self._advance().lower()
+        if first in ("left", "right", "full"):
+            self._expect_keyword("outer")
+            return _JOIN_KINDS[(first, "outer")]
+        if (first,) in _JOIN_KINDS:
+            return _JOIN_KINDS[(first,)]
+        raise SQLSyntaxError(f"unknown join kind starting with {first!r}")
+
+    def _conditions(self, left_relation: str, right_relation: str) -> tuple[tuple[str, str], ...]:
+        pairs = [self._condition(left_relation, right_relation)]
+        while self._peek_keyword() == "and" and self._looks_like_condition():
+            self._advance()
+            pairs.append(self._condition(left_relation, right_relation))
+        return tuple(pairs)
+
+    def _looks_like_condition(self) -> bool:
+        # Distinguish `AND x.a = y.b` (join condition) from a later WHERE AND.
+        save = self._position
+        try:
+            self._advance()  # AND
+            self._qualified()
+            self._expect("=")
+            self._qualified()
+            return True
+        except SQLSyntaxError:
+            return False
+        finally:
+            self._position = save
+
+    def _condition(self, left_relation: str, right_relation: str) -> tuple[str, str]:
+        first_relation, first_attribute = self._qualified()
+        self._expect("=")
+        second_relation, second_attribute = self._qualified()
+        if first_relation == right_relation and second_relation in (left_relation, None):
+            return (second_attribute, first_attribute)
+        return (first_attribute, second_attribute)
+
+    def _qualified(self) -> tuple[Optional[str], str]:
+        name = self._identifier()
+        if self._peek() == ".":
+            self._advance()
+            attribute = self._identifier()
+            return (name, attribute)
+        return (None, name)
+
+    def _where_clause(self) -> list[tuple[str, object]]:
+        filters: list[tuple[str, object]] = []
+        if self._peek_keyword() != "where":
+            return filters
+        self._advance()
+        filters.append(self._where_condition())
+        while self._peek_keyword() == "and":
+            self._advance()
+            filters.append(self._where_condition())
+        return filters
+
+    def _where_condition(self) -> tuple[str, object]:
+        attribute = self._identifier()
+        self._expect("=")
+        return (attribute, self._literal())
+
+    def _literal(self) -> object:
+        token = self._advance()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        if re.fullmatch(r"\d+", token):
+            return int(token)
+        if re.fullmatch(r"\d+\.\d+", token):
+            return float(token)
+        raise SQLSyntaxError(f"expected literal, got {token!r}")
+
+    def _during_clause(self) -> Optional[Interval]:
+        if self._peek_keyword() != "during":
+            return None
+        self._advance()
+        self._expect("[")
+        start = self._literal()
+        self._expect(",")
+        end = self._literal()
+        self._expect(")")
+        if not isinstance(start, int) or not isinstance(end, int):
+            raise SQLSyntaxError("DURING bounds must be integers")
+        return Interval(start, end)
+
+    def _using_clause(self) -> JoinStrategy:
+        if self._peek_keyword() != "using":
+            return JoinStrategy.AUTO
+        self._advance()
+        token = self._advance().lower()
+        if token not in _STRATEGIES:
+            raise SQLSyntaxError(f"unknown strategy {token!r}; expected NJ, TA or NAIVE")
+        return _STRATEGIES[token]
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string into a :class:`ParsedQuery`."""
+    parsed = _Parser(tokenize(text)).parse()
+    return parsed
+
+
+def parse_plan(text: str) -> LogicalPlan:
+    """Parse a query string and return only its logical plan."""
+    return parse_query(text).plan

@@ -1,0 +1,118 @@
+"""Formatting of harness measurements.
+
+The harness prints, for every figure, the same series the paper plots —
+runtime per input size per approach — plus the NJ-vs-TA speedup factors so
+the "shape" claims of the paper (who wins, by roughly how much) can be read
+off directly and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .experiments import ExperimentSpec, Measurement
+
+
+def measurements_table(measurements: Sequence[Measurement]) -> str:
+    """Render measurements as a fixed-width table (size × series runtimes)."""
+    if not measurements:
+        return "(no measurements)"
+    series_names = _series_order(measurements)
+    by_size: dict[int, dict[str, Measurement]] = defaultdict(dict)
+    for measurement in measurements:
+        by_size[measurement.size][measurement.series] = measurement
+
+    header = ["size", *(f"{name} [ms]" for name in series_names), *(f"{name} windows" for name in series_names)]
+    rows: list[list[str]] = []
+    for size in sorted(by_size):
+        row = [str(size)]
+        for name in series_names:
+            cell = by_size[size].get(name)
+            row.append("-" if cell is None else f"{cell.seconds * 1000:.1f}")
+        for name in series_names:
+            cell = by_size[size].get(name)
+            row.append("-" if cell is None else str(cell.output_count))
+        rows.append(row)
+    return _fixed_width(header, rows)
+
+
+def speedup_summary(measurements: Sequence[Measurement], baseline: str = "TA") -> str:
+    """Render NJ-vs-baseline speedup factors per size and series."""
+    series_names = [name for name in _series_order(measurements) if name != baseline]
+    by_size: dict[int, dict[str, Measurement]] = defaultdict(dict)
+    for measurement in measurements:
+        by_size[measurement.size][measurement.series] = measurement
+
+    header = ["size", *(f"{baseline}/{name}" for name in series_names)]
+    rows: list[list[str]] = []
+    for size in sorted(by_size):
+        base = by_size[size].get(baseline)
+        row = [str(size)]
+        for name in series_names:
+            cell = by_size[size].get(name)
+            if base is None or cell is None or cell.seconds == 0:
+                row.append("-")
+            else:
+                row.append(f"{base.seconds / cell.seconds:.1f}x")
+        rows.append(row)
+    return _fixed_width(header, rows)
+
+
+def experiment_report(spec: ExperimentSpec, measurements: Sequence[Measurement]) -> str:
+    """The full text block printed for one experiment."""
+    lines = [
+        f"== {spec.experiment_id}: {spec.title} ==",
+        f"dataset: {spec.dataset} (synthetic stand-in)",
+        f"expected shape (paper): {spec.expected_shape}",
+        "",
+        measurements_table(measurements),
+        "",
+        "speedups (baseline runtime / series runtime):",
+        speedup_summary(measurements),
+    ]
+    return "\n".join(lines)
+
+
+def write_csv(measurements: Iterable[Measurement], path: str | Path) -> None:
+    """Write measurements to a CSV file for downstream plotting."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["experiment", "dataset", "series", "size", "seconds", "output_count"])
+        for measurement in measurements:
+            writer.writerow(
+                [
+                    measurement.experiment,
+                    measurement.dataset,
+                    measurement.series,
+                    measurement.size,
+                    f"{measurement.seconds:.6f}",
+                    measurement.output_count,
+                ]
+            )
+
+
+def _series_order(measurements: Sequence[Measurement]) -> list[str]:
+    order: list[str] = []
+    for measurement in measurements:
+        if measurement.series not in order:
+            order.append(measurement.series)
+    return order
+
+
+def _fixed_width(header: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].rjust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

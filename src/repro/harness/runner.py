@@ -1,0 +1,48 @@
+"""Harness runner: execute experiments and collect their measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .experiments import ExperimentSpec, Measurement, resolve_experiments
+from .reporting import experiment_report
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measurements and report text of one executed experiment."""
+
+    spec: ExperimentSpec
+    measurements: tuple[Measurement, ...]
+    report: str
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    sizes: Sequence[int] | None = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run one experiment spec and build its report."""
+    measurements = tuple(spec.run(sizes=sizes, seed=seed))
+    return RunResult(spec, measurements, experiment_report(spec, measurements))
+
+
+def run_by_name(
+    name: str,
+    sizes: Sequence[int] | None = None,
+    seed: int = 0,
+    paper_scale: bool = False,
+) -> list[RunResult]:
+    """Run an experiment (or group) by name.
+
+    ``paper_scale`` switches to the paper's original input sizes (50K–200K
+    tuples); expect long runtimes, especially for the TA series.
+    """
+    results: list[RunResult] = []
+    for spec in resolve_experiments(name):
+        chosen_sizes = sizes
+        if chosen_sizes is None and paper_scale:
+            chosen_sizes = spec.paper_sizes
+        results.append(run_experiment(spec, sizes=chosen_sizes, seed=seed))
+    return results

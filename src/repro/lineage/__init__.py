@@ -1,0 +1,65 @@
+"""Probabilistic substrate: lineage expressions, event space, probability."""
+
+from .builders import (
+    and_not,
+    conjunction_of,
+    disjunction_of,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    var,
+)
+from .events import EventSpace, InvalidProbabilityError, UnknownEventError
+from .expr import FALSE, TRUE, And, LineageError, LineageExpr, Not, Or, Var
+from .probability import (
+    ProbabilityComputer,
+    conditional_probability,
+    probabilities,
+    probability,
+)
+from .sampling import Estimate, MonteCarloEstimator
+from .simplify import (
+    canonical,
+    equivalent,
+    implies,
+    is_contradiction,
+    is_read_once,
+    is_tautology,
+    restrict,
+    to_nnf,
+)
+
+__all__ = [
+    "And",
+    "Estimate",
+    "EventSpace",
+    "FALSE",
+    "InvalidProbabilityError",
+    "LineageError",
+    "LineageExpr",
+    "MonteCarloEstimator",
+    "Not",
+    "Or",
+    "ProbabilityComputer",
+    "TRUE",
+    "UnknownEventError",
+    "Var",
+    "and_not",
+    "canonical",
+    "conditional_probability",
+    "conjunction_of",
+    "disjunction_of",
+    "equivalent",
+    "implies",
+    "is_contradiction",
+    "is_read_once",
+    "is_tautology",
+    "lineage_and",
+    "lineage_not",
+    "lineage_or",
+    "probabilities",
+    "probability",
+    "restrict",
+    "to_nnf",
+    "var",
+]

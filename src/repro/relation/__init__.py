@@ -1,0 +1,56 @@
+"""Temporal-probabilistic data model: schemas, tuples, relations, operators."""
+
+from .errors import (
+    ConstraintViolation,
+    RelationError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from .io import read_relation_csv, write_relation_csv, write_result_csv
+from .operators import (
+    difference,
+    project,
+    rename,
+    select,
+    select_eq,
+    snapshot,
+    timeslice,
+    union,
+)
+from .predicates import (
+    EquiJoinCondition,
+    PredicateCondition,
+    ThetaCondition,
+    TrueCondition,
+    equi_join_on,
+)
+from .relation import TPRelation, fresh_event_names
+from .schema import Schema
+from .tptuple import TPTuple
+
+__all__ = [
+    "ConstraintViolation",
+    "EquiJoinCondition",
+    "PredicateCondition",
+    "RelationError",
+    "Schema",
+    "SchemaError",
+    "TPRelation",
+    "TPTuple",
+    "ThetaCondition",
+    "TrueCondition",
+    "UnknownAttributeError",
+    "difference",
+    "equi_join_on",
+    "fresh_event_names",
+    "project",
+    "read_relation_csv",
+    "rename",
+    "select",
+    "select_eq",
+    "snapshot",
+    "timeslice",
+    "union",
+    "write_relation_csv",
+    "write_result_csv",
+]

@@ -1,0 +1,24 @@
+"""Exceptions of the temporal-probabilistic data model."""
+
+from __future__ import annotations
+
+
+class RelationError(Exception):
+    """Base class for all data-model errors."""
+
+
+class SchemaError(RelationError):
+    """Raised when a schema is malformed or attributes do not match it."""
+
+
+class ConstraintViolation(RelationError):
+    """Raised when a TP relation violates the duplicate-free constraint.
+
+    A temporal-probabilistic relation requires tuples carrying the same fact
+    to have pairwise disjoint validity intervals (otherwise the probability
+    of the fact at a time point would be ambiguous).
+    """
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name is not part of the schema."""

@@ -1,0 +1,137 @@
+"""Join conditions (θ) over the non-temporal attributes.
+
+The paper's joins are parameterised by an arbitrary condition θ between the
+non-temporal attributes of the two inputs (the running example uses the
+equality ``a.Loc = b.Loc``).  A :class:`ThetaCondition` evaluates such a
+condition over a pair of facts; the common equi-join case gets a dedicated
+subclass so algorithms and the planner can detect it and use hash
+partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+from .schema import Schema
+from .tptuple import TPTuple
+
+
+class ThetaCondition:
+    """A join condition between a tuple of ``r`` and a tuple of ``s``."""
+
+    def evaluate(self, left: TPTuple, right: TPTuple) -> bool:
+        """Return ``True`` when the pair satisfies the condition."""
+        raise NotImplementedError
+
+    def left_key(self, left: TPTuple) -> Optional[Hashable]:
+        """Return a hashable partitioning key for the left tuple, if any.
+
+        ``None`` signals that the condition cannot be evaluated by key
+        equality and a nested-loop style pairing must be used.
+        """
+        return None
+
+    def right_key(self, right: TPTuple) -> Optional[Hashable]:
+        """Return a hashable partitioning key for the right tuple, if any."""
+        return None
+
+    @property
+    def is_equi(self) -> bool:
+        """Whether the condition is a conjunction of attribute equalities."""
+        return False
+
+    def describe(self) -> str:
+        """A human-readable rendering used by EXPLAIN output."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class TrueCondition(ThetaCondition):
+    """The always-true condition (a pure temporal join)."""
+
+    def evaluate(self, left: TPTuple, right: TPTuple) -> bool:
+        return True
+
+    def left_key(self, left: TPTuple) -> Hashable:
+        return ()
+
+    def right_key(self, right: TPTuple) -> Hashable:
+        return ()
+
+    @property
+    def is_equi(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class EquiJoinCondition(ThetaCondition):
+    """Equality of one or more attribute pairs (``r.A = s.B ∧ ...``)."""
+
+    left_schema: Schema
+    right_schema: Schema
+    pairs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        for left_name, right_name in self.pairs:
+            self.left_schema.index(left_name)
+            self.right_schema.index(right_name)
+
+    @classmethod
+    def on(
+        cls,
+        left_schema: Schema,
+        right_schema: Schema,
+        *pairs: tuple[str, str],
+    ) -> "EquiJoinCondition":
+        """Create a condition from ``(left_attr, right_attr)`` pairs."""
+        return cls(left_schema, right_schema, tuple(pairs))
+
+    def _left_indexes(self) -> tuple[int, ...]:
+        return tuple(self.left_schema.index(name) for name, _ in self.pairs)
+
+    def _right_indexes(self) -> tuple[int, ...]:
+        return tuple(self.right_schema.index(name) for _, name in self.pairs)
+
+    def evaluate(self, left: TPTuple, right: TPTuple) -> bool:
+        return all(
+            left.fact[self.left_schema.index(l_name)] == right.fact[self.right_schema.index(r_name)]
+            for l_name, r_name in self.pairs
+        )
+
+    def left_key(self, left: TPTuple) -> Hashable:
+        return tuple(left.fact[index] for index in self._left_indexes())
+
+    def right_key(self, right: TPTuple) -> Hashable:
+        return tuple(right.fact[index] for index in self._right_indexes())
+
+    @property
+    def is_equi(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return " AND ".join(f"r.{l} = s.{r}" for l, r in self.pairs)
+
+
+@dataclass(frozen=True)
+class PredicateCondition(ThetaCondition):
+    """An arbitrary Python predicate over the two facts (general θ)."""
+
+    predicate: Callable[[tuple, tuple], bool]
+    label: str = "predicate"
+
+    def evaluate(self, left: TPTuple, right: TPTuple) -> bool:
+        return bool(self.predicate(left.fact, right.fact))
+
+    def describe(self) -> str:
+        return self.label
+
+
+def equi_join_on(
+    left_schema: Schema, right_schema: Schema, pairs: Sequence[tuple[str, str]]
+) -> EquiJoinCondition:
+    """Convenience constructor mirroring the paper's ``θ: a.Loc = b.Loc``."""
+    return EquiJoinCondition(left_schema, right_schema, tuple(pairs))

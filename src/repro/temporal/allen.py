@@ -1,0 +1,99 @@
+"""Allen's interval relations.
+
+The thirteen relations of Allen's interval algebra give a complete,
+mutually exclusive classification of how two intervals relate.  They are not
+needed by the core join algorithms (which only use ``overlaps``), but they are
+part of any credible temporal substrate: the test suite uses them to verify
+the overlap-join predicate, and the dataset statistics module reports the
+distribution of relations in a workload.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .interval import Interval
+
+
+class AllenRelation(str, Enum):
+    """The thirteen basic relations of Allen's interval algebra."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met_by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTS = "starts"
+    STARTED_BY = "started_by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished_by"
+    EQUAL = "equal"
+
+
+#: Relations under which the two intervals share at least one time point.
+OVERLAPPING_RELATIONS = frozenset(
+    {
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.EQUAL,
+    }
+)
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify the relation of interval ``a`` with respect to ``b``."""
+    if a.start == b.start and a.end == b.end:
+        return AllenRelation.EQUAL
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+    if a.start == b.start:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.start > b.start else AllenRelation.FINISHED_BY
+    if b.start < a.start and a.end < b.end:
+        return AllenRelation.DURING
+    if a.start < b.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def inverse(relation: AllenRelation) -> AllenRelation:
+    """Return the inverse relation (the relation of ``b`` w.r.t. ``a``)."""
+    pairs = {
+        AllenRelation.BEFORE: AllenRelation.AFTER,
+        AllenRelation.AFTER: AllenRelation.BEFORE,
+        AllenRelation.MEETS: AllenRelation.MET_BY,
+        AllenRelation.MET_BY: AllenRelation.MEETS,
+        AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+        AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+        AllenRelation.STARTS: AllenRelation.STARTED_BY,
+        AllenRelation.STARTED_BY: AllenRelation.STARTS,
+        AllenRelation.DURING: AllenRelation.CONTAINS,
+        AllenRelation.CONTAINS: AllenRelation.DURING,
+        AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+        AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+        AllenRelation.EQUAL: AllenRelation.EQUAL,
+    }
+    return pairs[relation]
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Overlap test expressed through Allen relations (used in tests)."""
+    return allen_relation(a, b) in OVERLAPPING_RELATIONS

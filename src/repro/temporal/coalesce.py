@@ -1,0 +1,92 @@
+"""Temporal coalescing of value-annotated intervals.
+
+Coalescing merges adjacent or overlapping intervals that carry the same
+value.  Temporal-probabilistic relations require a slightly unusual variant:
+two tuples may only be merged if their *facts* are equal **and** their
+lineages are equivalent, otherwise the probability attached to the merged
+interval would be wrong.  The generic machinery here is parameterised by a
+key function so the relation layer can plug in fact+lineage equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from .interval import Interval
+
+T = TypeVar("T")
+
+
+def coalesce_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping or adjacent plain intervals.
+
+    The result is sorted and pairwise disjoint with gaps preserved.
+    """
+    ordered = sorted(intervals)
+    merged: list[Interval] = []
+    for interval in ordered:
+        if merged and interval.start <= merged[-1].end:
+            if interval.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def coalesce_annotated(
+    items: Iterable[tuple[Interval, T]],
+    key: Callable[[T], Hashable],
+    merge: Callable[[T, T], T] | None = None,
+) -> list[tuple[Interval, T]]:
+    """Coalesce ``(interval, value)`` pairs whose values have equal keys.
+
+    Args:
+        items: interval/value pairs in any order.
+        key: function computing the equality key of a value; only pairs with
+            equal keys and overlapping or adjacent intervals are merged.
+        merge: optional function combining the values of two merged pairs;
+            defaults to keeping the first value (appropriate when equal keys
+            imply interchangeable values).
+
+    Returns:
+        The coalesced pairs, sorted by value key group and interval start.
+    """
+    groups: dict[Hashable, list[tuple[Interval, T]]] = {}
+    order: list[Hashable] = []
+    for interval, value in items:
+        group_key = key(value)
+        if group_key not in groups:
+            groups[group_key] = []
+            order.append(group_key)
+        groups[group_key].append((interval, value))
+
+    result: list[tuple[Interval, T]] = []
+    for group_key in order:
+        members = sorted(groups[group_key], key=lambda pair: pair[0])
+        current_interval, current_value = members[0]
+        for interval, value in members[1:]:
+            if interval.start <= current_interval.end:
+                end = max(current_interval.end, interval.end)
+                current_interval = Interval(current_interval.start, end)
+                if merge is not None:
+                    current_value = merge(current_value, value)
+            else:
+                result.append((current_interval, current_value))
+                current_interval, current_value = interval, value
+        result.append((current_interval, current_value))
+    return result
+
+
+def is_coalesced(
+    items: Sequence[tuple[Interval, T]], key: Callable[[T], Hashable]
+) -> bool:
+    """Check whether no two pairs with equal keys overlap or are adjacent."""
+    groups: dict[Hashable, list[Interval]] = {}
+    for interval, value in items:
+        groups.setdefault(key(value), []).append(interval)
+    for intervals in groups.values():
+        ordered = sorted(intervals)
+        for left, right in zip(ordered, ordered[1:]):
+            if right.start <= left.end:
+                return False
+    return True

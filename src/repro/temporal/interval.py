@@ -1,0 +1,198 @@
+"""Half-open time intervals.
+
+The temporal-probabilistic data model of Papaioannou et al. attaches a
+half-open validity interval ``[start, end)`` to every tuple.  Intervals are
+defined over a discrete, totally ordered time domain; in this library the
+domain is the integers (the paper's examples use day numbers), but any
+comparable, subtractable type works for the non-arithmetic operations.
+
+The :class:`Interval` class is immutable and hashable so it can be used as a
+dictionary key, stored in sets and shared freely between tuples and windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+
+class IntervalError(ValueError):
+    """Raised when an interval is constructed or combined incorrectly."""
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` over a discrete time domain.
+
+    The ordering of intervals is lexicographic on ``(start, end)``, which is
+    the order used by the sweeping algorithms (LAWAU / LAWAN) of the paper.
+
+    Attributes:
+        start: inclusive starting time point.
+        end: exclusive ending time point; must be strictly greater than
+            ``start`` (empty intervals are not representable on purpose —
+            an "empty" result is modelled as ``None``).
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise IntervalError(
+                f"interval end must be greater than start, got [{self.start}, {self.end})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def duration(self) -> int:
+        """Number of time points covered by the interval."""
+        return self.end - self.start
+
+    def __contains__(self, time_point: int) -> bool:
+        return self.start <= time_point < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return ``True`` if ``other`` lies fully within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def time_points(self) -> Iterator[int]:
+        """Iterate over the individual time points of the interval.
+
+        Only meaningful (and only used) for integer time domains; the naive
+        per-time-point baseline relies on it.
+        """
+        return iter(range(self.start, self.end))
+
+    # ------------------------------------------------------------------ #
+    # relationships
+    # ------------------------------------------------------------------ #
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` if the two intervals share at least one time point."""
+        return self.start < other.end and other.start < self.end
+
+    def meets(self, other: "Interval") -> bool:
+        """Return ``True`` if this interval ends exactly where ``other`` starts."""
+        return self.end == other.start
+
+    def adjacent(self, other: "Interval") -> bool:
+        """Return ``True`` if the intervals touch without overlapping."""
+        return self.end == other.start or other.end == self.start
+
+    def before(self, other: "Interval") -> bool:
+        """Return ``True`` if this interval ends at or before ``other`` starts."""
+        return self.end <= other.start
+
+    # ------------------------------------------------------------------ #
+    # combination
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Return the intersection, or ``None`` if the intervals are disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start < end:
+            return Interval(start, end)
+        return None
+
+    def union(self, other: "Interval") -> "Interval":
+        """Return the union of two overlapping or adjacent intervals.
+
+        Raises:
+            IntervalError: if the intervals are neither overlapping nor
+                adjacent (their union would not be an interval).
+        """
+        if not (self.overlaps(other) or self.adjacent(other)):
+            raise IntervalError(f"union of disjoint intervals {self} and {other}")
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def difference(self, other: "Interval") -> list["Interval"]:
+        """Return the parts of this interval not covered by ``other``.
+
+        The result contains zero, one or two intervals, ordered by start.
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [self]
+        pieces: list[Interval] = []
+        if self.start < overlap.start:
+            pieces.append(Interval(self.start, overlap.start))
+        if overlap.end < self.end:
+            pieces.append(Interval(overlap.end, self.end))
+        return pieces
+
+    def split_at(self, time_point: int) -> tuple["Interval", ...]:
+        """Split the interval at an interior time point.
+
+        Splitting at a point outside the interval, or at its start, returns
+        the interval unchanged (as a 1-tuple).
+        """
+        if self.start < time_point < self.end:
+            return (Interval(self.start, time_point), Interval(time_point, self.end))
+        return (self,)
+
+    def split_at_points(self, points: Iterable[int]) -> list["Interval"]:
+        """Split the interval at every interior point of ``points``.
+
+        The result is ordered by start and covers exactly this interval.
+        """
+        interior = sorted({p for p in points if self.start < p < self.end})
+        pieces: list[Interval] = []
+        current_start = self.start
+        for point in interior:
+            pieces.append(Interval(current_start, point))
+            current_start = point
+        pieces.append(Interval(current_start, self.end))
+        return pieces
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end})"
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start}, {self.end})"
+
+
+def span(intervals: Iterable[Interval]) -> Optional[Interval]:
+    """Return the smallest interval covering all of ``intervals``.
+
+    Returns ``None`` for an empty input.
+    """
+    items = list(intervals)
+    if not items:
+        return None
+    return Interval(min(i.start for i in items), max(i.end for i in items))
+
+
+def intersect_all(intervals: Iterable[Interval]) -> Optional[Interval]:
+    """Return the common intersection of all intervals, or ``None``."""
+    items = list(intervals)
+    if not items:
+        return None
+    start = max(i.start for i in items)
+    end = min(i.end for i in items)
+    if start < end:
+        return Interval(start, end)
+    return None
+
+
+def total_duration(intervals: Iterable[Interval]) -> int:
+    """Total number of time points covered, counting overlaps only once."""
+    ordered = sorted(intervals)
+    covered = 0
+    current: Optional[Interval] = None
+    for interval in ordered:
+        if current is None:
+            current = interval
+        elif interval.start <= current.end:
+            if interval.end > current.end:
+                current = Interval(current.start, interval.end)
+        else:
+            covered += current.duration
+            current = interval
+    if current is not None:
+        covered += current.duration
+    return covered

@@ -1,0 +1,162 @@
+"""Endpoint timelines and segmentation.
+
+Both the lineage-aware window algorithms and the Temporal Alignment baseline
+reason about the *change points* of a set of intervals: the time points at
+which some tuple starts or stops being valid.  Between two consecutive change
+points nothing changes, so any per-time-point definition (such as the window
+definitions of the paper's Table I) can be evaluated segment by segment.
+
+This module provides the segmentation primitives shared by the naive oracle,
+the Temporal Alignment baseline and several tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .interval import Interval
+
+
+def change_points(intervals: Iterable[Interval]) -> list[int]:
+    """Return the sorted, de-duplicated start and end points of ``intervals``."""
+    points: set[int] = set()
+    for interval in intervals:
+        points.add(interval.start)
+        points.add(interval.end)
+    return sorted(points)
+
+
+def segments(intervals: Iterable[Interval]) -> list[Interval]:
+    """Return the elementary segments induced by a set of intervals.
+
+    The elementary segments partition the span between the earliest start and
+    the latest end such that no interval starts or ends strictly inside a
+    segment.
+    """
+    points = change_points(intervals)
+    return [Interval(a, b) for a, b in zip(points, points[1:])]
+
+
+def segments_within(frame: Interval, intervals: Iterable[Interval]) -> list[Interval]:
+    """Return the elementary segments of ``frame`` induced by ``intervals``.
+
+    Only the change points strictly inside ``frame`` split it; the result is a
+    partition of ``frame``.  This is the segmentation used to derive negating
+    windows: the interval of a tuple of the positive relation is split at
+    every start or end of a matching tuple of the negative relation.
+    """
+    return frame.split_at_points(change_points(intervals))
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """A sweep event: an interval either starts or ends at ``time``."""
+
+    time: int
+    is_start: bool
+    payload: object
+
+    @property
+    def is_end(self) -> bool:
+        return not self.is_start
+
+
+def sweep_events(items: Iterable[tuple[Interval, object]]) -> list[TimelineEvent]:
+    """Turn ``(interval, payload)`` pairs into a sorted event list.
+
+    End events are ordered before start events at equal time so that a
+    half-open interval ending at *t* is no longer active when another one
+    starting at *t* is processed — matching the half-open semantics used
+    throughout the paper.
+    """
+    events: list[TimelineEvent] = []
+    for interval, payload in items:
+        events.append(TimelineEvent(interval.start, True, payload))
+        events.append(TimelineEvent(interval.end, False, payload))
+    events.sort(key=lambda event: (event.time, event.is_start))
+    return events
+
+
+class Timeline:
+    """A queryable index over a fixed set of intervals.
+
+    The timeline answers "which payloads are valid at time point *t*" and
+    "which payloads are valid somewhere within interval *i*" queries.  It is
+    used by the naive baseline (as the ground-truth evaluator) and by the
+    dataset statistics module; the core NJ algorithms deliberately do *not*
+    use it — they only need a single ordered sweep.
+    """
+
+    __slots__ = ("_entries", "_starts")
+
+    def __init__(self, items: Iterable[tuple[Interval, object]]) -> None:
+        self._entries: list[tuple[Interval, object]] = sorted(
+            items, key=lambda entry: (entry[0].start, entry[0].end)
+        )
+        self._starts: list[int] = [entry[0].start for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def valid_at(self, time_point: int) -> list[object]:
+        """Return the payloads of all intervals containing ``time_point``."""
+        upper = bisect_right(self._starts, time_point)
+        return [
+            payload
+            for interval, payload in self._entries[:upper]
+            if time_point in interval
+        ]
+
+    def overlapping(self, query: Interval) -> list[object]:
+        """Return the payloads of all intervals overlapping ``query``."""
+        upper = bisect_left(self._starts, query.end)
+        return [
+            payload
+            for interval, payload in self._entries[:upper]
+            if interval.overlaps(query)
+        ]
+
+    def change_points_within(self, frame: Interval) -> list[int]:
+        """Change points of the indexed intervals strictly inside ``frame``."""
+        points: set[int] = set()
+        for interval, _payload in self._entries:
+            if interval.start >= frame.end:
+                break
+            if not interval.overlaps(frame):
+                continue
+            if frame.start < interval.start < frame.end:
+                points.add(interval.start)
+            if frame.start < interval.end < frame.end:
+                points.add(interval.end)
+        return sorted(points)
+
+
+def partition_by_validity(
+    frame: Interval, others: Sequence[Interval]
+) -> list[tuple[Interval, tuple[int, ...]]]:
+    """Partition ``frame`` into segments with a constant set of valid ``others``.
+
+    Returns ``(segment, active_indexes)`` pairs in temporal order, where
+    ``active_indexes`` are the positions in ``others`` of the intervals that
+    cover the whole segment.  Segments are maximal: consecutive segments have
+    different active sets.
+    """
+    relevant = [other for other in others if other.overlaps(frame)]
+    pieces = segments_within(frame, relevant)
+    raw: list[tuple[Interval, tuple[int, ...]]] = []
+    for piece in pieces:
+        active = tuple(
+            index for index, other in enumerate(others) if other.contains_interval(piece)
+        )
+        raw.append((piece, active))
+    # Merge consecutive segments with identical active sets so the result is
+    # maximal (the window definitions require maximality).
+    merged: list[tuple[Interval, tuple[int, ...]]] = []
+    for piece, active in raw:
+        if merged and merged[-1][1] == active and merged[-1][0].end == piece.start:
+            merged[-1] = (Interval(merged[-1][0].start, piece.end), active)
+        else:
+            merged.append((piece, active))
+    return merged

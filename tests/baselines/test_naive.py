@@ -1,0 +1,47 @@
+"""Tests for the naive per-time-point oracle itself."""
+
+from __future__ import annotations
+
+from repro import naive_windows
+from repro.core import WindowClass
+from repro.lineage import canonical
+from repro.temporal import Interval
+
+
+class TestNaiveWindowsOnThePaperExample:
+    def test_window_counts(self, wants_to_visit, hotel_availability, loc_theta):
+        windows = naive_windows(wants_to_visit, hotel_availability, loc_theta)
+        assert len(windows.overlapping) == 2
+        assert len(windows.unmatched_r) == 2
+        assert len(windows.negating_r) == 3
+
+    def test_negating_windows_content(self, wants_to_visit, hotel_availability, loc_theta):
+        windows = naive_windows(wants_to_visit, hotel_availability, loc_theta)
+        rows = {(w.interval, str(canonical(w.lineage_s))) for w in windows.negating_r}
+        assert rows == {
+            (Interval(4, 5), "b3"),
+            (Interval(5, 6), "b2 ∨ b3"),
+            (Interval(6, 8), "b2"),
+        }
+
+    def test_include_reverse_produces_the_negative_side_windows(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        windows = naive_windows(
+            wants_to_visit, hotel_availability, loc_theta, include_reverse=True
+        )
+        assert windows.unmatched_s
+        assert windows.negating_s
+        # hotel3/SOR never matches: a full-interval unmatched window on the s side.
+        assert any(
+            w.fact_r == ("hotel3", "SOR") and w.interval == Interval(1, 4)
+            for w in windows.unmatched_s
+        )
+
+    def test_window_classes_are_labelled_correctly(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        windows = naive_windows(wants_to_visit, hotel_availability, loc_theta)
+        assert all(w.window_class is WindowClass.OVERLAPPING for w in windows.overlapping)
+        assert all(w.window_class is WindowClass.UNMATCHED for w in windows.unmatched_r)
+        assert all(w.window_class is WindowClass.NEGATING for w in windows.negating_r)

@@ -1,0 +1,135 @@
+"""Tests for the Temporal Alignment (TA) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Schema, TPRelation, equi_join_on, ta_wuo, ta_wuon
+from repro.baselines import (
+    align,
+    ta_anti_join,
+    ta_full_outer_join,
+    ta_left_outer_join,
+    ta_negating_windows,
+    ta_overlapping_windows,
+    ta_unmatched_windows,
+)
+from repro.core import WindowClass, nj_wn, nj_wuo, tp_left_outer_join
+from repro.lineage import canonical
+from repro.temporal import Interval
+from tests.conftest import assert_same_result, make_random_relations
+
+
+class TestAlignment:
+    def test_alignment_replicates_tuples_at_partner_boundaries(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        fragments = align(wants_to_visit, hotel_availability, loc_theta)
+        ann_fragments = [f.interval for f in fragments if f.origin.fact == ("Ann", "ZAK")]
+        # a1 = [2,8) split at 4, 5, 6 (boundaries of b3 and b2 inside it).
+        assert ann_fragments == [
+            Interval(2, 4),
+            Interval(4, 5),
+            Interval(5, 6),
+            Interval(6, 8),
+        ]
+
+    def test_unmatched_tuples_stay_in_one_fragment(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        fragments = align(wants_to_visit, hotel_availability, loc_theta)
+        jim_fragments = [f.interval for f in fragments if f.origin.fact == ("Jim", "WEN")]
+        assert jim_fragments == [Interval(7, 10)]
+
+    def test_alignment_replication_exceeds_the_input_size(self):
+        positive, negative, theta = make_random_relations(13, left_size=20, right_size=20)
+        fragments = align(positive, negative, theta)
+        assert len(fragments) >= len(positive)
+
+
+class TestWindowEquivalenceWithNJ:
+    def _window_keys(self, windows):
+        return {
+            (
+                w.window_class,
+                w.fact_r,
+                w.fact_s,
+                w.interval,
+                None if w.lineage_s is None else str(canonical(w.lineage_s)),
+            )
+            for w in windows
+        }
+
+    def test_ta_wuo_produces_the_same_windows_as_nj(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        assert self._window_keys(
+            ta_wuo(wants_to_visit, hotel_availability, loc_theta)
+        ) == self._window_keys(nj_wuo(wants_to_visit, hotel_availability, loc_theta))
+
+    def test_ta_negating_windows_match_nj(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        assert self._window_keys(
+            ta_negating_windows(wants_to_visit, hotel_availability, loc_theta)
+        ) == self._window_keys(nj_wn(wants_to_visit, hotel_availability, loc_theta))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_window_agreement_on_random_inputs(self, seed):
+        positive, negative, theta = make_random_relations(seed, left_size=15, right_size=15)
+        assert self._window_keys(ta_wuon(positive, negative, theta)) == self._window_keys(
+            nj_wuo(positive, negative, theta) + nj_wn(positive, negative, theta)
+        )
+
+    def test_ta_overlapping_nested_loop_flag_gives_identical_windows(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        fast = ta_overlapping_windows(wants_to_visit, hotel_availability, loc_theta)
+        slow = ta_overlapping_windows(
+            wants_to_visit, hotel_availability, loc_theta, nested_loop=True
+        )
+        assert self._window_keys(fast) == self._window_keys(slow)
+
+    def test_ta_unmatched_windows_are_maximal(self):
+        positive, negative, theta = make_random_relations(31, left_size=20, right_size=20)
+        windows = ta_unmatched_windows(positive, negative, theta)
+        by_origin: dict[tuple, list[Interval]] = {}
+        for window in windows:
+            assert window.window_class is WindowClass.UNMATCHED
+            by_origin.setdefault((window.fact_r, window.source_interval), []).append(window.interval)
+        for intervals in by_origin.values():
+            ordered = sorted(intervals, key=lambda i: i.start)
+            for left, right in zip(ordered, ordered[1:]):
+                assert left.end < right.start
+
+
+class TestTAJoins:
+    def test_ta_left_outer_join_matches_nj_on_the_paper_example(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        assert_same_result(
+            ta_left_outer_join(wants_to_visit, hotel_availability, loc_theta),
+            tp_left_outer_join(wants_to_visit, hotel_availability, loc_theta),
+        )
+
+    def test_ta_deduplicates_the_twice_computed_unmatched_windows(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        result = ta_left_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        keys = [t.key() for t in result]
+        assert len(keys) == len(set(keys))
+        assert len(result) == 7
+
+    def test_ta_anti_and_full_outer_join_run(self, wants_to_visit, hotel_availability, loc_theta):
+        anti = ta_anti_join(wants_to_visit, hotel_availability, loc_theta)
+        full = ta_full_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        assert len(anti) == 5
+        assert len(full) == 10
+
+    def test_ta_respects_compute_probabilities_flag(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        lazy = ta_left_outer_join(
+            wants_to_visit, hotel_availability, loc_theta, compute_probabilities=False
+        )
+        assert all(t.probability is None for t in lazy)

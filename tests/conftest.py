@@ -1,0 +1,125 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Schema, TPRelation, equi_join_on
+from repro.lineage import canonical
+from repro.relation import EquiJoinCondition
+
+
+# --------------------------------------------------------------------------- #
+# the paper's running example (Fig. 1a)
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def wants_to_visit() -> TPRelation:
+    """Relation ``a`` (wantsToVisit) of the paper's Fig. 1a."""
+    return TPRelation.from_rows(
+        Schema.of("Name", "Loc"),
+        [
+            ("Ann", "ZAK", "a1", 2, 8, 0.7),
+            ("Jim", "WEN", "a2", 7, 10, 0.8),
+        ],
+        name="a",
+    )
+
+
+@pytest.fixture()
+def hotel_availability() -> TPRelation:
+    """Relation ``b`` (hotelAvailability) of the paper's Fig. 1a."""
+    return TPRelation.from_rows(
+        Schema.of("Hotel", "Loc"),
+        [
+            ("hotel3", "SOR", "b1", 1, 4, 0.9),
+            ("hotel2", "ZAK", "b2", 5, 8, 0.6),
+            ("hotel1", "ZAK", "b3", 4, 6, 0.7),
+        ],
+        name="b",
+    )
+
+
+@pytest.fixture()
+def loc_theta(wants_to_visit, hotel_availability) -> EquiJoinCondition:
+    """The paper's join condition θ: a.Loc = b.Loc."""
+    return equi_join_on(
+        wants_to_visit.schema, hotel_availability.schema, [("Loc", "Loc")]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# random relation factory (shared by several test modules)
+# --------------------------------------------------------------------------- #
+def make_random_relations(
+    seed: int,
+    left_size: int = 12,
+    right_size: int = 12,
+    num_keys: int = 3,
+    time_span: int = 30,
+) -> tuple[TPRelation, TPRelation, EquiJoinCondition]:
+    """Build a random but constraint-valid pair of TP relations and a θ.
+
+    Same-fact tuples are laid out on disjoint intervals per key timeline; the
+    payload attribute is a serial so facts are unique, which keeps the TP
+    constraint trivially satisfied while still exercising multiple tuples per
+    join key.
+    """
+    rng = random.Random(seed)
+
+    def build(prefix: str, size: int) -> TPRelation:
+        schema = Schema.of("Key", "Serial")
+        rows = []
+        for index in range(size):
+            key = f"k{rng.randrange(num_keys)}"
+            start = rng.randrange(0, time_span)
+            end = start + rng.randrange(1, 8)
+            probability = round(rng.uniform(0.05, 0.95), 3)
+            rows.append((key, f"{prefix}{index}", f"{prefix}{index}", start, end, probability))
+        return TPRelation.from_rows(schema, rows, name=prefix)
+
+    left = build("l", left_size)
+    right = build("r", right_size)
+    theta = equi_join_on(left.schema, right.schema, [("Key", "Key")])
+    return left, right, theta
+
+
+@pytest.fixture()
+def random_relation_factory():
+    """Fixture exposing :func:`make_random_relations` to tests."""
+    return make_random_relations
+
+
+# --------------------------------------------------------------------------- #
+# result comparison helpers
+# --------------------------------------------------------------------------- #
+def canonical_rows(relation: TPRelation, with_probability: bool = True) -> set[tuple]:
+    """A canonical, order-insensitive representation of a join result.
+
+    Lineages are canonicalised (commutative operands sorted) so results that
+    differ only in operand order compare equal; probabilities are rounded to
+    absorb floating-point noise.
+    """
+    rows = set()
+    for tp_tuple in relation:
+        probability = (
+            None
+            if (not with_probability or tp_tuple.probability is None)
+            else round(tp_tuple.probability, 9)
+        )
+        rows.add(
+            (
+                tp_tuple.fact,
+                tp_tuple.interval.start,
+                tp_tuple.interval.end,
+                str(canonical(tp_tuple.lineage)),
+                probability,
+            )
+        )
+    return rows
+
+
+def assert_same_result(left: TPRelation, right: TPRelation, with_probability: bool = True) -> None:
+    """Assert that two join results contain the same tuples (order-insensitive)."""
+    assert canonical_rows(left, with_probability) == canonical_rows(right, with_probability)

@@ -1,0 +1,153 @@
+"""Property-based equivalence of NJ, TA and the naive oracle.
+
+The central correctness claim: the paper's NJ pipeline computes exactly the
+TP joins with negation.  We check it by comparing NJ against the naive
+per-time-point oracle (which implements the definition directly) and against
+the Temporal Alignment baseline on randomly generated, constraint-valid
+inputs, for every join operator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Schema,
+    TPRelation,
+    equi_join_on,
+    naive_anti_join,
+    naive_full_outer_join,
+    naive_left_outer_join,
+    ta_anti_join,
+    ta_full_outer_join,
+    ta_left_outer_join,
+    tp_anti_join,
+    tp_full_outer_join,
+    tp_left_outer_join,
+)
+from repro.lineage import probability
+from tests.conftest import assert_same_result, canonical_rows, make_random_relations
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis strategy: small constraint-valid TP relation pairs
+# --------------------------------------------------------------------------- #
+@st.composite
+def relation_pairs(draw):
+    """Two small TP relations over a shared key universe plus their θ."""
+    num_keys = draw(st.integers(min_value=1, max_value=3))
+
+    def rows(prefix: str):
+        count = draw(st.integers(min_value=0, max_value=7))
+        generated = []
+        for index in range(count):
+            key = f"k{draw(st.integers(min_value=0, max_value=num_keys - 1))}"
+            start = draw(st.integers(min_value=0, max_value=20))
+            length = draw(st.integers(min_value=1, max_value=6))
+            prob = draw(st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+            generated.append(
+                (key, f"{prefix}{index}", f"{prefix}{index}", start, start + length, round(prob, 3))
+            )
+        return generated
+
+    schema = Schema.of("Key", "Serial")
+    left = TPRelation.from_rows(schema, rows("l"), name="l")
+    right = TPRelation.from_rows(schema, rows("r"), events=left.events, name="r")
+    theta = equi_join_on(left.schema, right.schema, [("Key", "Key")])
+    return left, right, theta
+
+
+@given(relation_pairs())
+@settings(max_examples=40, deadline=None)
+def test_nj_left_outer_join_matches_the_naive_oracle(pair):
+    left, right, theta = pair
+    assert_same_result(
+        tp_left_outer_join(left, right, theta), naive_left_outer_join(left, right, theta)
+    )
+
+
+@given(relation_pairs())
+@settings(max_examples=40, deadline=None)
+def test_nj_anti_join_matches_the_naive_oracle(pair):
+    left, right, theta = pair
+    assert_same_result(tp_anti_join(left, right, theta), naive_anti_join(left, right, theta))
+
+
+@given(relation_pairs())
+@settings(max_examples=25, deadline=None)
+def test_nj_full_outer_join_matches_the_naive_oracle(pair):
+    left, right, theta = pair
+    assert_same_result(
+        tp_full_outer_join(left, right, theta), naive_full_outer_join(left, right, theta)
+    )
+
+
+@given(relation_pairs())
+@settings(max_examples=25, deadline=None)
+def test_temporal_alignment_matches_nj(pair):
+    left, right, theta = pair
+    assert_same_result(
+        tp_left_outer_join(left, right, theta), ta_left_outer_join(left, right, theta)
+    )
+    assert_same_result(tp_anti_join(left, right, theta), ta_anti_join(left, right, theta))
+
+
+@given(relation_pairs())
+@settings(max_examples=25, deadline=None)
+def test_join_probabilities_are_valid_and_consistent(pair):
+    """Output probabilities are in [0,1] and equal P(lineage) under the event space."""
+    left, right, theta = pair
+    result = tp_left_outer_join(left, right, theta)
+    for tp_tuple in result:
+        assert 0.0 <= tp_tuple.probability <= 1.0
+        assert tp_tuple.probability == pytest.approx(
+            probability(tp_tuple.lineage, result.events)
+        )
+
+
+@given(relation_pairs())
+@settings(max_examples=25, deadline=None)
+def test_left_outer_join_preserves_every_positive_time_point(pair):
+    """Every (positive tuple, time point) appears in at least one output tuple."""
+    left, right, theta = pair
+    result = tp_left_outer_join(left, right, theta, compute_probabilities=False)
+    covered: dict[tuple, set[int]] = {}
+    width = len(left.schema)
+    for tp_tuple in result:
+        covered.setdefault(tp_tuple.fact[:width], set()).update(tp_tuple.interval.time_points())
+    for r in left:
+        assert set(r.interval.time_points()) <= covered.get(r.fact, set())
+
+
+@given(relation_pairs())
+@settings(max_examples=25, deadline=None)
+def test_anti_join_never_exceeds_positive_probability(pair):
+    """P(anti-join tuple) <= P(corresponding positive tuple) at all times."""
+    left, right, theta = pair
+    result = tp_anti_join(left, right, theta)
+    positive_probability = {t.fact: t.probability for t in left.with_probabilities()}
+    for tp_tuple in result:
+        assert tp_tuple.probability <= positive_probability[tp_tuple.fact] + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# seeded randomised cross-checks at a slightly larger scale
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(8))
+def test_all_three_implementations_agree_on_larger_random_inputs(seed):
+    positive, negative, theta = make_random_relations(seed, left_size=25, right_size=25, num_keys=4)
+    nj = tp_left_outer_join(positive, negative, theta)
+    ta = ta_left_outer_join(positive, negative, theta)
+    naive = naive_left_outer_join(positive, negative, theta)
+    assert canonical_rows(nj) == canonical_rows(ta) == canonical_rows(naive)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_full_outer_join_agreement_on_larger_random_inputs(seed):
+    positive, negative, theta = make_random_relations(seed + 100, left_size=18, right_size=18)
+    nj = tp_full_outer_join(positive, negative, theta)
+    ta = ta_full_outer_join(positive, negative, theta)
+    naive = naive_full_outer_join(positive, negative, theta)
+    assert canonical_rows(nj) == canonical_rows(ta) == canonical_rows(naive)

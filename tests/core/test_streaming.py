@@ -1,0 +1,88 @@
+"""Tests for the pipelined (streaming) window and join computation."""
+
+from __future__ import annotations
+
+from repro import WindowClass, stream_anti_join, stream_left_outer_join, stream_windows
+from repro.core import compute_windows, stream_wuo, tp_anti_join, tp_left_outer_join
+from repro.core.streaming import output_schema
+from repro.lineage import canonical
+from tests.conftest import canonical_rows, make_random_relations
+
+
+def _window_keys(windows):
+    return {
+        (
+            w.window_class,
+            w.fact_r,
+            w.fact_s,
+            w.interval,
+            str(canonical(w.lineage_r)),
+            None if w.lineage_s is None else str(canonical(w.lineage_s)),
+        )
+        for w in windows
+    }
+
+
+class TestStreamsMatchMaterialisedResults:
+    def test_stream_windows_equals_compute_windows(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        streamed = _window_keys(stream_windows(wants_to_visit, hotel_availability, loc_theta))
+        materialised = _window_keys(
+            compute_windows(wants_to_visit, hotel_availability, loc_theta).all_of_r()
+        )
+        assert streamed == materialised
+
+    def test_stream_wuo_excludes_negating_windows(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        windows = list(stream_wuo(wants_to_visit, hotel_availability, loc_theta))
+        assert windows
+        assert all(w.window_class is not WindowClass.NEGATING for w in windows)
+
+    def test_stream_left_outer_join_matches_the_operator(self):
+        for seed in range(3):
+            positive, negative, theta = make_random_relations(seed)
+            streamed = list(stream_left_outer_join(positive, negative, theta))
+            reference = tp_left_outer_join(positive, negative, theta, compute_probabilities=False)
+            streamed_rows = {
+                (t.fact, t.interval, str(canonical(t.lineage))) for t in streamed
+            }
+            reference_rows = {
+                (t.fact, t.interval, str(canonical(t.lineage))) for t in reference
+            }
+            assert streamed_rows == reference_rows
+
+    def test_stream_anti_join_matches_the_operator(self):
+        for seed in range(3):
+            positive, negative, theta = make_random_relations(seed + 50)
+            streamed = {
+                (t.fact, t.interval, str(canonical(t.lineage)))
+                for t in stream_anti_join(positive, negative, theta)
+            }
+            reference = {
+                (t.fact, t.interval, str(canonical(t.lineage)))
+                for t in tp_anti_join(positive, negative, theta, compute_probabilities=False)
+            }
+            assert streamed == reference
+
+
+class TestPipelining:
+    def test_streams_are_lazy_generators(self, wants_to_visit, hotel_availability, loc_theta):
+        stream = stream_windows(wants_to_visit, hotel_availability, loc_theta)
+        first = next(stream)
+        assert first is not None
+        # the generator can still produce the rest afterwards
+        rest = list(stream)
+        assert len(rest) >= 1
+
+    def test_first_result_arrives_without_consuming_everything(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        stream = stream_left_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        first = next(stream)
+        assert first.fact[0] in {"Ann", "Jim"}
+
+    def test_output_schema_helper_prefixes_clashes(self, wants_to_visit, hotel_availability):
+        schema = output_schema(wants_to_visit, hotel_availability)
+        assert schema.attributes == ("Name", "Loc", "Hotel", "b.Loc")

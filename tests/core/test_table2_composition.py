@@ -1,0 +1,105 @@
+"""Table II: which window sets each TP join with negation uses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    WINDOW_SETS_BY_OPERATOR,
+    WindowClass,
+    compute_windows,
+    tp_anti_join,
+    tp_full_outer_join,
+    tp_left_outer_join,
+    tp_right_outer_join,
+)
+from repro.lineage import canonical
+
+
+class TestTableTwoDeclaration:
+    def test_anti_join_row(self):
+        assert WINDOW_SETS_BY_OPERATOR["anti"] == ("unmatched_r", "negating_r")
+
+    def test_left_outer_row(self):
+        assert WINDOW_SETS_BY_OPERATOR["left_outer"] == (
+            "unmatched_r",
+            "negating_r",
+            "overlapping",
+        )
+
+    def test_right_outer_row(self):
+        assert WINDOW_SETS_BY_OPERATOR["right_outer"] == (
+            "overlapping",
+            "unmatched_s",
+            "negating_s",
+        )
+
+    def test_full_outer_row(self):
+        assert WINDOW_SETS_BY_OPERATOR["full_outer"] == (
+            "unmatched_r",
+            "negating_r",
+            "overlapping",
+            "unmatched_s",
+            "negating_s",
+        )
+
+    def test_every_operator_is_listed(self):
+        assert set(WINDOW_SETS_BY_OPERATOR) == {"anti", "left_outer", "right_outer", "full_outer"}
+
+
+class TestOperatorsUseExactlyTheirWindowSets:
+    """The output cardinalities must equal the sizes of the declared window sets."""
+
+    @pytest.fixture()
+    def windows(self, wants_to_visit, hotel_availability, loc_theta):
+        return compute_windows(
+            wants_to_visit, hotel_availability, loc_theta, include_reverse=True
+        )
+
+    def test_anti_join_cardinality(self, windows, wants_to_visit, hotel_availability, loc_theta):
+        result = tp_anti_join(wants_to_visit, hotel_availability, loc_theta)
+        assert len(result) == len(windows.unmatched_r) + len(windows.negating_r)
+
+    def test_left_outer_cardinality(self, windows, wants_to_visit, hotel_availability, loc_theta):
+        result = tp_left_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        assert len(result) == (
+            len(windows.unmatched_r) + len(windows.negating_r) + len(windows.overlapping)
+        )
+
+    def test_right_outer_cardinality(self, windows, wants_to_visit, hotel_availability, loc_theta):
+        result = tp_right_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        assert len(result) == (
+            len(windows.overlapping) + len(windows.unmatched_s) + len(windows.negating_s)
+        )
+
+    def test_full_outer_cardinality(self, windows, wants_to_visit, hotel_availability, loc_theta):
+        result = tp_full_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        assert len(result) == (
+            len(windows.unmatched_r)
+            + len(windows.negating_r)
+            + len(windows.overlapping)
+            + len(windows.unmatched_s)
+            + len(windows.negating_s)
+        )
+
+    def test_overlapping_windows_are_shared_between_directions(
+        self, wants_to_visit, hotel_availability, loc_theta
+    ):
+        """WO(r;s,θ) = WO(s;r,θ): the overlapping part of left and right outer
+        joins carries the same (pair, interval, lineage) content."""
+        left = tp_left_outer_join(wants_to_visit, hotel_availability, loc_theta)
+        right = tp_right_outer_join(wants_to_visit, hotel_availability, loc_theta)
+
+        def overlapping_rows(relation):
+            return {
+                (t.fact, t.interval, str(canonical(t.lineage)))
+                for t in relation
+                if all(value is not None for value in t.fact)
+            }
+
+        assert overlapping_rows(left) == overlapping_rows(right)
+
+    def test_window_counts_helper(self, windows):
+        counts = windows.counts()
+        assert counts["overlapping"] == len(windows.overlapping)
+        assert counts["negating_s"] == len(windows.negating_s)

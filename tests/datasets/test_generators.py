@@ -1,0 +1,166 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DISTINCT_METRICS,
+    IntervalLengthDistribution,
+    KeyDistribution,
+    WorkloadConfig,
+    generate_pair,
+    generate_relation,
+    mean_matches_per_tuple,
+    meteo_pair,
+    uniform_subset,
+    webkit_pair,
+    workload_statistics,
+)
+from repro.relation import EquiJoinCondition
+
+
+class TestGenerateRelation:
+    def test_size_and_schema(self):
+        config = WorkloadConfig(size=50, distinct_keys=5, seed=1)
+        relation = generate_relation(config, name="t")
+        assert len(relation) == 50
+        assert relation.schema.attributes == ("Key", "Payload")
+
+    def test_determinism(self):
+        config = WorkloadConfig(size=40, distinct_keys=4, seed=7)
+        first = generate_relation(config, name="x")
+        second = generate_relation(config, name="x")
+        assert [t.key() for t in first] == [t.key() for t in second]
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(size=40, distinct_keys=4, seed=7)
+        first = generate_relation(base, name="x")
+        second = generate_relation(base.with_seed(8), name="x")
+        assert [t.key() for t in first] != [t.key() for t in second]
+
+    def test_constraint_holds(self):
+        config = WorkloadConfig(size=200, distinct_keys=3, seed=3)
+        generate_relation(config, name="t").check_duplicate_free()
+
+    def test_probabilities_within_configured_range(self):
+        config = WorkloadConfig(
+            size=100, distinct_keys=5, min_probability=0.3, max_probability=0.6, seed=2
+        )
+        relation = generate_relation(config, name="t")
+        for tp_tuple in relation:
+            assert 0.3 <= tp_tuple.probability <= 0.6
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_relation(WorkloadConfig(size=0, distinct_keys=1))
+        with pytest.raises(ValueError):
+            generate_relation(WorkloadConfig(size=5, distinct_keys=0))
+
+    @pytest.mark.parametrize(
+        "distribution",
+        [
+            IntervalLengthDistribution.UNIFORM,
+            IntervalLengthDistribution.GEOMETRIC,
+            IntervalLengthDistribution.LONG_TAIL,
+        ],
+    )
+    def test_all_interval_distributions_produce_valid_intervals(self, distribution):
+        config = WorkloadConfig(
+            size=100, distinct_keys=10, interval_distribution=distribution, seed=5
+        )
+        relation = generate_relation(config, name="t")
+        assert all(t.interval.duration >= 1 for t in relation)
+
+    @pytest.mark.parametrize(
+        "distribution", [KeyDistribution.UNIFORM, KeyDistribution.ZIPF]
+    )
+    def test_key_distributions(self, distribution):
+        config = WorkloadConfig(size=200, distinct_keys=10, key_distribution=distribution, seed=5)
+        relation = generate_relation(config, name="t")
+        keys = set(relation.attribute_values("Key"))
+        assert 1 <= len(keys) <= 10
+
+    def test_generate_pair_shares_one_event_space(self):
+        config = WorkloadConfig(size=30, distinct_keys=3, seed=1)
+        left, right = generate_pair(config, config.with_seed(2))
+        assert left.events is right.events
+        left.validate_lineages()
+        right.validate_lineages()
+
+
+class TestUniformSubset:
+    def test_subset_size(self):
+        relation = generate_relation(WorkloadConfig(size=100, distinct_keys=5, seed=1), name="t")
+        assert len(uniform_subset(relation, 20, seed=3)) == 20
+
+    def test_subset_larger_than_relation_returns_relation(self):
+        relation = generate_relation(WorkloadConfig(size=10, distinct_keys=5, seed=1), name="t")
+        assert uniform_subset(relation, 100) is relation
+
+    def test_subset_is_deterministic(self):
+        relation = generate_relation(WorkloadConfig(size=100, distinct_keys=5, seed=1), name="t")
+        first = uniform_subset(relation, 30, seed=9)
+        second = uniform_subset(relation, 30, seed=9)
+        assert [t.key() for t in first] == [t.key() for t in second]
+
+    def test_subset_preserves_distinct_value_ratio_roughly(self):
+        relation = generate_relation(WorkloadConfig(size=2000, distinct_keys=20, seed=1), name="t")
+        subset = uniform_subset(relation, 500, seed=2)
+        stats_full = workload_statistics(relation, "Key")
+        stats_subset = workload_statistics(subset, "Key")
+        assert stats_subset.distinct_keys == pytest.approx(stats_full.distinct_keys, abs=2)
+
+
+class TestPaperWorkloads:
+    def test_webkit_is_selective_meteo_is_not(self):
+        webkit_r, _ = webkit_pair(800, seed=1)
+        meteo_r, _ = meteo_pair(800, seed=1)
+        webkit_stats = workload_statistics(webkit_r, "File")
+        meteo_stats = workload_statistics(meteo_r, "Metric")
+        # WebKit-like: many distinct keys; Meteo-like: few (fixed) keys.
+        assert webkit_stats.distinct_keys > 2 * meteo_stats.distinct_keys
+        assert meteo_stats.distinct_keys <= DISTINCT_METRICS
+
+    def test_meteo_distinct_keys_stay_fixed_while_webkit_grows_with_size(self):
+        small_webkit, _ = webkit_pair(300, seed=1)
+        large_webkit, _ = webkit_pair(1200, seed=1)
+        small_meteo, _ = meteo_pair(300, seed=1)
+        large_meteo, _ = meteo_pair(1200, seed=1)
+        assert (
+            workload_statistics(large_webkit, "File").distinct_keys
+            > 1.5 * workload_statistics(small_webkit, "File").distinct_keys
+        )
+        assert (
+            workload_statistics(large_meteo, "Metric").distinct_keys
+            == workload_statistics(small_meteo, "Metric").distinct_keys
+            == DISTINCT_METRICS
+        )
+
+    def test_meteo_has_denser_matching_than_webkit(self):
+        webkit_r, webkit_s = webkit_pair(600, seed=2)
+        meteo_r, meteo_s = meteo_pair(600, seed=2)
+        webkit_theta = EquiJoinCondition(webkit_r.schema, webkit_s.schema, (("File", "File"),))
+        meteo_theta = EquiJoinCondition(meteo_r.schema, meteo_s.schema, (("Metric", "Metric"),))
+        assert mean_matches_per_tuple(meteo_r, meteo_s, meteo_theta) > mean_matches_per_tuple(
+            webkit_r, webkit_s, webkit_theta
+        )
+
+    def test_pairs_are_constraint_valid_and_lineage_complete(self):
+        for relation in (*webkit_pair(300, seed=3), *meteo_pair(300, seed=3)):
+            relation.check_duplicate_free()
+            relation.validate_lineages()
+
+    def test_statistics_report_fields(self):
+        relation, _ = webkit_pair(200, seed=4)
+        stats = workload_statistics(relation, "File")
+        exported = stats.as_dict()
+        assert exported["cardinality"] == 200
+        assert 0 < exported["selectivity_ratio"] <= 1
+        assert exported["mean_interval_length"] > 0
+
+    def test_empty_relation_statistics(self):
+        from repro.relation import Schema, TPRelation
+
+        stats = workload_statistics(TPRelation(Schema.of("Key")), "Key")
+        assert stats.cardinality == 0

@@ -1,0 +1,98 @@
+"""Tests for repro.lineage.builders."""
+
+from __future__ import annotations
+
+from repro.lineage import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Var,
+    and_not,
+    conjunction_of,
+    disjunction_of,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    var,
+)
+
+
+class TestAnd:
+    def test_identity_true_removed(self):
+        assert lineage_and(Var("a"), TRUE) == Var("a")
+
+    def test_annihilator_false(self):
+        assert lineage_and(Var("a"), FALSE) == FALSE
+
+    def test_flattening(self):
+        nested = lineage_and(Var("a"), lineage_and(Var("b"), Var("c")))
+        assert isinstance(nested, And)
+        assert nested.operands == (Var("a"), Var("b"), Var("c"))
+
+    def test_duplicates_removed(self):
+        assert lineage_and(Var("a"), Var("a")) == Var("a")
+
+    def test_empty_is_true(self):
+        assert lineage_and() == TRUE
+
+    def test_single_operand_unwrapped(self):
+        assert lineage_and(Var("a")) == Var("a")
+
+
+class TestOr:
+    def test_identity_false_removed(self):
+        assert lineage_or(Var("a"), FALSE) == Var("a")
+
+    def test_annihilator_true(self):
+        assert lineage_or(Var("a"), TRUE) == TRUE
+
+    def test_flattening(self):
+        nested = lineage_or(Var("a"), lineage_or(Var("b"), Var("c")))
+        assert isinstance(nested, Or)
+        assert nested.operands == (Var("a"), Var("b"), Var("c"))
+
+    def test_duplicates_removed(self):
+        assert lineage_or(Var("a"), Var("a"), Var("b")) == Or((Var("a"), Var("b")))
+
+    def test_empty_is_false(self):
+        assert lineage_or() == FALSE
+
+
+class TestNot:
+    def test_double_negation_removed(self):
+        assert lineage_not(lineage_not(Var("a"))) == Var("a")
+
+    def test_constants_folded(self):
+        assert lineage_not(TRUE) == FALSE
+        assert lineage_not(FALSE) == TRUE
+
+    def test_plain_negation(self):
+        assert lineage_not(Var("a")) == Not(Var("a"))
+
+
+class TestConvenience:
+    def test_var(self):
+        assert var("a1") == Var("a1")
+
+    def test_and_not_builds_the_negating_lineage(self):
+        expr = and_not(Var("a1"), lineage_or(Var("b3"), Var("b2")))
+        assert str(expr) == "a1 ∧ ¬(b3 ∨ b2)"
+
+    def test_and_not_with_false_negative_side(self):
+        assert and_not(Var("a1"), FALSE) == Var("a1")
+
+    def test_disjunction_of_empty(self):
+        assert disjunction_of([]) == FALSE
+
+    def test_conjunction_of_empty(self):
+        assert conjunction_of([]) == TRUE
+
+    def test_disjunction_of_iterable(self):
+        assert disjunction_of([Var("x"), Var("y")]) == Or((Var("x"), Var("y")))
+
+    def test_order_preserved_first_occurrence(self):
+        expr = lineage_or(Var("b3"), Var("b2"), Var("b3"))
+        assert isinstance(expr, Or)
+        assert expr.operands == (Var("b3"), Var("b2"))

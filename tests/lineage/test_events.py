@@ -1,0 +1,93 @@
+"""Tests for repro.lineage.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lineage import (
+    EventSpace,
+    InvalidProbabilityError,
+    UnknownEventError,
+    Var,
+    lineage_and,
+)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        space = EventSpace()
+        space.register("a1", 0.7)
+        assert space.probability("a1") == 0.7
+        assert "a1" in space
+        assert len(space) == 1
+
+    def test_constructor_mapping(self):
+        space = EventSpace({"a1": 0.7, "b1": 0.2})
+        assert space.probability("b1") == 0.2
+
+    def test_invalid_probability(self):
+        space = EventSpace()
+        with pytest.raises(InvalidProbabilityError):
+            space.register("a1", 1.5)
+        with pytest.raises(InvalidProbabilityError):
+            space.register("a1", -0.1)
+
+    def test_boundary_probabilities_allowed(self):
+        space = EventSpace({"certain": 1.0, "impossible": 0.0})
+        assert space.probability("certain") == 1.0
+        assert space.probability("impossible") == 0.0
+
+    def test_reregistering_same_probability_is_idempotent(self):
+        space = EventSpace({"a1": 0.7})
+        space.register("a1", 0.7)
+        assert len(space) == 1
+
+    def test_reregistering_different_probability_raises(self):
+        space = EventSpace({"a1": 0.7})
+        with pytest.raises(ValueError):
+            space.register("a1", 0.8)
+
+    def test_unknown_event(self):
+        with pytest.raises(UnknownEventError):
+            EventSpace().probability("missing")
+
+
+class TestOperations:
+    def test_merge_combines_disjoint_spaces(self):
+        merged = EventSpace({"a1": 0.7}).merge(EventSpace({"b1": 0.2}))
+        assert merged.probability("a1") == 0.7
+        assert merged.probability("b1") == 0.2
+
+    def test_merge_conflicting_probability_raises(self):
+        with pytest.raises(ValueError):
+            EventSpace({"a1": 0.7}).merge(EventSpace({"a1": 0.2}))
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = EventSpace({"a1": 0.7})
+        left.merge(EventSpace({"b1": 0.2}))
+        assert "b1" not in left
+
+    def test_names_sorted(self):
+        assert EventSpace({"b": 0.1, "a": 0.2}).names() == ["a", "b"]
+
+    def test_as_dict_returns_copy(self):
+        space = EventSpace({"a": 0.5})
+        exported = space.as_dict()
+        exported["a"] = 0.9
+        assert space.probability("a") == 0.5
+
+    def test_validate_lineage(self):
+        space = EventSpace({"a1": 0.7})
+        space.validate_lineage(Var("a1"))
+        with pytest.raises(UnknownEventError):
+            space.validate_lineage(lineage_and(Var("a1"), Var("b9")))
+
+    def test_restrict(self):
+        space = EventSpace({"a": 0.1, "b": 0.2, "c": 0.3})
+        restricted = space.restrict(["a", "c"])
+        assert set(restricted.names()) == {"a", "c"}
+        with pytest.raises(UnknownEventError):
+            space.restrict(["zz"])
+
+    def test_iteration(self):
+        assert set(iter(EventSpace({"a": 0.1, "b": 0.2}))) == {"a", "b"}

@@ -1,0 +1,65 @@
+"""Tests for repro.lineage.sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lineage import (
+    EventSpace,
+    MonteCarloEstimator,
+    Var,
+    and_not,
+    lineage_or,
+    probability,
+)
+
+
+@pytest.fixture()
+def events() -> EventSpace:
+    return EventSpace({"a1": 0.7, "b2": 0.6, "b3": 0.7})
+
+
+class TestEstimator:
+    def test_estimate_close_to_exact(self, events):
+        expr = and_not(Var("a1"), lineage_or(Var("b3"), Var("b2")))
+        exact = probability(expr, events)
+        estimate = MonteCarloEstimator(events, seed=7).estimate(expr, samples=20_000)
+        assert estimate.contains(exact)
+        assert abs(estimate.value - exact) < 0.02
+
+    def test_estimate_deterministic_given_seed(self, events):
+        expr = lineage_or(Var("b3"), Var("b2"))
+        first = MonteCarloEstimator(events, seed=11).estimate(expr, samples=2_000)
+        second = MonteCarloEstimator(events, seed=11).estimate(expr, samples=2_000)
+        assert first.value == second.value
+
+    def test_different_seeds_generally_differ(self, events):
+        expr = lineage_or(Var("b3"), Var("b2"))
+        first = MonteCarloEstimator(events, seed=1).estimate(expr, samples=501)
+        second = MonteCarloEstimator(events, seed=2).estimate(expr, samples=501)
+        assert first.samples == second.samples == 501
+
+    def test_confidence_interval_clamped(self, events):
+        certain = EventSpace({"x": 1.0})
+        estimate = MonteCarloEstimator(certain, seed=3).estimate(Var("x"), samples=100)
+        assert estimate.value == 1.0
+        assert estimate.upper <= 1.0
+        assert estimate.lower >= 0.0
+
+    def test_invalid_samples(self, events):
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(events).estimate(Var("a1"), samples=0)
+
+    def test_invalid_confidence(self, events):
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(events).estimate(Var("a1"), samples=10, confidence=1.5)
+
+    def test_unknown_event_raises(self, events):
+        with pytest.raises(KeyError):
+            MonteCarloEstimator(events).estimate(Var("nope"), samples=10)
+
+    def test_wider_confidence_gives_wider_interval(self, events):
+        expr = lineage_or(Var("b3"), Var("b2"))
+        narrow = MonteCarloEstimator(events, seed=5).estimate(expr, samples=1_000, confidence=0.8)
+        wide = MonteCarloEstimator(events, seed=5).estimate(expr, samples=1_000, confidence=0.99)
+        assert wide.half_width > narrow.half_width

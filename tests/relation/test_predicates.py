@@ -1,0 +1,99 @@
+"""Tests for repro.relation.predicates (θ conditions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation import (
+    EquiJoinCondition,
+    PredicateCondition,
+    Schema,
+    TPTuple,
+    TrueCondition,
+    UnknownAttributeError,
+    equi_join_on,
+)
+from repro.temporal import Interval
+
+
+LEFT_SCHEMA = Schema.of("Name", "Loc")
+RIGHT_SCHEMA = Schema.of("Hotel", "Loc")
+
+
+def left_tuple(name: str, loc: str) -> TPTuple:
+    return TPTuple.base((name, loc), f"l_{name}", Interval(1, 5), 0.5)
+
+
+def right_tuple(hotel: str, loc: str) -> TPTuple:
+    return TPTuple.base((hotel, loc), f"r_{hotel}", Interval(1, 5), 0.5)
+
+
+class TestTrueCondition:
+    def test_always_true(self):
+        condition = TrueCondition()
+        assert condition.evaluate(left_tuple("Ann", "ZAK"), right_tuple("h1", "SOR"))
+
+    def test_is_equi_with_constant_keys(self):
+        condition = TrueCondition()
+        assert condition.is_equi
+        assert condition.left_key(left_tuple("Ann", "ZAK")) == condition.right_key(
+            right_tuple("h1", "SOR")
+        )
+
+    def test_describe(self):
+        assert TrueCondition().describe() == "true"
+
+
+class TestEquiJoinCondition:
+    def test_matching_pair(self):
+        condition = equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Loc", "Loc")])
+        assert condition.evaluate(left_tuple("Ann", "ZAK"), right_tuple("h1", "ZAK"))
+
+    def test_non_matching_pair(self):
+        condition = equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Loc", "Loc")])
+        assert not condition.evaluate(left_tuple("Ann", "ZAK"), right_tuple("h1", "SOR"))
+
+    def test_keys_align_for_matching_tuples(self):
+        condition = equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Loc", "Loc")])
+        assert condition.left_key(left_tuple("Ann", "ZAK")) == condition.right_key(
+            right_tuple("h1", "ZAK")
+        )
+
+    def test_is_equi(self):
+        condition = equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Loc", "Loc")])
+        assert condition.is_equi
+
+    def test_multiple_pairs(self):
+        schema = Schema.of("A", "B")
+        condition = EquiJoinCondition(schema, schema, (("A", "A"), ("B", "B")))
+        same = TPTuple.base(("x", "y"), "e1", Interval(1, 2), 0.5)
+        other = TPTuple.base(("x", "z"), "e2", Interval(1, 2), 0.5)
+        assert condition.evaluate(same, same)
+        assert not condition.evaluate(same, other)
+
+    def test_unknown_attribute_rejected_at_construction(self):
+        with pytest.raises(UnknownAttributeError):
+            equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Nope", "Loc")])
+
+    def test_describe(self):
+        condition = equi_join_on(LEFT_SCHEMA, RIGHT_SCHEMA, [("Loc", "Loc")])
+        assert condition.describe() == "r.Loc = s.Loc"
+
+
+class TestPredicateCondition:
+    def test_arbitrary_predicate(self):
+        condition = PredicateCondition(
+            lambda left, right: left[1] == right[1] and left[0] != right[0],
+            label="same place, different entity",
+        )
+        assert condition.evaluate(left_tuple("Ann", "ZAK"), right_tuple("h1", "ZAK"))
+        assert not condition.evaluate(left_tuple("Ann", "ZAK"), right_tuple("Ann", "ZAK"))
+
+    def test_not_equi_and_no_keys(self):
+        condition = PredicateCondition(lambda left, right: True)
+        assert not condition.is_equi
+        assert condition.left_key(left_tuple("Ann", "ZAK")) is None
+        assert condition.right_key(right_tuple("h1", "ZAK")) is None
+
+    def test_describe_uses_label(self):
+        assert PredicateCondition(lambda l, r: True, label="theta").describe() == "theta"

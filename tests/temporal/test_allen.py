@@ -1,0 +1,59 @@
+"""Tests for repro.temporal.allen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal import AllenRelation, Interval, allen_relation, intervals_overlap, inverse
+
+
+CASES = [
+    (Interval(1, 3), Interval(5, 8), AllenRelation.BEFORE),
+    (Interval(5, 8), Interval(1, 3), AllenRelation.AFTER),
+    (Interval(1, 3), Interval(3, 8), AllenRelation.MEETS),
+    (Interval(3, 8), Interval(1, 3), AllenRelation.MET_BY),
+    (Interval(1, 5), Interval(3, 8), AllenRelation.OVERLAPS),
+    (Interval(3, 8), Interval(1, 5), AllenRelation.OVERLAPPED_BY),
+    (Interval(1, 3), Interval(1, 8), AllenRelation.STARTS),
+    (Interval(1, 8), Interval(1, 3), AllenRelation.STARTED_BY),
+    (Interval(3, 5), Interval(1, 8), AllenRelation.DURING),
+    (Interval(1, 8), Interval(3, 5), AllenRelation.CONTAINS),
+    (Interval(5, 8), Interval(1, 8), AllenRelation.FINISHES),
+    (Interval(1, 8), Interval(5, 8), AllenRelation.FINISHED_BY),
+    (Interval(2, 6), Interval(2, 6), AllenRelation.EQUAL),
+]
+
+
+@pytest.mark.parametrize("a, b, expected", CASES)
+def test_allen_relation_classification(a, b, expected):
+    assert allen_relation(a, b) is expected
+
+
+@pytest.mark.parametrize("a, b, expected", CASES)
+def test_inverse_matches_swapped_arguments(a, b, expected):
+    assert allen_relation(b, a) is inverse(expected)
+
+
+def test_inverse_is_an_involution():
+    for relation in AllenRelation:
+        assert inverse(inverse(relation)) is relation
+
+
+@pytest.mark.parametrize("a, b, expected", CASES)
+def test_overlap_consistency_with_interval_overlaps(a, b, expected):
+    assert intervals_overlap(a, b) == a.overlaps(b)
+
+
+def test_exactly_thirteen_relations():
+    assert len(list(AllenRelation)) == 13
+
+
+def test_relations_are_mutually_exclusive_over_a_grid():
+    intervals = [Interval(s, e) for s in range(0, 5) for e in range(s + 1, 6)]
+    for a in intervals:
+        for b in intervals:
+            # classification always returns exactly one relation
+            relation = allen_relation(a, b)
+            assert isinstance(relation, AllenRelation)
+            # and the disjointness/overlap split is consistent
+            assert intervals_overlap(a, b) == a.overlaps(b)

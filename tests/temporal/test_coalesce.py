@@ -1,0 +1,45 @@
+"""Tests for repro.temporal.coalesce."""
+
+from __future__ import annotations
+
+from repro.temporal import Interval, coalesce_annotated, coalesce_intervals, is_coalesced
+
+
+class TestCoalesceIntervals:
+    def test_merges_overlap_and_adjacency(self):
+        merged = coalesce_intervals([Interval(1, 3), Interval(3, 5), Interval(4, 8), Interval(10, 12)])
+        assert merged == [Interval(1, 8), Interval(10, 12)]
+
+    def test_empty(self):
+        assert coalesce_intervals([]) == []
+
+    def test_unordered_input(self):
+        assert coalesce_intervals([Interval(5, 7), Interval(1, 2)]) == [Interval(1, 2), Interval(5, 7)]
+
+
+class TestCoalesceAnnotated:
+    def test_merges_only_equal_keys(self):
+        items = [
+            (Interval(1, 3), "x"),
+            (Interval(3, 5), "x"),
+            (Interval(3, 5), "y"),
+        ]
+        merged = coalesce_annotated(items, key=lambda value: value)
+        assert (Interval(1, 5), "x") in merged
+        assert (Interval(3, 5), "y") in merged
+        assert len(merged) == 2
+
+    def test_gap_prevents_merge(self):
+        items = [(Interval(1, 3), "x"), (Interval(4, 6), "x")]
+        merged = coalesce_annotated(items, key=lambda value: value)
+        assert merged == [(Interval(1, 3), "x"), (Interval(4, 6), "x")]
+
+    def test_merge_function_combines_values(self):
+        items = [(Interval(1, 3), 1), (Interval(2, 6), 2)]
+        merged = coalesce_annotated(items, key=lambda value: "same", merge=lambda a, b: a + b)
+        assert merged == [(Interval(1, 6), 3)]
+
+    def test_is_coalesced_detects_overlap(self):
+        assert is_coalesced([(Interval(1, 3), "x"), (Interval(4, 6), "x")], key=lambda v: v)
+        assert not is_coalesced([(Interval(1, 3), "x"), (Interval(3, 6), "x")], key=lambda v: v)
+        assert is_coalesced([(Interval(1, 3), "x"), (Interval(3, 6), "y")], key=lambda v: v)

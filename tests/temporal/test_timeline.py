@@ -1,0 +1,116 @@
+"""Tests for repro.temporal.timeline."""
+
+from __future__ import annotations
+
+from repro.temporal import (
+    Interval,
+    Timeline,
+    change_points,
+    partition_by_validity,
+    segments,
+    segments_within,
+    sweep_events,
+)
+
+
+class TestChangePoints:
+    def test_collects_all_endpoints(self):
+        assert change_points([Interval(1, 4), Interval(3, 6)]) == [1, 3, 4, 6]
+
+    def test_deduplicates(self):
+        assert change_points([Interval(1, 4), Interval(4, 6)]) == [1, 4, 6]
+
+    def test_empty(self):
+        assert change_points([]) == []
+
+
+class TestSegments:
+    def test_elementary_segments(self):
+        assert segments([Interval(1, 4), Interval(3, 6)]) == [
+            Interval(1, 3),
+            Interval(3, 4),
+            Interval(4, 6),
+        ]
+
+    def test_segments_within_frame(self):
+        pieces = segments_within(Interval(2, 8), [Interval(4, 6), Interval(5, 9)])
+        assert pieces == [Interval(2, 4), Interval(4, 5), Interval(5, 6), Interval(6, 8)]
+
+    def test_segments_within_without_interior_points(self):
+        assert segments_within(Interval(2, 8), [Interval(0, 10)]) == [Interval(2, 8)]
+
+    def test_segments_within_partition_covers_frame(self):
+        frame = Interval(0, 12)
+        pieces = segments_within(frame, [Interval(3, 5), Interval(5, 9), Interval(1, 2)])
+        assert pieces[0].start == frame.start
+        assert pieces[-1].end == frame.end
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.end == right.start
+
+
+class TestSweepEvents:
+    def test_events_sorted_with_end_before_start_at_ties(self):
+        events = sweep_events([(Interval(1, 4), "x"), (Interval(4, 6), "y")])
+        times_and_kinds = [(event.time, event.is_start) for event in events]
+        assert times_and_kinds == [(1, True), (4, False), (4, True), (6, False)]
+
+    def test_payloads_preserved(self):
+        events = sweep_events([(Interval(1, 2), "p")])
+        assert {event.payload for event in events} == {"p"}
+        assert events[0].is_start and events[1].is_end
+
+
+class TestTimeline:
+    def test_valid_at(self):
+        timeline = Timeline([(Interval(1, 4), "a"), (Interval(3, 6), "b")])
+        assert sorted(timeline.valid_at(3)) == ["a", "b"]
+        assert timeline.valid_at(5) == ["b"]
+        assert timeline.valid_at(0) == []
+        assert timeline.valid_at(6) == []
+
+    def test_overlapping_query(self):
+        timeline = Timeline([(Interval(1, 4), "a"), (Interval(5, 8), "b"), (Interval(7, 9), "c")])
+        assert sorted(timeline.overlapping(Interval(3, 6))) == ["a", "b"]
+        assert sorted(timeline.overlapping(Interval(0, 10))) == ["a", "b", "c"]
+        assert timeline.overlapping(Interval(4, 5)) == []
+
+    def test_change_points_within(self):
+        timeline = Timeline([(Interval(1, 4), "a"), (Interval(3, 6), "b")])
+        assert timeline.change_points_within(Interval(2, 10)) == [3, 4, 6]
+        assert timeline.change_points_within(Interval(0, 2)) == [1]
+
+    def test_len(self):
+        assert len(Timeline([(Interval(1, 2), "a")])) == 1
+
+
+class TestPartitionByValidity:
+    def test_paper_example_segmentation(self):
+        # a1 = [2,8) against b3 = [4,6) and b2 = [5,8): the segmentation that
+        # produces the unmatched window [2,4) and the negating windows
+        # [4,5), [5,6), [6,8) of Fig. 1b.
+        frame = Interval(2, 8)
+        others = [Interval(4, 6), Interval(5, 8)]
+        parts = partition_by_validity(frame, others)
+        assert parts == [
+            (Interval(2, 4), ()),
+            (Interval(4, 5), (0,)),
+            (Interval(5, 6), (0, 1)),
+            (Interval(6, 8), (1,)),
+        ]
+
+    def test_no_others_yields_single_segment(self):
+        assert partition_by_validity(Interval(1, 5), []) == [(Interval(1, 5), ())]
+
+    def test_merges_consecutive_segments_with_equal_active_sets(self):
+        # The second interval does not overlap the frame at all, so its
+        # endpoints must not fragment the frame.
+        parts = partition_by_validity(Interval(1, 5), [Interval(0, 10), Interval(20, 30)])
+        assert parts == [(Interval(1, 5), (0,))]
+
+    def test_partition_covers_frame_exactly(self):
+        frame = Interval(0, 15)
+        others = [Interval(2, 5), Interval(4, 9), Interval(11, 20)]
+        parts = partition_by_validity(frame, others)
+        assert parts[0][0].start == frame.start
+        assert parts[-1][0].end == frame.end
+        assert sum(piece.duration for piece, _active in parts) == frame.duration
