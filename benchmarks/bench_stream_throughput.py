@@ -1,0 +1,160 @@
+"""Continuous-query throughput and emit latency vs. the batch re-run baseline.
+
+For each disorder setting the benchmark replays a Meteo-like positive /
+negative relation pair as out-of-order event streams and runs the continuous
+TP left outer join to finalization, reporting
+
+* **events/sec** — ingest throughput of the watermark-driven pipeline,
+* **emit latency** — per positive tuple, the wall-clock span from the
+  ingestion of its event to the emission of its finalized output windows
+  (mean / p50 / p95 / max), and
+* the **batch re-run baseline** — the cost of answering the same question
+  the pre-streaming way: re-running ``tp_left_outer_join`` over the full
+  accumulated relations once all data is in.  The baseline pays the whole
+  join again on every refresh; the continuous operator pays each window
+  once, when its watermark closes.
+
+Each run asserts that the finalized stream output equals the batch join
+output before reporting numbers, so the benchmark cannot silently measure a
+wrong computation.  Results are printed and written to
+``bench_results/BENCH_stream_throughput.json``.
+
+Run with::
+
+    python benchmarks/bench_stream_throughput.py              # default sizes
+    python benchmarks/bench_stream_throughput.py --smoke      # CI-sized
+    python benchmarks/bench_stream_throughput.py --sizes 2000 --disorder 0,4,16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence
+
+from repro.core import tp_left_outer_join
+from repro.datasets import ReplayConfig, meteo_pair, stream_def
+from repro.engine import Catalog
+from repro.harness.reporting import environment_info, write_bench_file
+from repro.lineage import canonical
+from repro.relation import EquiJoinCondition, TPRelation
+from repro.stream import StreamQuery, StreamQueryConfig
+
+
+def canonical_rows(relation: TPRelation) -> set:
+    """Order-insensitive, lineage-canonical view of a join result."""
+    return {
+        (t.fact, t.start, t.end, str(canonical(t.lineage))) for t in relation
+    }
+
+
+def run_one(
+    size: int, disorder: int, partitions: int, seed: int = 0
+) -> dict:
+    """Measure one (size, disorder) configuration; returns the result record."""
+    positive, negative = meteo_pair(size, seed=seed)
+    theta = EquiJoinCondition(
+        positive.schema, negative.schema, (("Metric", "Metric"),)
+    )
+
+    # Batch re-run baseline: one full join over the accumulated relations.
+    started = time.perf_counter()
+    batch = tp_left_outer_join(positive, negative, theta, compute_probabilities=False)
+    batch_seconds = time.perf_counter() - started
+
+    catalog = Catalog()
+    replay = ReplayConfig(disorder=disorder, seed=seed)
+    catalog.register_stream("r", stream_def(positive, replay))
+    catalog.register_stream(
+        "s", stream_def(negative, ReplayConfig(disorder=disorder, seed=seed + 1))
+    )
+    query = StreamQuery(
+        catalog,
+        "left_outer",
+        "r",
+        "s",
+        [("Metric", "Metric")],
+        config=StreamQueryConfig(partitions=partitions),
+    )
+    result = query.run(merge_seed=seed)
+
+    if canonical_rows(result.relation) != canonical_rows(batch):
+        raise AssertionError(
+            f"stream output diverged from batch at size={size} disorder={disorder}"
+        )
+
+    latency = result.latency_summary()
+    return {
+        "size": size,
+        "disorder": disorder,
+        "partitions": result.partitions,
+        "events": result.events_processed,
+        "outputs": result.outputs_emitted,
+        "late_dropped": result.late_dropped,
+        "stream_seconds": round(result.elapsed_seconds, 6),
+        "events_per_second": round(result.events_per_second, 1),
+        "emit_latency_ms": {key: round(value, 4) for key, value in latency.items()},
+        "batch_rerun_seconds": round(batch_seconds, 6),
+    }
+
+
+def report_line(record: dict) -> str:
+    latency = record["emit_latency_ms"]
+    return (
+        f"size={record['size']:>6}  disorder={record['disorder']:>3}  "
+        f"partitions={record['partitions']}  "
+        f"{record['events_per_second']:>10.0f} ev/s  "
+        f"emit p50={latency['p50_ms']:.2f}ms p95={latency['p95_ms']:.2f}ms  "
+        f"batch re-run={record['batch_rerun_seconds'] * 1000:.1f}ms  "
+        f"stream={record['stream_seconds'] * 1000:.1f}ms"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--sizes", default=None, help="comma-separated relation sizes (default 1000,4000)"
+    )
+    parser.add_argument(
+        "--disorder", default="0,8", help="comma-separated disorder settings (default 0,8)"
+    )
+    parser.add_argument("--partitions", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument("--json-dir", default="bench_results")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        sizes = [300]
+    elif arguments.sizes:
+        sizes = [int(part) for part in arguments.sizes.split(",") if part.strip()]
+    else:
+        sizes = [1000, 4000]
+    disorders = [int(part) for part in arguments.disorder.split(",") if part.strip()]
+    if len(disorders) < 2:
+        parser.error("need at least two disorder settings to compare")
+
+    records: List[dict] = []
+    for size in sizes:
+        for disorder in disorders:
+            record = run_one(size, disorder, arguments.partitions, seed=arguments.seed)
+            records.append(record)
+            print(report_line(record))
+
+    if arguments.json_dir:
+        payload = {
+            "experiment": "stream_throughput",
+            "title": "Continuous TP left outer join: throughput and emit latency",
+            "measurements": records,
+            "environment": environment_info(),
+        }
+        path = write_bench_file("stream_throughput", payload, arguments.json_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

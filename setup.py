@@ -1,0 +1,9 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so environments whose setuptools predates PEP 660 editable wheels (or
+that lack the ``wheel`` package) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -89,11 +89,21 @@ from .relation import (
     TrueCondition,
     equi_join_on,
 )
+from .stream import (
+    ContinuousAntiJoin,
+    ContinuousLeftOuterJoin,
+    StreamDef,
+    StreamQuery,
+    StreamQueryConfig,
+    StreamSource,
+)
 from .temporal import Interval, IntervalSet
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ContinuousAntiJoin",
+    "ContinuousLeftOuterJoin",
     "EquiJoinCondition",
     "EventSpace",
     "Interval",
@@ -103,6 +113,10 @@ __all__ = [
     "PredicateCondition",
     "ProbabilityComputer",
     "Schema",
+    "StreamDef",
+    "StreamQuery",
+    "StreamQueryConfig",
+    "StreamSource",
     "TPRelation",
     "TPTuple",
     "ThetaCondition",

@@ -19,8 +19,26 @@ from __future__ import annotations
 from typing import Callable
 
 from ..lineage import LineageExpr, and_not, lineage_and
-from ..relation import TPTuple
+from ..relation import Schema, TPTuple
 from .windows import Window, WindowClass
+
+
+def combined_output_schema(
+    left_schema: Schema, right_schema: Schema, right_name: str = "s"
+) -> Schema:
+    """The combined output schema of an outer join.
+
+    Right-side attributes clashing with a left-side name are prefixed with
+    the right input's name.  This is the single definition of the rule; the
+    batch joins, the streaming generators and the continuous operators all
+    delegate here so their schemas cannot diverge.
+    """
+    left_names = set(left_schema.attributes)
+    right_attributes = tuple(
+        f"{right_name}.{name}" if name in left_names else name
+        for name in right_schema.attributes
+    )
+    return Schema(left_schema.attributes + right_attributes)
 
 
 def concat_and(lineage_r: LineageExpr, lineage_s: LineageExpr | None) -> LineageExpr:

@@ -23,7 +23,7 @@ materialisation cost differences).
 from __future__ import annotations
 
 from ..relation import Schema, TPRelation, TPTuple, ThetaCondition
-from .concat import window_to_positive_tuple, window_to_tuple
+from .concat import combined_output_schema, window_to_positive_tuple, window_to_tuple
 from .lawan import lawan, negating_windows
 from .lawau import lawau
 from .overlap import overlap_join, overlapping_windows
@@ -113,12 +113,7 @@ def swap_theta(theta: ThetaCondition) -> ThetaCondition:
 # --------------------------------------------------------------------------- #
 def _output_schema(left: TPRelation, right: TPRelation) -> Schema:
     """Combined output schema; right-hand attributes are prefixed on clash."""
-    left_names = set(left.schema.attributes)
-    right_attributes = tuple(
-        f"{right.name or 's'}.{name}" if name in left_names else name
-        for name in right.schema.attributes
-    )
-    return Schema(left.schema.attributes + right_attributes)
+    return combined_output_schema(left.schema, right.schema, right.name or "s")
 
 
 def _finalise(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..relation import Schema, TPRelation, TPTuple, ThetaCondition
-from .concat import window_to_positive_tuple, window_to_tuple
+from .concat import combined_output_schema, window_to_positive_tuple, window_to_tuple
 from .lawan import iter_lawan
 from .lawau import iter_lawau
 from .overlap import overlap_join
@@ -62,9 +62,4 @@ def stream_left_outer_join(
 
 def output_schema(left: TPRelation, right: TPRelation) -> Schema:
     """The combined output schema used by the streaming outer join."""
-    left_names = set(left.schema.attributes)
-    right_attributes = tuple(
-        f"{right.name or 's'}.{name}" if name in left_names else name
-        for name in right.schema.attributes
-    )
-    return Schema(left.schema.attributes + right_attributes)
+    return combined_output_schema(left.schema, right.schema, right.name or "s")

@@ -1,6 +1,7 @@
 """Pipelined query engine: catalog, plans, planner, executor and SQL front end."""
 
 from .catalog import Catalog, RelationStats
+from .continuous import ContinuousJoinOperator, ContinuousScanOperator
 from .errors import CatalogError, EngineError, PlanError, SQLSyntaxError
 from .executor import Engine, execute_sql
 from .explain import explain_logical, explain_physical
@@ -12,9 +13,11 @@ from .logical import (
     Project,
     Scan,
     Select,
+    StreamScan,
     Timeslice,
     TPJoin,
     find_scans,
+    find_stream_scans,
     walk,
 )
 from .physical import (
@@ -32,6 +35,8 @@ from .sql import ParsedQuery, parse_plan, parse_query, tokenize
 __all__ = [
     "Catalog",
     "CatalogError",
+    "ContinuousJoinOperator",
+    "ContinuousScanOperator",
     "Engine",
     "EngineError",
     "FilterOperator",
@@ -52,6 +57,7 @@ __all__ = [
     "Scan",
     "ScanOperator",
     "Select",
+    "StreamScan",
     "TAJoinOperator",
     "TPJoin",
     "Timeslice",
@@ -60,6 +66,7 @@ __all__ = [
     "explain_logical",
     "explain_physical",
     "find_scans",
+    "find_stream_scans",
     "parse_plan",
     "parse_query",
     "tokenize",

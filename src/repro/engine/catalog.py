@@ -1,19 +1,25 @@
-"""Relation catalog.
+"""Relation and stream catalog.
 
 The catalog plays the role of PostgreSQL's system catalog for this library's
 query engine: it maps relation names to in-memory :class:`TPRelation`
 instances and exposes the statistics the planner consults (cardinalities,
 distinct join-key counts) when choosing between the NJ and TA physical
-operators.
+operators.  Registered *streams* (:class:`repro.stream.StreamDef`) live in a
+separate namespace — a scan says ``STREAM name`` to target one — and named
+continuous queries can be registered alongside them so long-running
+deployments address queries, not plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator
 
 from ..relation import TPRelation
 from .errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..stream import StreamDef, StreamQuery
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,13 +36,15 @@ class RelationStats:
 
 
 class Catalog:
-    """A named collection of TP relations, with statistics."""
+    """A named collection of TP relations and streams, with statistics."""
 
-    __slots__ = ("_relations", "_stats")
+    __slots__ = ("_relations", "_stats", "_streams", "_continuous_queries")
 
     def __init__(self) -> None:
         self._relations: Dict[str, TPRelation] = {}
         self._stats: Dict[str, RelationStats] = {}
+        self._streams: Dict[str, "StreamDef"] = {}
+        self._continuous_queries: Dict[str, "StreamQuery"] = {}
 
     def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
         """Register a relation under ``name``.
@@ -76,6 +84,58 @@ class Catalog:
     def names(self) -> list[str]:
         """All registered relation names, sorted."""
         return sorted(self._relations)
+
+    # ------------------------------------------------------------------ #
+    # streams and continuous queries
+    # ------------------------------------------------------------------ #
+    def register_stream(self, name: str, stream: "StreamDef", replace: bool = False) -> None:
+        """Register a stream definition under ``name`` (separate namespace).
+
+        Raises:
+            CatalogError: if the name is taken and ``replace`` is not set.
+        """
+        if name in self._streams and not replace:
+            raise CatalogError(f"stream {name!r} already registered")
+        self._streams[name] = stream
+
+    def lookup_stream(self, name: str) -> "StreamDef":
+        """Return the stream registered under ``name``.
+
+        Raises:
+            CatalogError: if the name is unknown.
+        """
+        try:
+            return self._streams[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown stream {name!r}; registered: {sorted(self._streams)}"
+            ) from exc
+
+    def is_stream(self, name: str) -> bool:
+        """Whether ``name`` refers to a registered stream."""
+        return name in self._streams
+
+    def stream_names(self) -> list[str]:
+        """All registered stream names, sorted."""
+        return sorted(self._streams)
+
+    def register_continuous_query(
+        self, name: str, query: "StreamQuery", replace: bool = False
+    ) -> None:
+        """Register a continuous query under ``name`` for later execution."""
+        if name in self._continuous_queries and not replace:
+            raise CatalogError(f"continuous query {name!r} already registered")
+        self._continuous_queries[name] = query
+
+    def lookup_continuous_query(self, name: str) -> "StreamQuery":
+        """Return the continuous query registered under ``name``."""
+        try:
+            return self._continuous_queries[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown continuous query {name!r}; registered: "
+                f"{sorted(self._continuous_queries)}"
+            ) from exc
 
 
 def _compute_stats(relation: TPRelation) -> RelationStats:

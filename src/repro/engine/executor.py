@@ -11,25 +11,31 @@ integration does.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Sequence
 
 from ..relation import TPRelation
+from ..stream import StreamDef, StreamQuery, StreamQueryConfig
 from .catalog import Catalog
-from .errors import PlanError
 from .explain import explain_logical, explain_physical
-from .logical import JoinStrategy, LogicalPlan, find_scans
-from .planner import Planner, PlannerConfig
+from .logical import JoinStrategy, LogicalPlan
+from .planner import Planner, PlannerConfig, merged_event_space
 from .sql import parse_query
 
 
 class Engine:
     """An in-memory TP query engine with a SQL-ish front end."""
 
-    def __init__(self, default_strategy: JoinStrategy = JoinStrategy.NJ) -> None:
+    def __init__(
+        self,
+        default_strategy: JoinStrategy = JoinStrategy.NJ,
+        stream_config: StreamQueryConfig | None = None,
+    ) -> None:
         self._catalog = Catalog()
         self._planner = Planner(
-            self._catalog, PlannerConfig(default_strategy=default_strategy)
+            self._catalog,
+            PlannerConfig(default_strategy=default_strategy, stream_config=stream_config),
         )
+        self._stream_config = stream_config
 
     # ------------------------------------------------------------------ #
     # catalog management
@@ -42,6 +48,27 @@ class Engine:
     def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
         """Register a relation so queries can refer to it by name."""
         self._catalog.register(name, relation, replace=replace)
+
+    def register_stream(self, name: str, stream: StreamDef, replace: bool = False) -> None:
+        """Register a stream so ``STREAM name`` scans can refer to it."""
+        self._catalog.register_stream(name, stream, replace=replace)
+
+    def continuous_query(
+        self,
+        name: str,
+        kind: str,
+        left: str,
+        right: str,
+        on: Sequence[tuple[str, str]] = (),
+        config: StreamQueryConfig | None = None,
+        replace: bool = False,
+    ) -> StreamQuery:
+        """Build a :class:`StreamQuery` and register it under ``name``."""
+        query = StreamQuery(
+            self._catalog, kind, left, right, on, config=config or self._stream_config
+        )
+        self._catalog.register_continuous_query(name, query, replace=replace)
+        return query
 
     # ------------------------------------------------------------------ #
     # execution
@@ -79,13 +106,7 @@ class Engine:
     # helpers
     # ------------------------------------------------------------------ #
     def _merged_events(self, plan: LogicalPlan):
-        scans = find_scans(plan)
-        if not scans:
-            raise PlanError("plan contains no scans")
-        events = self._catalog.lookup(scans[0].relation_name).events
-        for scan in scans[1:]:
-            events = events.merge(self._catalog.lookup(scan.relation_name).events)
-        return events
+        return merged_event_space(self._catalog, plan)
 
 
 def execute_sql(

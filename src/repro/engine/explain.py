@@ -1,4 +1,10 @@
-"""EXPLAIN output for logical and physical plans."""
+"""EXPLAIN output for logical and physical plans.
+
+Continuous (stream-backed) operators are rendered with a ``[continuous]``
+marker instead of a cost estimate: their inputs are unbounded, so a
+cardinality-based cost is meaningless — progress is driven by watermarks,
+not by cardinalities.
+"""
 
 from __future__ import annotations
 
@@ -27,6 +33,10 @@ def explain_physical(operator: PhysicalOperator) -> str:
 
 
 def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -> None:
-    lines.append("  " * depth + f"{operator.describe()}  (cost≈{operator.estimated_cost():.0f})")
+    if getattr(operator, "is_continuous", False):
+        annotation = "[continuous]"
+    else:
+        annotation = f"(cost≈{operator.estimated_cost():.0f})"
+    lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

@@ -58,6 +58,20 @@ class Scan(LogicalPlan):
 
 
 @dataclass(frozen=True)
+class StreamScan(LogicalPlan):
+    """Scan a registered stream by name (``FROM STREAM name`` in SQL).
+
+    A bare stream scan drains the stream's replay; under a TP join the
+    planner fuses two stream scans into a continuous, watermark-driven join.
+    """
+
+    stream_name: str
+
+    def describe(self) -> str:
+        return f"StreamScan({self.stream_name})"
+
+
+@dataclass(frozen=True)
 class Select(LogicalPlan):
     """Equality selection on a fact attribute."""
 
@@ -133,8 +147,13 @@ def walk(plan: LogicalPlan) -> Sequence[LogicalPlan]:
 
 
 def find_scans(plan: LogicalPlan) -> list[Scan]:
-    """All scan leaves of a plan (used by the planner to fetch statistics)."""
+    """All relation-scan leaves of a plan (used by the planner for statistics)."""
     return [node for node in walk(plan) if isinstance(node, Scan)]
+
+
+def find_stream_scans(plan: LogicalPlan) -> list[StreamScan]:
+    """All stream-scan leaves of a plan."""
+    return [node for node in walk(plan) if isinstance(node, StreamScan)]
 
 
 def pinned_strategy(plan: LogicalPlan) -> Optional[JoinStrategy]:

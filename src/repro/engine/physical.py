@@ -37,13 +37,12 @@ from ..core.joins import (
     tp_right_outer_join,
 )
 from ..relation import (
-    EquiJoinCondition,
     Schema,
     TPRelation,
     TPTuple,
     ThetaCondition,
-    TrueCondition,
     project as project_relation,
+    theta_or_true,
 )
 from ..temporal import Interval
 from .errors import PlanError
@@ -175,9 +174,7 @@ class _JoinOperatorBase(PhysicalOperator):
         return (self._left, self._right)
 
     def _theta(self, left_schema: Schema, right_schema: Schema) -> ThetaCondition:
-        if not self._on:
-            return TrueCondition()
-        return EquiJoinCondition(left_schema, right_schema, self._on)
+        return theta_or_true(left_schema, right_schema, self._on)
 
     def _materialise(self, operator: PhysicalOperator, name: str) -> TPRelation:
         if isinstance(operator, ScanOperator):

@@ -17,9 +17,12 @@ for the example workloads and keeps the planner easy to reason about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..relation import TPRelation
+from ..stream import StreamQueryConfig
 from .catalog import Catalog
+from .continuous import ContinuousJoinOperator, ContinuousScanOperator
 from .errors import PlanError
 from .iterators import PhysicalOperator
 from .logical import (
@@ -29,6 +32,7 @@ from .logical import (
     Project,
     Scan,
     Select,
+    StreamScan,
     Timeslice,
     TPJoin,
 )
@@ -47,6 +51,9 @@ class PlannerConfig:
 
     default_strategy: JoinStrategy = JoinStrategy.NJ
     push_down_selections: bool = True
+    #: Execution knobs handed to continuous (stream) joins; ``None`` means
+    #: single-partition inline execution.
+    stream_config: Optional[StreamQueryConfig] = None
 
 
 class Planner:
@@ -97,6 +104,10 @@ class Planner:
         return plan
 
     def _try_push_into_join(self, select: Select, join: TPJoin) -> LogicalPlan | None:
+        if isinstance(join.left, StreamScan) or isinstance(join.right, StreamScan):
+            # A continuous join consumes the streams' own replays; selections
+            # stay above it and filter the finalized output.
+            return None
         left_schema = self._output_schema(join.left)
         right_schema = self._output_schema(join.right)
         if select.attribute in left_schema:
@@ -114,6 +125,8 @@ class Planner:
     def _output_schema(self, plan: LogicalPlan):
         if isinstance(plan, Scan):
             return self._catalog.lookup(plan.relation_name).schema
+        if isinstance(plan, StreamScan):
+            return self._catalog.lookup_stream(plan.stream_name).schema
         if isinstance(plan, (Select, Timeslice)):
             return self._output_schema(plan.child)
         if isinstance(plan, Project):
@@ -138,6 +151,10 @@ class Planner:
     def _physicalise(self, plan: LogicalPlan) -> PhysicalOperator:
         if isinstance(plan, Scan):
             return ScanOperator(self._catalog.lookup(plan.relation_name), plan.relation_name)
+        if isinstance(plan, StreamScan):
+            return ContinuousScanOperator(
+                self._catalog.lookup_stream(plan.stream_name), plan.stream_name
+            )
         if isinstance(plan, Select):
             return FilterOperator(self._physicalise(plan.child), plan.attribute, plan.value)
         if isinstance(plan, Timeslice):
@@ -147,6 +164,23 @@ class Planner:
                 self._physicalise(plan.child), plan.attributes, self._merged_events(plan)
             )
         if isinstance(plan, TPJoin):
+            left_is_stream = isinstance(plan.left, StreamScan)
+            right_is_stream = isinstance(plan.right, StreamScan)
+            if left_is_stream != right_is_stream:
+                raise PlanError(
+                    "a TP join must be stream × stream or relation × relation; "
+                    "register the stored side as a replay stream to mix them"
+                )
+            if left_is_stream and right_is_stream:
+                # Continuous execution is the watermark-driven NJ pipeline;
+                # pinning NJ is redundant but true, pinning anything else
+                # would be silently ignored — reject it instead.
+                if plan.strategy not in (JoinStrategy.AUTO, JoinStrategy.NJ):
+                    raise PlanError(
+                        f"USING {plan.strategy.value.upper()} cannot be honoured on a "
+                        "stream join: continuous execution always uses the NJ pipeline"
+                    )
+                return self._continuous_join(plan)
             strategy = self.resolve_strategy(plan.strategy)
             return join_operator_for(
                 strategy,
@@ -158,17 +192,50 @@ class Planner:
             )
         raise PlanError(f"unsupported logical node {type(plan).__name__}")
 
-    def _merged_events(self, plan: LogicalPlan):
-        """Merge the event spaces of every relation scanned below ``plan``."""
-        from .logical import find_scans
+    def _continuous_join(self, plan: TPJoin) -> PhysicalOperator:
+        """Fuse two stream scans under a TP join into a continuous join."""
+        assert isinstance(plan.left, StreamScan) and isinstance(plan.right, StreamScan)
+        left_scan = ContinuousScanOperator(
+            self._catalog.lookup_stream(plan.left.stream_name), plan.left.stream_name
+        )
+        right_scan = ContinuousScanOperator(
+            self._catalog.lookup_stream(plan.right.stream_name), plan.right.stream_name
+        )
+        return ContinuousJoinOperator(
+            self._catalog,
+            left_scan,
+            right_scan,
+            plan.left.stream_name,
+            plan.right.stream_name,
+            plan.kind,
+            plan.on,
+            config=self._config.stream_config,
+        )
 
-        scans = find_scans(plan)
-        if not scans:
-            raise PlanError("plan contains no scans")
-        events = self._catalog.lookup(scans[0].relation_name).events
-        for scan in scans[1:]:
-            events = events.merge(self._catalog.lookup(scan.relation_name).events)
-        return events
+    def _merged_events(self, plan: LogicalPlan):
+        return merged_event_space(self._catalog, plan)
+
+
+def merged_event_space(catalog: Catalog, plan: LogicalPlan):
+    """Merge the event spaces of every relation/stream scanned below ``plan``.
+
+    Shared by the planner (for operators that need the space at build time)
+    and the executor (for wrapping results); both must agree on it.
+    """
+    from .logical import find_scans, find_stream_scans
+
+    scans = find_scans(plan)
+    stream_scans = find_stream_scans(plan)
+    if not scans and not stream_scans:
+        raise PlanError("plan contains no scans")
+    spaces = [catalog.lookup(scan.relation_name).events for scan in scans]
+    spaces.extend(
+        catalog.lookup_stream(scan.stream_name).events for scan in stream_scans
+    )
+    events = spaces[0]
+    for space in spaces[1:]:
+        events = events.merge(space)
+    return events
 
 
 def base_relation(catalog: Catalog, name: str) -> TPRelation:

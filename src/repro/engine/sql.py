@@ -7,10 +7,11 @@ covering exactly the operations the engine supports.
 
 Grammar (case-insensitive keywords)::
 
-    query      :=  SELECT select_list FROM relation join_clause?
+    query      :=  SELECT select_list FROM source join_clause?
                    where_clause? during_clause? using_clause?
     select_list:=  '*' | identifier (',' identifier)*
-    join_clause:=  TP join_kind JOIN relation ON condition (AND condition)*
+    source     :=  STREAM? relation
+    join_clause:=  TP join_kind JOIN source ON condition (AND condition)*
     join_kind  :=  LEFT OUTER | RIGHT OUTER | FULL OUTER | ANTI | INNER
     condition  :=  qualified '=' qualified
     qualified  :=  identifier ('.' identifier)?
@@ -24,6 +25,13 @@ Examples::
     SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc
     SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann'
     SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc DURING [4, 8) USING TA
+    SELECT * FROM STREAM a TP ANTI JOIN STREAM b ON a.Loc = b.Loc
+
+``STREAM name`` targets a registered stream instead of a stored relation;
+a TP anti / left outer join between two streams is planned as a continuous,
+watermark-driven join.  ``STREAM`` is a *contextual* keyword: it only acts
+as a marker when followed by a name, so relations or attributes named
+``stream`` keep working.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from .logical import (
     Project,
     Scan,
     Select,
+    StreamScan,
     Timeslice,
     TPJoin,
 )
@@ -58,6 +67,9 @@ _TOKEN_PATTERN = re.compile(
     re.VERBOSE,
 )
 
+# "stream" is deliberately NOT reserved: it is a contextual keyword that only
+# acts as a marker in the source position when followed by a name, so existing
+# relations or attributes called "stream" keep parsing.
 _KEYWORDS = {
     "select", "from", "tp", "left", "right", "full", "outer", "anti", "inner",
     "join", "on", "and", "where", "during", "using",
@@ -84,6 +96,8 @@ class ParsedQuery:
     right_relation: Optional[str]
     join_kind: Optional[JoinKind]
     strategy: JoinStrategy
+    left_is_stream: bool = False
+    right_is_stream: bool = False
 
 
 def tokenize(text: str) -> list[str]:
@@ -147,15 +161,18 @@ class _Parser:
         self._expect_keyword("select")
         select_list = self._select_list()
         self._expect_keyword("from")
+        left_is_stream = self._stream_marker()
         left_relation = self._identifier()
 
         join_kind: Optional[JoinKind] = None
         right_relation: Optional[str] = None
+        right_is_stream = False
         on_pairs: tuple[tuple[str, str], ...] = ()
         if self._peek_keyword() == "tp":
             self._advance()
             join_kind = self._join_kind()
             self._expect_keyword("join")
+            right_is_stream = self._stream_marker()
             right_relation = self._identifier()
             self._expect_keyword("on")
             on_pairs = self._conditions(left_relation, right_relation)
@@ -166,10 +183,16 @@ class _Parser:
         if self._peek() is not None:
             raise SQLSyntaxError(f"trailing tokens starting at {self._peek()!r}")
 
-        plan: LogicalPlan = Scan(left_relation)
+        left_scan: LogicalPlan = (
+            StreamScan(left_relation) if left_is_stream else Scan(left_relation)
+        )
+        plan: LogicalPlan = left_scan
         if join_kind is not None:
             assert right_relation is not None
-            plan = TPJoin(Scan(left_relation), Scan(right_relation), join_kind, on_pairs, strategy)
+            right_scan: LogicalPlan = (
+                StreamScan(right_relation) if right_is_stream else Scan(right_relation)
+            )
+            plan = TPJoin(left_scan, right_scan, join_kind, on_pairs, strategy)
         for attribute, value in filters:
             plan = Select(plan, attribute, value)
         if during is not None:
@@ -183,7 +206,29 @@ class _Parser:
             right_relation=right_relation,
             join_kind=join_kind,
             strategy=strategy,
+            left_is_stream=left_is_stream,
+            right_is_stream=right_is_stream,
         )
+
+    def _stream_marker(self) -> bool:
+        # Contextual keyword: STREAM marks a stream source only when the next
+        # token is a plain name ("FROM STREAM a").  A lone "stream" followed
+        # by a keyword or the end of the query is a relation called "stream".
+        if self._peek_keyword() != "stream":
+            return False
+        following = (
+            self._tokens[self._position + 1]
+            if self._position + 1 < len(self._tokens)
+            else None
+        )
+        if following is None:
+            return False
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", following):
+            return False
+        if following.lower() in _KEYWORDS:
+            return False
+        self._advance()
+        return True
 
     def _select_list(self) -> tuple[str, ...]:
         if self._peek() == "*":

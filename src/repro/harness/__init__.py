@@ -9,9 +9,13 @@ from .experiments import (
     resolve_experiments,
 )
 from .reporting import (
+    bench_payload,
+    environment_info,
     experiment_report,
     measurements_table,
     speedup_summary,
+    write_bench_file,
+    write_bench_json,
     write_csv,
 )
 from .runner import RunResult, run_by_name, run_experiment
@@ -23,11 +27,15 @@ __all__ = [
     "Measurement",
     "RunResult",
     "SeriesSpec",
+    "bench_payload",
+    "environment_info",
     "experiment_report",
     "measurements_table",
     "resolve_experiments",
     "run_by_name",
     "run_experiment",
     "speedup_summary",
+    "write_bench_file",
+    "write_bench_json",
     "write_csv",
 ]

@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .reporting import write_csv
+from .reporting import write_bench_json, write_csv
 from .runner import run_by_name
 
 
@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's original input sizes (50K-200K tuples; slow)",
     )
     parser.add_argument("--csv", default=None, help="also write measurements to this CSV file")
+    parser.add_argument(
+        "--json-dir",
+        default="bench_results",
+        help="directory for machine-readable BENCH_<experiment>.json files "
+        "(default: bench_results; pass an empty string to disable)",
+    )
     return parser
 
 
@@ -70,6 +76,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.report)
         print()
         all_measurements.extend(result.measurements)
+        if arguments.json_dir:
+            path = write_bench_json(result.spec, result.measurements, arguments.json_dir)
+            print(f"wrote {path}")
     if arguments.csv:
         write_csv(all_measurements, arguments.csv)
         print(f"wrote {len(all_measurements)} measurements to {arguments.csv}")

@@ -9,9 +9,12 @@ off directly and copied into EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import json
+import platform
+import sys
 from collections import defaultdict
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from .experiments import ExperimentSpec, Measurement
 
@@ -94,6 +97,62 @@ def write_csv(measurements: Iterable[Measurement], path: str | Path) -> None:
                     measurement.output_count,
                 ]
             )
+
+
+# --------------------------------------------------------------------------- #
+# machine-readable results (perf trajectory across PRs)
+# --------------------------------------------------------------------------- #
+def bench_payload(spec: ExperimentSpec, measurements: Sequence[Measurement]) -> dict:
+    """The JSON payload written for one experiment's measurements."""
+    return {
+        "experiment": spec.experiment_id,
+        "title": spec.title,
+        "dataset": spec.dataset,
+        "expected_shape": spec.expected_shape,
+        "measurements": [
+            {
+                "series": m.series,
+                "size": m.size,
+                "seconds": round(m.seconds, 6),
+                "output_count": m.output_count,
+            }
+            for m in measurements
+        ],
+        "environment": environment_info(),
+    }
+
+
+def environment_info() -> dict:
+    """The runtime environment recorded alongside every BENCH file."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_file(name: str, payload: Mapping, directory: str | Path) -> Path:
+    """Write one ``BENCH_<name>.json`` result file and return its path.
+
+    The fixed prefix and stable key layout make the files greppable and
+    diffable across PRs — the perf trajectory lives in version control, not
+    in terminal scrollback.
+    """
+    destination = Path(directory) / f"BENCH_{name}.json"
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return destination
+
+
+def write_bench_json(
+    spec: ExperimentSpec,
+    measurements: Sequence[Measurement],
+    directory: str | Path,
+) -> Path:
+    """Write one experiment's measurements as ``BENCH_<experiment>.json``."""
+    return write_bench_file(spec.experiment_id, bench_payload(spec, measurements), directory)
 
 
 def _series_order(measurements: Sequence[Measurement]) -> list[str]:

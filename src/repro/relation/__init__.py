@@ -23,6 +23,7 @@ from .predicates import (
     ThetaCondition,
     TrueCondition,
     equi_join_on,
+    theta_or_true,
 )
 from .relation import TPRelation, fresh_event_names
 from .schema import Schema
@@ -48,6 +49,7 @@ __all__ = [
     "rename",
     "select",
     "select_eq",
+    "theta_or_true",
     "snapshot",
     "timeslice",
     "union",

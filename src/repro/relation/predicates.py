@@ -135,3 +135,16 @@ def equi_join_on(
 ) -> EquiJoinCondition:
     """Convenience constructor mirroring the paper's ``θ: a.Loc = b.Loc``."""
     return EquiJoinCondition(left_schema, right_schema, tuple(pairs))
+
+
+def theta_or_true(
+    left_schema: Schema, right_schema: Schema, pairs: Sequence[tuple[str, str]]
+) -> ThetaCondition:
+    """The θ for equality pairs, or the always-true condition when empty.
+
+    The single definition of the "no ON pairs means a pure temporal join"
+    rule shared by the engine's join operators and the stream subsystem.
+    """
+    if not pairs:
+        return TrueCondition()
+    return EquiJoinCondition(left_schema, right_schema, tuple(pairs))

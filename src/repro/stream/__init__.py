@@ -1,0 +1,69 @@
+"""Continuous-query subsystem: unbounded TP streams with watermarks.
+
+Layers, bottom to top:
+
+* :mod:`repro.stream.elements` — events, watermarks, tagged merges.
+* :mod:`repro.stream.source` — ingestion with per-source watermarks and
+  bounded-lateness eviction.
+* :mod:`repro.stream.buffer` — bounded micro-batch buffers (backpressure).
+* :mod:`repro.stream.incremental` — per-key overlap state with
+  watermark-driven, retraction-free window finalization.
+* :mod:`repro.stream.operators` — :class:`ContinuousAntiJoin` and
+  :class:`ContinuousLeftOuterJoin`.
+* :mod:`repro.stream.query` — the :class:`StreamQuery` API with
+  hash-partitioned parallel execution across worker threads.
+"""
+
+from .buffer import BoundedBuffer, BufferClosed
+from .elements import (
+    CLOSED,
+    LEFT,
+    RIGHT,
+    StreamElement,
+    StreamEvent,
+    Tagged,
+    Watermark,
+    tag,
+)
+from .incremental import FinalizedGroup, IncrementalWindowMaintainer, MaintainerStats
+from .operators import (
+    CONTINUOUS_OPERATORS,
+    ContinuousAntiJoin,
+    ContinuousJoinBase,
+    ContinuousLeftOuterJoin,
+    continuous_join,
+    joined_output_schema,
+    theta_from_pairs,
+)
+from .query import StreamDef, StreamQuery, StreamQueryConfig, StreamQueryResult
+from .source import SourceStats, StreamSource, merge_tagged
+
+__all__ = [
+    "CLOSED",
+    "CONTINUOUS_OPERATORS",
+    "BoundedBuffer",
+    "BufferClosed",
+    "ContinuousAntiJoin",
+    "ContinuousJoinBase",
+    "ContinuousLeftOuterJoin",
+    "FinalizedGroup",
+    "IncrementalWindowMaintainer",
+    "LEFT",
+    "MaintainerStats",
+    "RIGHT",
+    "SourceStats",
+    "StreamDef",
+    "StreamElement",
+    "StreamEvent",
+    "StreamQuery",
+    "StreamQueryConfig",
+    "StreamQueryResult",
+    "StreamSource",
+    "Tagged",
+    "Watermark",
+    "continuous_join",
+    "joined_output_schema",
+    "merge_tagged",
+    "tag",
+    "theta_from_pairs",
+]

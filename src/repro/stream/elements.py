@@ -1,0 +1,92 @@
+"""Stream elements: events, watermarks and tagged union helpers.
+
+A continuous TP stream is an unbounded sequence of *elements*.  Two kinds of
+element flow through the subsystem:
+
+* :class:`StreamEvent` — one TP tuple becoming known to the system.  The
+  tuple's validity interval lives in *event time* (the paper's time domain);
+  the event additionally records the *arrival sequence number* assigned at
+  ingestion, which is what makes out-of-order delivery observable.
+* :class:`Watermark` — a promise by the emitting source that every event it
+  will deliver from now on has an interval **starting at or after**
+  ``value``.  Watermarks are what allow the incremental window maintainer to
+  *finalize* output: once the combined watermark of a join has passed the end
+  of a positive tuple's interval, no future event of either stream can create
+  or change any of that tuple's windows.
+
+The special value :data:`CLOSED` (+inf) closes a stream: it finalizes every
+remaining window and is emitted automatically when a finite replay source is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from ..relation import TPTuple
+
+#: Watermark value that closes a stream (no further events, ever).
+CLOSED: float = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """One TP tuple arriving on a stream.
+
+    Attributes:
+        tuple: the TP tuple; its interval is the event-time extent.
+        sequence: arrival sequence number assigned by the ingesting source
+            (0-based, monotonically increasing per source).
+    """
+
+    tuple: TPTuple
+    sequence: int = 0
+
+    @property
+    def event_start(self) -> int:
+        """Event-time start of the carried tuple (watermarks compare to this)."""
+        return self.tuple.start
+
+
+@dataclass(frozen=True, slots=True)
+class Watermark:
+    """A source's promise: no future event has ``tuple.start < value``."""
+
+    value: float
+
+    @property
+    def closes(self) -> bool:
+        """Whether this watermark closes the stream."""
+        return self.value == CLOSED
+
+
+#: Anything a stream source yields.
+StreamElement = Union[StreamEvent, Watermark]
+
+#: Side tags used when two streams are merged into one element sequence.
+LEFT = "left"
+RIGHT = "right"
+
+
+@dataclass(frozen=True, slots=True)
+class Tagged:
+    """A stream element labelled with the join side it belongs to.
+
+    ``ingest_clock`` is an optional wall-clock reading stamped where the
+    element entered the system (the parallel router stamps it before the
+    element can sit in a worker's buffer), so emit-latency measurements
+    include queueing time.  ``None`` means "stamp at processing time" —
+    correct for inline execution, where the two coincide.
+    """
+
+    side: str
+    element: StreamElement
+    ingest_clock: Optional[float] = None
+
+
+def tag(side: str, elements: Iterable[StreamElement]) -> Iterator[Tagged]:
+    """Label every element of one stream with its join side."""
+    for element in elements:
+        yield Tagged(side, element)

@@ -1,0 +1,265 @@
+"""Incremental, watermark-driven maintenance of lineage-aware windows.
+
+The batch pipeline (``overlap join → LAWAU → LAWAN``) computes every window
+of a positive tuple from its group of overlapping matches.  The crucial
+observation carried over from the paper is that the window set of one
+positive tuple ``r`` depends *only* on ``r`` itself and the θ-matching
+negative tuples whose intervals overlap ``r.T`` — no other tuple of either
+relation matters.  Over an unbounded stream this gives an exact finalization
+rule:
+
+    once the combined watermark ``W = min(W_left, W_right)`` satisfies
+    ``r.Te ≤ W``, no future event of either stream can overlap ``r.T``
+    (every future event starts at or after ``W``), so ``r``'s overlap group
+    is complete and its LAWAU/LAWAN windows can be derived once, emitted,
+    and never retracted.
+
+:class:`IncrementalWindowMaintainer` keeps, per join key, the *open* positive
+tuples (each with its accrued match list) and an index of negative tuples for
+matching against late-arriving positives.  Every arriving event touches only
+the tuples of its own key that it actually overlaps — the incremental
+counterpart of the paper's no-replication property — and every watermark
+advance finalizes exactly the positive tuples whose intervals it passed,
+replaying the unchanged batch sweeps (:func:`repro.core.lawan.iter_lawan`)
+over their completed groups.  Batch/stream equivalence is therefore by
+construction, and is additionally asserted by randomized tests.
+
+State is bounded by eviction: finalized positives are dropped immediately,
+and a negative tuple is dropped once the *left* watermark passes its end
+(no open positive references it through the index any more, and every future
+positive starts after it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.overlap import OverlapGroup, OverlapRecord
+from ..relation import TPTuple, ThetaCondition
+from .elements import CLOSED
+
+#: Partition key used when θ is not an equi-join (single partition).
+_WHOLE_STREAM: Tuple = ("<all>",)
+
+
+@dataclass
+class MaintainerStats:
+    """Counters exposed by the maintainer for monitoring and benchmarks."""
+
+    positives_in: int = 0
+    negatives_in: int = 0
+    late_positives_dropped: int = 0
+    late_negatives_dropped: int = 0
+    groups_finalized: int = 0
+    negatives_evicted: int = 0
+    peak_open_positives: int = 0
+    peak_indexed_negatives: int = 0
+
+
+@dataclass
+class _OpenPositive:
+    """One positive tuple awaiting finalization, with its accrued matches."""
+
+    tuple: TPTuple
+    matches: List[OverlapRecord] = field(default_factory=list)
+    ingest_clock: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class FinalizedGroup:
+    """A completed overlap group, ready for the LAWAU/LAWAN sweeps.
+
+    ``ingest_clock`` is the wall-clock reading recorded when the positive
+    tuple was ingested; operators subtract it from the emission clock to
+    report per-tuple emit latency.
+    """
+
+    group: OverlapGroup
+    ingest_clock: float
+
+
+def _match_order(record: OverlapRecord) -> tuple:
+    # Same ordering as repro.core.overlap._match_order: the sweeps require
+    # matches sorted by overlap start (ties: end, then negative-tuple key).
+    assert record.s is not None
+    return (record.interval.start, record.interval.end, record.s.key())
+
+
+class IncrementalWindowMaintainer:
+    """Per-key overlap state with watermark-driven window finalization."""
+
+    def __init__(self, theta: ThetaCondition) -> None:
+        self._theta = theta
+        self._partitioned = theta.is_equi
+        self._open: Dict[Hashable, List[_OpenPositive]] = {}
+        self._negatives: Dict[Hashable, List[TPTuple]] = {}
+        self._watermark_left: float = float("-inf")
+        self._watermark_right: float = float("-inf")
+        self._finalized_through: float = float("-inf")
+        self.stats = MaintainerStats()
+        self._open_count = 0
+        self._negative_count = 0
+        # Smallest interval end among open positives / indexed negatives:
+        # lets watermark advances skip the state scan entirely when nothing
+        # can finalize or be evicted yet (the common case with frequent
+        # watermarks).  Maintained as a lower bound: tightened on insert,
+        # recomputed exactly during the scans that do run.
+        self._min_open_end: float = float("inf")
+        self._min_negative_end: float = float("inf")
+
+    # ------------------------------------------------------------------ #
+    # watermark accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def combined_watermark(self) -> float:
+        """The join's progress: the minimum of the two source watermarks."""
+        return min(self._watermark_left, self._watermark_right)
+
+    @property
+    def open_positives(self) -> int:
+        """Number of positive tuples currently awaiting finalization."""
+        return self._open_count
+
+    @property
+    def indexed_negatives(self) -> int:
+        """Number of negative tuples currently held for future matching."""
+        return self._negative_count
+
+    # ------------------------------------------------------------------ #
+    # event ingestion
+    # ------------------------------------------------------------------ #
+    def _positive_key(self, tp_tuple: TPTuple) -> Hashable:
+        return self._theta.left_key(tp_tuple) if self._partitioned else _WHOLE_STREAM
+
+    def _negative_key(self, tp_tuple: TPTuple) -> Hashable:
+        return self._theta.right_key(tp_tuple) if self._partitioned else _WHOLE_STREAM
+
+    def add_positive(self, tp_tuple: TPTuple, ingest_clock: float = 0.0) -> None:
+        """Ingest one positive-stream tuple, matching it against stored negatives."""
+        self.stats.positives_in += 1
+        if tp_tuple.start < self._watermark_left:
+            self.stats.late_positives_dropped += 1
+            return
+        entry = _OpenPositive(tp_tuple, ingest_clock=ingest_clock)
+        key = self._positive_key(tp_tuple)
+        for negative in self._negatives.get(key, ()):
+            overlap = tp_tuple.interval.intersect(negative.interval)
+            if overlap is not None and self._theta.evaluate(tp_tuple, negative):
+                entry.matches.append(OverlapRecord(tp_tuple, negative, overlap))
+        self._open.setdefault(key, []).append(entry)
+        self._open_count += 1
+        if tp_tuple.end < self._min_open_end:
+            self._min_open_end = tp_tuple.end
+        if self._open_count > self.stats.peak_open_positives:
+            self.stats.peak_open_positives = self._open_count
+
+    def add_negative(self, tp_tuple: TPTuple) -> None:
+        """Ingest one negative-stream tuple, extending affected open positives."""
+        self.stats.negatives_in += 1
+        if tp_tuple.start < self._watermark_right:
+            self.stats.late_negatives_dropped += 1
+            return
+        key = self._negative_key(tp_tuple)
+        self._negatives.setdefault(key, []).append(tp_tuple)
+        self._negative_count += 1
+        if tp_tuple.end < self._min_negative_end:
+            self._min_negative_end = tp_tuple.end
+        if self._negative_count > self.stats.peak_indexed_negatives:
+            self.stats.peak_indexed_negatives = self._negative_count
+        for entry in self._open.get(key, ()):
+            overlap = entry.tuple.interval.intersect(tp_tuple.interval)
+            if overlap is not None and self._theta.evaluate(entry.tuple, tp_tuple):
+                entry.matches.append(OverlapRecord(entry.tuple, tp_tuple, overlap))
+
+    # ------------------------------------------------------------------ #
+    # watermark advancement and finalization
+    # ------------------------------------------------------------------ #
+    def advance_left(self, watermark: float) -> List[FinalizedGroup]:
+        """Advance the positive-side watermark; returns newly finalized groups."""
+        if watermark > self._watermark_left:
+            self._watermark_left = watermark
+            self._evict_negatives()
+        return self._finalize()
+
+    def advance_right(self, watermark: float) -> List[FinalizedGroup]:
+        """Advance the negative-side watermark; returns newly finalized groups."""
+        if watermark > self._watermark_right:
+            self._watermark_right = watermark
+        return self._finalize()
+
+    def close(self) -> List[FinalizedGroup]:
+        """Close both sides, finalizing every remaining open positive."""
+        self._watermark_left = CLOSED
+        self._watermark_right = CLOSED
+        self._evict_negatives()
+        return self._finalize()
+
+    def _finalize(self) -> List[FinalizedGroup]:
+        """Finalize open positives whose interval end the combined watermark passed."""
+        horizon = self.combined_watermark
+        if horizon <= self._finalized_through:
+            return []
+        self._finalized_through = horizon
+        if horizon < self._min_open_end:
+            # No open positive ends at or before the horizon: nothing to do.
+            # (Entries admitted later start at or after the watermark, so
+            # they end strictly after it — the bound stays valid.)
+            return []
+        finalized: List[FinalizedGroup] = []
+        emptied: List[Hashable] = []
+        min_end: float = float("inf")
+        for key, entries in self._open.items():
+            remaining: List[_OpenPositive] = []
+            for entry in entries:
+                if entry.tuple.end <= horizon:
+                    entry.matches.sort(key=_match_order)
+                    self.stats.groups_finalized += 1
+                    self._open_count -= 1
+                    finalized.append(
+                        FinalizedGroup(
+                            OverlapGroup(entry.tuple, entry.matches), entry.ingest_clock
+                        )
+                    )
+                else:
+                    if entry.tuple.end < min_end:
+                        min_end = entry.tuple.end
+                    remaining.append(entry)
+            if remaining:
+                self._open[key] = remaining
+            else:
+                emptied.append(key)
+        for key in emptied:
+            del self._open[key]
+        self._min_open_end = min_end
+        return finalized
+
+    def _evict_negatives(self) -> None:
+        """Drop negatives no future positive can overlap.
+
+        Every future positive starts at or after the left watermark, so a
+        negative ending at or before it can never match again through the
+        index (open positives that already matched it hold their own
+        references in their match lists).
+        """
+        horizon = self._watermark_left
+        if horizon < self._min_negative_end:
+            return
+        emptied: List[Hashable] = []
+        min_end: float = float("inf")
+        for key, bucket in self._negatives.items():
+            kept = [negative for negative in bucket if negative.end > horizon]
+            evicted = len(bucket) - len(kept)
+            if evicted:
+                self.stats.negatives_evicted += evicted
+                self._negative_count -= evicted
+            if kept:
+                bucket_min = min(negative.end for negative in kept)
+                if bucket_min < min_end:
+                    min_end = bucket_min
+                self._negatives[key] = kept
+            else:
+                emptied.append(key)
+        for key in emptied:
+            del self._negatives[key]
+        self._min_negative_end = min_end

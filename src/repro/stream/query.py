@@ -1,0 +1,288 @@
+"""Continuous queries: registration, parallel execution, backpressure.
+
+A :class:`StreamQuery` binds a continuous TP join to two *registered streams*
+(:class:`StreamDef` entries held by the engine catalog) and executes it to
+finalization.  Execution is hash-partitioned: with an equi-join θ, every
+event is routed to a worker by the hash of its join key — all events that can
+ever form a window together share a key, so partitions are independent — and
+watermarks are broadcast to every worker.  Each worker thread pulls
+micro-batches from a :class:`~repro.stream.buffer.BoundedBuffer`, whose hard
+capacity backpressures the router (and the sources behind it) when a worker
+falls behind.
+
+With ``partitions=1`` (or a non-equi θ, which cannot be key-partitioned) the
+query runs inline on the calling thread — the fast path for small streams
+and the engine's SQL entry point.
+
+The module avoids importing :mod:`repro.engine`; the catalog is used through
+its ``lookup_stream`` method only, so the engine can depend on this package
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..lineage import EventSpace
+from ..relation import Schema, TPRelation, TPTuple
+from .buffer import BoundedBuffer, BufferClosed
+from .elements import LEFT, StreamElement, StreamEvent, Tagged, Watermark
+from .operators import ContinuousJoinBase, continuous_join, theta_from_pairs
+from .source import SourceStats, merge_tagged
+
+
+@dataclass(frozen=True)
+class StreamDef:
+    """A registered stream: schema, event space and a replayable element source.
+
+    ``replay`` returns a *fresh* iterator of stream elements each time it is
+    called, so the same registered stream can serve several queries.
+    """
+
+    schema: Schema
+    events: EventSpace
+    replay: Callable[[], Iterable[StreamElement]]
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class StreamQueryConfig:
+    """Execution knobs of a continuous query."""
+
+    partitions: int = 1
+    micro_batch_size: int = 64
+    buffer_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.partitions <= 0:
+            raise ValueError("partitions must be positive")
+
+
+@dataclass
+class StreamQueryResult:
+    """The finalized output of a continuous query run, with run statistics."""
+
+    relation: TPRelation
+    events_processed: int
+    outputs_emitted: int
+    elapsed_seconds: float
+    emit_latencies: List[float] = field(default_factory=list)
+    partitions: int = 1
+    late_dropped: int = 0
+    backpressure_blocks: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingest throughput of the run."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.events_processed / self.elapsed_seconds
+
+    def latency_summary(self) -> dict:
+        """Mean / p50 / p95 / max emit latency in milliseconds."""
+        if not self.emit_latencies:
+            return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+        ordered = sorted(self.emit_latencies)
+        count = len(ordered)
+        return {
+            "mean_ms": 1000.0 * sum(ordered) / count,
+            "p50_ms": 1000.0 * ordered[count // 2],
+            "p95_ms": 1000.0 * ordered[min(count - 1, (95 * count) // 100)],
+            "max_ms": 1000.0 * ordered[-1],
+        }
+
+
+class StreamQuery:
+    """A continuous TP join registered against catalogued streams.
+
+    Args:
+        catalog: any object with ``lookup_stream(name) -> StreamDef`` (the
+            engine catalog satisfies this).
+        kind: ``"anti"`` or ``"left_outer"``.
+        left: name of the positive (left) registered stream.
+        right: name of the negative (right) registered stream.
+        on: ``(left_attribute, right_attribute)`` equality pairs (θ).
+        config: execution knobs; defaults to single-partition inline runs.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        kind: str,
+        left: str,
+        right: str,
+        on: Sequence[tuple[str, str]] = (),
+        config: StreamQueryConfig | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._kind = kind
+        self._left_name = left
+        self._right_name = right
+        self._on = tuple(on)
+        self._config = config or StreamQueryConfig()
+        # Validate eagerly: unknown streams and bad θ fail at registration.
+        left_def = catalog.lookup_stream(left)
+        right_def = catalog.lookup_stream(right)
+        self._theta = theta_from_pairs(left_def.schema, right_def.schema, self._on)
+        continuous_join(kind, left_def.schema, right_def.schema, self._on)
+
+    @property
+    def config(self) -> StreamQueryConfig:
+        return self._config
+
+    def describe(self) -> str:
+        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        return (
+            f"StreamQuery[{self._kind}] {self._left_name} × {self._right_name} "
+            f"on {condition} (partitions={self._effective_partitions()})"
+        )
+
+    def _effective_partitions(self) -> int:
+        # Non-equi θ cannot be hash-partitioned by key: run on one partition.
+        if not self._theta.is_equi:
+            return 1
+        return self._config.partitions
+
+    def _build_join(self) -> ContinuousJoinBase:
+        left_def = self._catalog.lookup_stream(self._left_name)
+        right_def = self._catalog.lookup_stream(self._right_name)
+        return continuous_join(
+            self._kind,
+            left_def.schema,
+            right_def.schema,
+            self._on,
+            left_name=left_def.name or self._left_name,
+            right_name=right_def.name or self._right_name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, merge_seed: Optional[int] = None) -> StreamQueryResult:
+        """Execute the query over a fresh replay of both streams."""
+        left_def = self._catalog.lookup_stream(self._left_name)
+        right_def = self._catalog.lookup_stream(self._right_name)
+        left_elements = left_def.replay()
+        right_elements = right_def.replay()
+        merged = merge_tagged(left_elements, right_elements, seed=merge_seed)
+        partitions = self._effective_partitions()
+        started = time.perf_counter()
+        if partitions == 1:
+            outputs, joins, events_processed, blocks = self._run_inline(merged)
+        else:
+            outputs, joins, events_processed, blocks = self._run_parallel(
+                merged, partitions
+            )
+        elapsed = time.perf_counter() - started
+
+        events = left_def.events.merge(right_def.events)
+        schema = joins[0].output_schema()
+        relation = TPRelation(
+            schema, outputs, events, name=self.describe(), check_constraint=False
+        )
+        latencies: List[float] = []
+        late = 0
+        for join in joins:
+            latencies.extend(join.emit_latencies)
+            late += (
+                join.maintainer.stats.late_positives_dropped
+                + join.maintainer.stats.late_negatives_dropped
+            )
+        # Sources evict events beyond their lateness bound at ingestion;
+        # surface those too (a replay that exposes stats, e.g. StreamSource).
+        for elements in (left_elements, right_elements):
+            stats = getattr(elements, "stats", None)
+            if isinstance(stats, SourceStats):
+                late += stats.late_evicted
+        return StreamQueryResult(
+            relation=relation,
+            events_processed=events_processed,
+            outputs_emitted=len(outputs),
+            elapsed_seconds=elapsed,
+            emit_latencies=latencies,
+            partitions=partitions,
+            late_dropped=late,
+            backpressure_blocks=blocks,
+        )
+
+    def _run_inline(self, merged: Iterable[Tagged]):
+        join = self._build_join()
+        outputs: List[TPTuple] = []
+        events_processed = 0
+        for tagged in merged:
+            if isinstance(tagged.element, StreamEvent):
+                events_processed += 1
+            outputs.extend(join.process(tagged))
+        outputs.extend(join.close())
+        return outputs, [join], events_processed, 0
+
+    def _run_parallel(self, merged: Iterable[Tagged], partitions: int):
+        joins = [self._build_join() for _ in range(partitions)]
+        buffers: List[BoundedBuffer[Tagged]] = [
+            BoundedBuffer(self._config.buffer_capacity) for _ in range(partitions)
+        ]
+        outputs_per_worker: List[List[TPTuple]] = [[] for _ in range(partitions)]
+        failures: List[BaseException] = []
+
+        def work(index: int) -> None:
+            join = joins[index]
+            sink = outputs_per_worker[index]
+            try:
+                while True:
+                    batch = buffers[index].take_batch(self._config.micro_batch_size)
+                    if batch is None:
+                        break
+                    for tagged in batch:
+                        sink.extend(join.process(tagged))
+                sink.extend(join.close())
+            except BaseException as error:  # noqa: BLE001 - reported to caller
+                failures.append(error)
+                # Close our buffer so the router cannot block forever on a
+                # full buffer nobody drains; it sees BufferClosed and stops.
+                buffers[index].close()
+
+        workers = [
+            threading.Thread(target=work, args=(index,), name=f"stream-worker-{index}")
+            for index in range(partitions)
+        ]
+        for worker in workers:
+            worker.start()
+
+        events_processed = 0
+        theta = self._theta
+        try:
+            for tagged in merged:
+                element = tagged.element
+                if isinstance(element, StreamEvent):
+                    events_processed += 1
+                    if tagged.side == LEFT:
+                        key = theta.left_key(element.tuple)
+                        # Stamp ingestion here, before the element can sit in
+                        # a worker's buffer: emit latency includes queueing.
+                        tagged = Tagged(tagged.side, element, time.perf_counter())
+                    else:
+                        key = theta.right_key(element.tuple)
+                    buffers[hash(key) % partitions].put(tagged)
+                elif isinstance(element, Watermark):
+                    for buffer in buffers:
+                        buffer.put(tagged)
+        except BufferClosed:
+            # A worker died and closed its buffer; stop routing — the
+            # failure is re-raised after every worker is joined.
+            pass
+        finally:
+            for buffer in buffers:
+                buffer.close()
+            for worker in workers:
+                worker.join()
+        if failures:
+            raise failures[0]
+
+        outputs: List[TPTuple] = []
+        for worker_outputs in outputs_per_worker:
+            outputs.extend(worker_outputs)
+        blocks = sum(buffer.put_blocks for buffer in buffers)
+        return outputs, joins, events_processed, blocks

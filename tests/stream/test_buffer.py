@@ -1,0 +1,57 @@
+"""Bounded-buffer tests: FIFO order, micro-batches, close, backpressure."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.stream import BoundedBuffer, BufferClosed
+
+
+def test_fifo_order_and_micro_batches():
+    buffer: BoundedBuffer[int] = BoundedBuffer(capacity=10)
+    for value in range(7):
+        buffer.put(value)
+    assert buffer.take_batch(3) == [0, 1, 2]
+    assert buffer.take_batch(100) == [3, 4, 5, 6]
+
+
+def test_close_drains_then_signals_completion():
+    buffer: BoundedBuffer[str] = BoundedBuffer(capacity=4)
+    buffer.put("a")
+    buffer.close()
+    assert buffer.take_batch(8) == ["a"]
+    assert buffer.take_batch(8) is None
+    with pytest.raises(BufferClosed):
+        buffer.put("b")
+
+
+def test_put_blocks_until_consumer_makes_space():
+    buffer: BoundedBuffer[int] = BoundedBuffer(capacity=2)
+    buffer.put(0)
+    buffer.put(1)
+    produced = []
+
+    def producer():
+        buffer.put(2)  # blocks: buffer full
+        produced.append(2)
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    time.sleep(0.05)
+    assert not produced  # still blocked
+    assert buffer.take_batch(1) == [0]
+    thread.join(timeout=2)
+    assert produced == [2]
+    assert buffer.put_blocks == 1
+    assert buffer.high_watermark == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BoundedBuffer(capacity=0)
+    buffer: BoundedBuffer[int] = BoundedBuffer(capacity=1)
+    with pytest.raises(ValueError):
+        buffer.take_batch(0)

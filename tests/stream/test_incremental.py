@@ -1,0 +1,110 @@
+"""Incremental window maintainer: finalization timing, eviction, lateness."""
+
+from __future__ import annotations
+
+from repro.core.windows import WindowClass
+from repro.core.lawan import iter_lawan
+from repro.relation import Schema, TPRelation, equi_join_on
+from repro.stream import IncrementalWindowMaintainer
+from repro.temporal import Interval
+
+
+def _relation(name, *rows):
+    return TPRelation.from_rows(
+        Schema.of("Key", "Serial"),
+        [
+            (key, f"{name}{i}", f"{name}{i}", start, end, 0.5)
+            for i, (key, start, end) in enumerate(rows)
+        ],
+        name=name,
+    )
+
+
+def _theta(left, right):
+    return equi_join_on(left.schema, right.schema, [("Key", "Key")])
+
+
+def test_nothing_finalizes_before_the_combined_watermark_passes_a_tuple():
+    left = _relation("l", ("k", 0, 10))
+    right = _relation("r", ("k", 2, 5))
+    maintainer = IncrementalWindowMaintainer(_theta(left, right))
+    maintainer.add_positive(left.tuples[0])
+    maintainer.add_negative(right.tuples[0])
+    # Combined watermark is min(left, right): one side alone is not enough.
+    assert maintainer.advance_left(50) == []
+    assert maintainer.advance_right(9) == []
+    assert maintainer.open_positives == 1
+    finalized = maintainer.advance_right(10)
+    assert len(finalized) == 1
+    assert maintainer.open_positives == 0
+
+
+def test_finalized_group_reproduces_the_batch_windows():
+    left = _relation("l", ("k", 0, 10))
+    right = _relation("r", ("k", 2, 5), ("k", 4, 7))
+    maintainer = IncrementalWindowMaintainer(_theta(left, right))
+    # Deliver negatives out of event-time order.
+    maintainer.add_negative(right.tuples[1])
+    maintainer.add_positive(left.tuples[0])
+    maintainer.add_negative(right.tuples[0])
+    (finalized,) = maintainer.advance_left(10) + maintainer.advance_right(10)
+    windows = list(iter_lawan([finalized.group]))
+    classes = [w.window_class for w in windows]
+    assert classes.count(WindowClass.OVERLAPPING) == 2
+    assert classes.count(WindowClass.UNMATCHED) == 2  # [0,2) and [7,10)
+    assert classes.count(WindowClass.NEGATING) == 3  # [2,4), [4,5), [5,7)
+    intervals = [w.interval for w in windows if w.window_class is WindowClass.UNMATCHED]
+    assert intervals == [Interval(0, 2), Interval(7, 10)]
+
+
+def test_each_group_finalizes_exactly_once_and_is_never_retracted():
+    left = _relation("l", ("k", 0, 4), ("k", 6, 9))
+    right = _relation("r", ("k", 1, 3))
+    maintainer = IncrementalWindowMaintainer(_theta(left, right))
+    for tp_tuple in left:
+        maintainer.add_positive(tp_tuple)
+    maintainer.add_negative(right.tuples[0])
+    first = maintainer.advance_left(5) + maintainer.advance_right(5)
+    assert [g.group.r.end for g in first] == [4]
+    # Re-advancing to the same watermark finalizes nothing again.
+    assert maintainer.advance_left(5) == []
+    second = maintainer.advance_right(100) + maintainer.advance_left(100)
+    assert [g.group.r.end for g in second] == [9]
+
+
+def test_late_events_behind_the_watermark_are_dropped_and_counted():
+    left = _relation("l", ("k", 0, 4), ("k", 20, 24))
+    right = _relation("r", ("k", 1, 3))
+    maintainer = IncrementalWindowMaintainer(_theta(left, right))
+    maintainer.advance_left(10)
+    maintainer.advance_right(10)
+    maintainer.add_positive(left.tuples[0])  # starts at 0 < watermark 10
+    maintainer.add_negative(right.tuples[0])  # starts at 1 < watermark 10
+    assert maintainer.stats.late_positives_dropped == 1
+    assert maintainer.stats.late_negatives_dropped == 1
+    maintainer.add_positive(left.tuples[1])  # on time
+    assert maintainer.open_positives == 1
+
+
+def test_negatives_are_evicted_once_no_future_positive_can_overlap():
+    left = _relation("l", ("k", 0, 4))
+    right = _relation("r", ("k", 1, 3), ("k", 30, 35))
+    maintainer = IncrementalWindowMaintainer(_theta(left, right))
+    maintainer.add_positive(left.tuples[0])
+    for tp_tuple in right:
+        maintainer.add_negative(tp_tuple)
+    assert maintainer.indexed_negatives == 2
+    maintainer.advance_left(10)  # future positives start >= 10 > 3 = s1.end
+    assert maintainer.indexed_negatives == 1
+    assert maintainer.stats.negatives_evicted == 1
+    maintainer.close()
+    assert maintainer.indexed_negatives == 0
+
+
+def test_close_finalizes_everything():
+    left = _relation("l", ("k", 0, 1000))
+    maintainer = IncrementalWindowMaintainer(_theta(left, left))
+    maintainer.add_positive(left.tuples[0])
+    finalized = maintainer.close()
+    assert len(finalized) == 1
+    assert maintainer.open_positives == 0
