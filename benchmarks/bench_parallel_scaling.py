@@ -1,0 +1,235 @@
+"""Process-sharded execution: multi-core speedup with output equality.
+
+The workload is deliberately CPU-bound the way production TP queries are:
+a Meteo-like left outer join **materialising output probabilities**, so each
+shard pays window computation + lineage construction + exact probability
+computation.  The benchmark runs it
+
+* **batch** — :func:`repro.parallel.parallel_tp_join` at each worker count,
+  verified tuple-for-tuple (facts, intervals, canonical lineages *and*
+  probabilities) against the single-process run, and
+* **continuous** — :class:`repro.stream.StreamQuery` with
+  ``workers="processes"`` at each partition count, verified against the
+  batch join result,
+
+and reports wall-clock seconds plus the speedup over one worker.  Speedup
+requires actual cores: the payload records ``cpu_count`` so a 1-core CI
+runner's ≈1× is interpretable, and ``--require-speedup X`` turns the check
+into a hard assertion for machines that do have the cores (the acceptance
+bar for this subsystem is ≥2× at 4 workers on a 4-core host).
+
+Run with::
+
+    python benchmarks/bench_parallel_scaling.py                 # default sizes
+    python benchmarks/bench_parallel_scaling.py --smoke         # CI-sized
+    python benchmarks/bench_parallel_scaling.py --workers 1,2,4 --require-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence
+
+from repro.core import tp_left_outer_join
+from repro.datasets import ReplayConfig, meteo_pair, stream_def
+from repro.engine import Catalog
+from repro.harness.reporting import environment_info, write_bench_file
+from repro.lineage import canonical
+from repro.parallel import available_cpus, canonical_order, parallel_tp_join
+from repro.relation import EquiJoinCondition, TPTuple
+from repro.stream import StreamQuery, StreamQueryConfig
+
+JOIN_KIND = "left_outer"
+ON = [("Metric", "Metric")]
+
+
+def _identity_row(tp_tuple: TPTuple, with_probability: bool) -> tuple:
+    row = (tp_tuple.fact, tp_tuple.start, tp_tuple.end, str(canonical(tp_tuple.lineage)))
+    if with_probability:
+        row += (tp_tuple.probability,)
+    return row
+
+
+def assert_tuple_for_tuple(result, reference, with_probability: bool, label: str) -> None:
+    """Canonically ordered tuple-for-tuple equality (the hard output check)."""
+    got = [_identity_row(t, with_probability) for t in canonical_order(list(result))]
+    want = [_identity_row(t, with_probability) for t in canonical_order(list(reference))]
+    if got != want:
+        raise AssertionError(f"{label}: parallel output diverged from single-process run")
+
+
+def run_batch(size: int, workers_list: Sequence[int], seed: int) -> List[dict]:
+    """Batch probability-materialising join at each worker count."""
+    positive, negative = meteo_pair(size, seed=seed)
+    records: List[dict] = []
+    reference = None
+    baseline_seconds = None
+    for workers in workers_list:
+        result = parallel_tp_join(
+            JOIN_KIND, positive, negative, ON, workers=workers, compute_probabilities=True
+        )
+        if reference is None:
+            reference = result.relation
+            baseline_seconds = result.elapsed_seconds
+        else:
+            assert_tuple_for_tuple(
+                result.relation, reference, with_probability=True, label=f"batch w={workers}"
+            )
+        records.append(
+            {
+                "path": "batch",
+                "size": size,
+                "workers": result.workers,
+                "seconds": round(result.elapsed_seconds, 6),
+                "speedup_vs_1": round(baseline_seconds / result.elapsed_seconds, 3),
+                "outputs": len(result.relation),
+                "shard_inputs": list(result.shard_input_sizes),
+            }
+        )
+    return records
+
+
+def run_continuous(
+    size: int, workers_list: Sequence[int], seed: int, disorder: int
+) -> List[dict]:
+    """Continuous join at each partition count, process-backed when > 1."""
+    positive, negative = meteo_pair(size, seed=seed)
+    theta = EquiJoinCondition(positive.schema, negative.schema, tuple(ON))
+    batch = tp_left_outer_join(positive, negative, theta, compute_probabilities=False)
+
+    catalog = Catalog()
+    catalog.register_stream("r", stream_def(positive, ReplayConfig(disorder=disorder, seed=seed)))
+    catalog.register_stream(
+        "s", stream_def(negative, ReplayConfig(disorder=disorder, seed=seed + 1))
+    )
+    records: List[dict] = []
+    baseline_seconds = None
+    for workers in workers_list:
+        query = StreamQuery(
+            catalog,
+            JOIN_KIND,
+            "r",
+            "s",
+            ON,
+            config=StreamQueryConfig(
+                partitions=workers,
+                workers="processes" if workers > 1 else "threads",
+                micro_batch_size=64,
+            ),
+        )
+        result = query.run(merge_seed=seed)
+        assert_tuple_for_tuple(
+            result.relation, batch, with_probability=False, label=f"continuous p={workers}"
+        )
+        if baseline_seconds is None:
+            baseline_seconds = result.elapsed_seconds
+        records.append(
+            {
+                "path": "continuous",
+                "size": size,
+                "workers": workers,
+                "backend": result.workers,
+                "seconds": round(result.elapsed_seconds, 6),
+                "speedup_vs_1": round(baseline_seconds / result.elapsed_seconds, 3),
+                "events_per_second": round(result.events_per_second, 1),
+                "outputs": result.outputs_emitted,
+            }
+        )
+    return records
+
+
+def report_line(record: dict) -> str:
+    extra = (
+        f"{record['events_per_second']:>10.0f} ev/s"
+        if "events_per_second" in record
+        else f"{record['outputs']:>6} out"
+    )
+    return (
+        f"{record['path']:>10}  size={record['size']:>6}  workers={record['workers']}  "
+        f"{record['seconds'] * 1000:>9.1f}ms  speedup={record['speedup_vs_1']:>5.2f}x  {extra}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--sizes", default=None, help="comma-separated relation sizes (default 4000)"
+    )
+    parser.add_argument(
+        "--workers", default="1,2,4", help="comma-separated worker counts (default 1,2,4)"
+    )
+    parser.add_argument("--disorder", type=int, default=4, help="stream replay disorder")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes / 2 workers for CI smoke runs"
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        help="fail unless the best batch speedup reaches this factor "
+        "(use on hosts with at least as many cores as workers)",
+    )
+    parser.add_argument("--json-dir", default="bench_results")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        sizes = [400]
+        workers_list = [1, 2]
+    else:
+        sizes = (
+            [int(part) for part in arguments.sizes.split(",") if part.strip()]
+            if arguments.sizes
+            else [4000]
+        )
+        workers_list = [int(part) for part in arguments.workers.split(",") if part.strip()]
+    if workers_list[0] != 1:
+        workers_list = [1, *workers_list]
+    cpus = available_cpus()
+    print(f"cpu_count={cpus}  workers={workers_list}  sizes={sizes}")
+    if max(workers_list) > cpus:
+        print(
+            f"note: only {cpus} core(s) available; speedups for >{cpus} workers "
+            "measure overhead, not parallelism"
+        )
+
+    started = time.perf_counter()
+    records: List[dict] = []
+    for size in sizes:
+        for record in run_batch(size, workers_list, arguments.seed):
+            records.append(record)
+            print(report_line(record))
+        for record in run_continuous(size, workers_list, arguments.seed, arguments.disorder):
+            records.append(record)
+            print(report_line(record))
+    print(f"total {time.perf_counter() - started:.1f}s; all output-equality checks passed")
+
+    best_batch = max(
+        (r["speedup_vs_1"] for r in records if r["path"] == "batch"), default=1.0
+    )
+    if arguments.require_speedup is not None and best_batch < arguments.require_speedup:
+        print(
+            f"FAIL: best batch speedup {best_batch:.2f}x < required "
+            f"{arguments.require_speedup:.2f}x"
+        )
+        return 1
+
+    if arguments.json_dir:
+        payload = {
+            "experiment": "parallel_scaling",
+            "title": "Process-sharded TP joins: speedup vs single process",
+            "seed": arguments.seed,
+            "cpu_count": cpus,
+            "best_batch_speedup": best_batch,
+            "measurements": records,
+            "environment": environment_info(),
+        }
+        path = write_bench_file("parallel_scaling", payload, arguments.json_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

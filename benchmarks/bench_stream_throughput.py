@@ -148,6 +148,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         payload = {
             "experiment": "stream_throughput",
             "title": "Continuous TP left outer join: throughput and emit latency",
+            "seed": arguments.seed,
             "measurements": records,
             "environment": environment_info(),
         }

@@ -79,6 +79,7 @@ from .lineage import (
     probability,
     var,
 )
+from .parallel import ParallelConfig, parallel_tp_join
 from .relation import (
     EquiJoinCondition,
     PredicateCondition,
@@ -110,6 +111,7 @@ __all__ = [
     "IntervalSet",
     "LineageExpr",
     "MonteCarloEstimator",
+    "ParallelConfig",
     "PredicateCondition",
     "ProbabilityComputer",
     "Schema",
@@ -133,6 +135,7 @@ __all__ = [
     "nj_wn",
     "nj_wuo",
     "nj_wuon",
+    "parallel_tp_join",
     "probability",
     "stream_anti_join",
     "stream_left_outer_join",

@@ -24,6 +24,7 @@ from .physical import (
     FilterOperator,
     NaiveJoinOperator,
     NJJoinOperator,
+    ParallelNJJoinOperator,
     ProjectOperator,
     ScanOperator,
     TAJoinOperator,
@@ -45,6 +46,7 @@ __all__ = [
     "LogicalPlan",
     "NJJoinOperator",
     "NaiveJoinOperator",
+    "ParallelNJJoinOperator",
     "ParsedQuery",
     "PhysicalOperator",
     "PlanError",

@@ -13,7 +13,7 @@ deployments address queries, not plans.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator, Sequence
 
 from ..relation import TPRelation
 from .errors import CatalogError
@@ -118,6 +118,39 @@ class Catalog:
     def stream_names(self) -> list[str]:
         """All registered stream names, sorted."""
         return sorted(self._streams)
+
+    # ------------------------------------------------------------------ #
+    # planner estimates
+    # ------------------------------------------------------------------ #
+    def join_state_estimate(
+        self,
+        left_names: Sequence[str],
+        right_names: Sequence[str],
+        on: tuple[tuple[str, str], ...],
+    ) -> tuple[float, int, int]:
+        """Estimate a TP join's state size for the shard planner.
+
+        Implements the ROADMAP cost model: the state a join holds is
+        ``open positives × matches per positive``, where the match count is
+        estimated from the negative side's key selectivity (cardinality over
+        distinct join-key values).  Returns ``(state_estimate,
+        left_cardinality, right_distinct_keys)`` — everything the partition
+        chooser needs, including the key-count cap (a single key can never
+        be split across shards).
+        """
+        from ..parallel.plan import estimate_join_state
+
+        left_cardinality = sum(self.stats(name).cardinality for name in left_names)
+        right_cardinality = sum(self.stats(name).cardinality for name in right_names)
+        right_distinct = 1
+        if on:
+            key_attribute = on[0][1]
+            right_distinct = max(
+                1,
+                sum(self.stats(name).distinct(key_attribute) for name in right_names),
+            )
+        state = estimate_join_state(left_cardinality, right_cardinality, right_distinct)
+        return state, left_cardinality, right_distinct
 
     def register_continuous_query(
         self, name: str, query: "StreamQuery", replace: bool = False

@@ -108,6 +108,8 @@ class ContinuousJoinOperator(PhysicalOperator):
         self._kind = kind
         self._on = on
         self._right_label = right.stream_def().name or right_name
+        #: Read by EXPLAIN to render the ``[parallel n=K]`` annotation.
+        self.parallel_workers = self._query.effective_partitions
         self.last_result: Optional[StreamQueryResult] = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:

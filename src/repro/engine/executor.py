@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..parallel.plan import ParallelConfig
 from ..relation import TPRelation
 from ..stream import StreamDef, StreamQuery, StreamQueryConfig
 from .catalog import Catalog
@@ -29,11 +30,16 @@ class Engine:
         self,
         default_strategy: JoinStrategy = JoinStrategy.NJ,
         stream_config: StreamQueryConfig | None = None,
+        parallel_config: ParallelConfig | None = None,
     ) -> None:
         self._catalog = Catalog()
         self._planner = Planner(
             self._catalog,
-            PlannerConfig(default_strategy=default_strategy, stream_config=stream_config),
+            PlannerConfig(
+                default_strategy=default_strategy,
+                stream_config=stream_config,
+                parallel=parallel_config,
+            ),
         )
         self._stream_config = stream_config
 

@@ -4,6 +4,10 @@ Continuous (stream-backed) operators are rendered with a ``[continuous]``
 marker instead of a cost estimate: their inputs are unbounded, so a
 cardinality-based cost is meaningless — progress is driven by watermarks,
 not by cardinalities.
+
+Operators executing across more than one shard (the process-parallel batch
+join, or a continuous join with multiple partitions) additionally carry a
+``[parallel n=K]`` marker, read from their ``parallel_workers`` attribute.
 """
 
 from __future__ import annotations
@@ -37,6 +41,9 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
         annotation = "[continuous]"
     else:
         annotation = f"(cost≈{operator.estimated_cost():.0f})"
+    workers = getattr(operator, "parallel_workers", 1)
+    if workers > 1:
+        annotation += f" [parallel n={workers}]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

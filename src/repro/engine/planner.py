@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..parallel.plan import ParallelConfig, choose_partitions
 from ..relation import TPRelation
 from ..stream import StreamQueryConfig
 from .catalog import Catalog
@@ -38,6 +39,7 @@ from .logical import (
 )
 from .physical import (
     FilterOperator,
+    ParallelNJJoinOperator,
     ProjectOperator,
     ScanOperator,
     TimesliceOperator,
@@ -54,6 +56,9 @@ class PlannerConfig:
     #: Execution knobs handed to continuous (stream) joins; ``None`` means
     #: single-partition inline execution.
     stream_config: Optional[StreamQueryConfig] = None
+    #: Shard-planner knobs for process-parallel batch joins; ``None`` (the
+    #: default) disables parallel planning and every join runs serially.
+    parallel: Optional[ParallelConfig] = None
 
 
 class Planner:
@@ -182,6 +187,16 @@ class Planner:
                     )
                 return self._continuous_join(plan)
             strategy = self.resolve_strategy(plan.strategy)
+            workers = self._parallel_workers(plan, strategy)
+            if workers > 1:
+                return ParallelNJJoinOperator(
+                    self._physicalise(plan.left),
+                    self._physicalise(plan.right),
+                    plan.kind,
+                    plan.on,
+                    self._merged_events(plan),
+                    workers,
+                )
             return join_operator_for(
                 strategy,
                 self._physicalise(plan.left),
@@ -191,6 +206,34 @@ class Planner:
                 self._merged_events(plan),
             )
         raise PlanError(f"unsupported logical node {type(plan).__name__}")
+
+    def _parallel_workers(self, plan: TPJoin, strategy: JoinStrategy) -> int:
+        """Partition count for a stored-relation TP join (1 means serial).
+
+        Parallel plans are considered only when the planner was configured
+        with a :class:`~repro.parallel.plan.ParallelConfig`, the join runs
+        the NJ pipeline (TA and the naive oracle are baselines measured
+        as-is) and an equi-θ provides a partitioning key.  The count comes
+        from the catalog's state-size estimate (open positives × matches).
+        """
+        if self._config.parallel is None or strategy is not JoinStrategy.NJ:
+            return 1
+        if not plan.on:
+            return 1
+        from .logical import find_scans
+
+        left_scans = find_scans(plan.left)
+        right_scans = find_scans(plan.right)
+        if not left_scans or not right_scans:
+            return 1
+        state, left_cardinality, right_distinct = self._catalog.join_state_estimate(
+            [scan.relation_name for scan in left_scans],
+            [scan.relation_name for scan in right_scans],
+            plan.on,
+        )
+        return choose_partitions(
+            state, left_cardinality, self._config.parallel, distinct_keys=right_distinct
+        )
 
     def _continuous_join(self, plan: TPJoin) -> PhysicalOperator:
         """Fuse two stream scans under a TP join into a continuous join."""

@@ -77,7 +77,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         all_measurements.extend(result.measurements)
         if arguments.json_dir:
-            path = write_bench_json(result.spec, result.measurements, arguments.json_dir)
+            path = write_bench_json(
+                result.spec, result.measurements, arguments.json_dir, seed=result.seed
+            )
             print(f"wrote {path}")
     if arguments.csv:
         write_csv(all_measurements, arguments.csv)

@@ -102,13 +102,21 @@ def write_csv(measurements: Iterable[Measurement], path: str | Path) -> None:
 # --------------------------------------------------------------------------- #
 # machine-readable results (perf trajectory across PRs)
 # --------------------------------------------------------------------------- #
-def bench_payload(spec: ExperimentSpec, measurements: Sequence[Measurement]) -> dict:
-    """The JSON payload written for one experiment's measurements."""
+def bench_payload(
+    spec: ExperimentSpec, measurements: Sequence[Measurement], seed: int = 0
+) -> dict:
+    """The JSON payload written for one experiment's measurements.
+
+    ``seed`` is the workload-generator seed the run used; recording it makes
+    every ``BENCH_*.json`` self-reproducing (re-run the same experiment with
+    the recorded seed and sizes to regenerate the identical workload).
+    """
     return {
         "experiment": spec.experiment_id,
         "title": spec.title,
         "dataset": spec.dataset,
         "expected_shape": spec.expected_shape,
+        "seed": seed,
         "measurements": [
             {
                 "series": m.series,
@@ -150,9 +158,12 @@ def write_bench_json(
     spec: ExperimentSpec,
     measurements: Sequence[Measurement],
     directory: str | Path,
+    seed: int = 0,
 ) -> Path:
     """Write one experiment's measurements as ``BENCH_<experiment>.json``."""
-    return write_bench_file(spec.experiment_id, bench_payload(spec, measurements), directory)
+    return write_bench_file(
+        spec.experiment_id, bench_payload(spec, measurements, seed=seed), directory
+    )
 
 
 def _series_order(measurements: Sequence[Measurement]) -> list[str]:

@@ -11,11 +11,16 @@ from .reporting import experiment_report
 
 @dataclass(frozen=True)
 class RunResult:
-    """Measurements and report text of one executed experiment."""
+    """Measurements and report text of one executed experiment.
+
+    The workload seed rides along so results written to ``BENCH_*.json``
+    record how to reproduce themselves.
+    """
 
     spec: ExperimentSpec
     measurements: tuple[Measurement, ...]
     report: str
+    seed: int = 0
 
 
 def run_experiment(
@@ -25,7 +30,7 @@ def run_experiment(
 ) -> RunResult:
     """Run one experiment spec and build its report."""
     measurements = tuple(spec.run(sizes=sizes, seed=seed))
-    return RunResult(spec, measurements, experiment_report(spec, measurements))
+    return RunResult(spec, measurements, experiment_report(spec, measurements), seed=seed)
 
 
 def run_by_name(

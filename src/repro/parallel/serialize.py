@@ -1,0 +1,146 @@
+"""Compact partition serialization for cross-process shard shipping.
+
+Shards cross the process boundary many times per query (inputs out, outputs
+back), so the wire format matters.  Pickling the object graph directly works
+— every core type is a picklable dataclass — but ships class metadata and
+per-object headers for each tuple, lineage node and interval.  This module
+flattens everything into nested tuples of primitives instead:
+
+* a lineage expression becomes a prefix-encoded tuple tree
+  (``("v", name)`` / ``("n", child)`` / ``("a", op1, op2, ...)`` /
+  ``("o", ...)`` / ``("t",)`` / ``("f",)``), which pickles to a fraction of
+  the dataclass graph's size and needs no class lookups to decode;
+* a TP tuple becomes ``(fact, lineage_code, start, end, probability)``;
+* stream elements become ``("e", side, sequence, tuple_code, clock)`` and
+  ``("w", side, value)`` records.
+
+Schemas and event-space restrictions travel as plain tuples/dicts.  Decoding
+rebuilds the exact original values — codecs are inverse bijections, tested
+round-trip — so shard workers operate on full-fidelity TP tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..lineage import FALSE, TRUE, And, EventSpace, LineageExpr, Not, Or, Var
+from ..relation import TPTuple
+from ..stream.elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
+from ..temporal import Interval
+
+# --------------------------------------------------------------------------- #
+# lineage codec
+# --------------------------------------------------------------------------- #
+def encode_lineage(expr: LineageExpr) -> tuple:
+    """Flatten a lineage expression into a prefix-encoded primitive tuple."""
+    if isinstance(expr, Var):
+        return ("v", expr.name)
+    if expr == TRUE:
+        return ("t",)
+    if expr == FALSE:
+        return ("f",)
+    if isinstance(expr, Not):
+        return ("n", encode_lineage(expr.child))
+    if isinstance(expr, And):
+        return ("a", *(encode_lineage(operand) for operand in expr.operands))
+    if isinstance(expr, Or):
+        return ("o", *(encode_lineage(operand) for operand in expr.operands))
+    raise TypeError(f"unsupported lineage node {type(expr).__name__}")
+
+
+def decode_lineage(code: tuple) -> LineageExpr:
+    """Rebuild a lineage expression from its prefix encoding."""
+    tag = code[0]
+    if tag == "v":
+        return Var(code[1])
+    if tag == "t":
+        return TRUE
+    if tag == "f":
+        return FALSE
+    if tag == "n":
+        return Not(decode_lineage(code[1]))
+    if tag == "a":
+        return And(tuple(decode_lineage(part) for part in code[1:]))
+    if tag == "o":
+        return Or(tuple(decode_lineage(part) for part in code[1:]))
+    raise ValueError(f"unknown lineage code tag {tag!r}")
+
+
+# --------------------------------------------------------------------------- #
+# tuple codec
+# --------------------------------------------------------------------------- #
+def encode_tuple(tp_tuple: TPTuple) -> tuple:
+    """Flatten one TP tuple into primitives."""
+    return (
+        tp_tuple.fact,
+        encode_lineage(tp_tuple.lineage),
+        tp_tuple.start,
+        tp_tuple.end,
+        tp_tuple.probability,
+    )
+
+
+def decode_tuple(code: tuple) -> TPTuple:
+    """Rebuild one TP tuple from its encoding."""
+    fact, lineage_code, start, end, probability = code
+    return TPTuple(tuple(fact), decode_lineage(lineage_code), Interval(start, end), probability)
+
+
+def encode_tuples(tuples: Iterable[TPTuple]) -> List[tuple]:
+    """Encode a batch of TP tuples."""
+    return [encode_tuple(tp_tuple) for tp_tuple in tuples]
+
+
+def decode_tuples(codes: Iterable[tuple]) -> List[TPTuple]:
+    """Decode a batch of TP tuples."""
+    return [decode_tuple(code) for code in codes]
+
+
+# --------------------------------------------------------------------------- #
+# stream element codec
+# --------------------------------------------------------------------------- #
+def encode_tagged(tagged: Tagged) -> tuple:
+    """Flatten one tagged stream element (event or watermark)."""
+    side_code = 0 if tagged.side == LEFT else 1
+    element = tagged.element
+    if isinstance(element, StreamEvent):
+        return ("e", side_code, element.sequence, encode_tuple(element.tuple), tagged.ingest_clock)
+    if isinstance(element, Watermark):
+        return ("w", side_code, element.value)
+    raise TypeError(f"unsupported stream element {element!r}")
+
+
+def decode_tagged(code: tuple) -> Tagged:
+    """Rebuild one tagged stream element from its encoding."""
+    side = LEFT if code[1] == 0 else RIGHT
+    if code[0] == "e":
+        _tag, _side, sequence, tuple_code, clock = code
+        return Tagged(side, StreamEvent(decode_tuple(tuple_code), sequence=sequence), clock)
+    if code[0] == "w":
+        return Tagged(side, Watermark(code[2]))
+    raise ValueError(f"unknown element code tag {code[0]!r}")
+
+
+# --------------------------------------------------------------------------- #
+# event-space restriction
+# --------------------------------------------------------------------------- #
+def restricted_probabilities(
+    events: EventSpace, tuples: Sequence[TPTuple]
+) -> Dict[str, float]:
+    """The marginal probabilities a shard needs: the events its lineages mention.
+
+    Shipping the full event space to every worker would make IPC cost grow
+    with the *total* input size instead of the shard size; restricting to the
+    shard's own variables keeps shards genuinely shared-nothing.
+    """
+    needed: Dict[str, float] = {}
+    for tp_tuple in tuples:
+        for name in tp_tuple.lineage.variables():
+            if name not in needed:
+                needed[name] = events.probability(name)
+    return needed
+
+
+def events_from_probabilities(probabilities: Optional[Dict[str, float]]) -> EventSpace:
+    """Rebuild an event space from a shipped probability mapping."""
+    return EventSpace(probabilities or {})

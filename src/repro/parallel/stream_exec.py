@@ -1,0 +1,264 @@
+"""Process-sharded execution of continuous TP queries.
+
+The thread-based parallel path of :class:`repro.stream.StreamQuery` shares
+one interpreter, so the GIL caps CPU-bound lineage work at one core.  This
+module ports the identical topology — a router hash-partitioning events by
+join key, watermarks broadcast to every partition, bounded buffers providing
+backpressure — onto ``multiprocessing`` workers:
+
+* each partition is a separate OS process running its own
+  :class:`~repro.stream.operators.ContinuousJoinBase` over its own shard of
+  the key space (shared-nothing: no state crosses partitions, ever);
+* the router ships compactly serialized micro-batches through a bounded
+  ``multiprocessing.Queue`` per worker, so a slow worker backpressures the
+  router exactly like the in-process :class:`BoundedBuffer` does;
+* when all inputs are drained the router sends a close sentinel, workers
+  finalize their remaining windows and return their serialized outputs,
+  per-tuple emit latencies and late-drop counters in one result message.
+
+Emit latencies remain comparable across the process boundary because
+``time.perf_counter`` reads ``CLOCK_MONOTONIC``, which is system-wide on the
+platforms with ``fork``; the router stamps ingestion before an element can
+sit in a queue, so latencies include cross-process queueing time.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..relation import Schema, ThetaCondition, TPTuple
+from ..stream.elements import LEFT, StreamEvent, Tagged, Watermark
+from ..stream.operators import continuous_join
+from .plan import stable_hash
+from .pool import preferred_context
+from .serialize import decode_tagged, decode_tuples, encode_tagged, encode_tuples
+
+#: Poll interval (seconds) for queue operations that must watch worker
+#: liveness.  Slow-but-alive workers are waited on indefinitely; only a dead
+#: worker aborts the run.
+_POLL_INTERVAL = 1.0
+
+
+class WorkerStartError(RuntimeError):
+    """Worker processes could not be started (sandbox without fork/spawn).
+
+    Raised strictly *before* any input element is consumed, so callers can
+    fall back to another backend over the same untouched element iterator —
+    :class:`repro.stream.StreamQuery` degrades to the thread backend.
+    """
+
+
+@dataclass(frozen=True)
+class StreamShardSpec:
+    """Everything a worker process needs to rebuild its continuous join."""
+
+    kind: str
+    left_attributes: tuple
+    right_attributes: tuple
+    on: tuple
+    left_name: str = "r"
+    right_name: str = "s"
+
+    def build_join(self):
+        """Instantiate the continuous join this spec describes."""
+        return continuous_join(
+            self.kind,
+            Schema(tuple(self.left_attributes)),
+            Schema(tuple(self.right_attributes)),
+            self.on,
+            left_name=self.left_name,
+            right_name=self.right_name,
+        )
+
+
+@dataclass
+class ProcessRunOutcome:
+    """What the router hands back to :class:`StreamQuery` after a run."""
+
+    outputs: List[TPTuple]
+    emit_latencies: List[float]
+    late_dropped: int
+    events_processed: int
+    backpressure_blocks: int
+
+
+def _stream_worker_main(index: int, spec: StreamShardSpec, in_queue, out_queue) -> None:
+    """Worker process entry point: drain micro-batches, finalize, report."""
+    try:
+        join = spec.build_join()
+        outputs: List[TPTuple] = []
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            for code in batch:
+                outputs.extend(join.process(decode_tagged(code)))
+        outputs.extend(join.close())
+        late = (
+            join.maintainer.stats.late_positives_dropped
+            + join.maintainer.stats.late_negatives_dropped
+        )
+        out_queue.put(
+            (index, "ok", encode_tuples(outputs), list(join.emit_latencies), late)
+        )
+    except BaseException:  # noqa: BLE001 - marshalled to the router
+        out_queue.put((index, "error", traceback.format_exc(), None, None))
+
+
+def run_process_partitions(
+    spec: StreamShardSpec,
+    merged: Iterable[Tagged],
+    theta: ThetaCondition,
+    partitions: int,
+    micro_batch_size: int = 64,
+    buffer_capacity: int = 1024,
+) -> ProcessRunOutcome:
+    """Route a merged element sequence through ``partitions`` worker processes.
+
+    Mirrors the thread runtime's contract: events are hash-routed by join
+    key, watermarks are broadcast, per-partition element order is preserved,
+    and bounded queues backpressure the router.  Outputs are concatenated in
+    partition-index order — deterministic for a fixed partition count.
+    """
+    if partitions <= 1:
+        raise ValueError("run_process_partitions requires at least two partitions")
+    context = preferred_context()
+    # Queue capacity is measured in micro-batches; keep the same element
+    # budget the thread path's BoundedBuffer(capacity) provides.
+    queue_batches = max(2, buffer_capacity // max(1, micro_batch_size))
+    workers: List = []
+    try:
+        # Queue construction can itself fail in sandboxes (sem_open denied),
+        # so it sits under the same fallback guard as process start-up.
+        in_queues = [context.Queue(maxsize=queue_batches) for _ in range(partitions)]
+        out_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_stream_worker_main,
+                args=(index, spec, in_queues[index], out_queue),
+                name=f"stream-shard-{index}",
+                daemon=True,
+            )
+            for index in range(partitions)
+        ]
+        for worker in workers:
+            worker.start()
+    except (OSError, PermissionError) as error:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        raise WorkerStartError(f"cannot start shard processes: {error}") from error
+
+    pending: List[List[tuple]] = [[] for _ in range(partitions)]
+    blocks = 0
+    events_processed = 0
+
+    def safe_put(index: int, item) -> None:
+        """Blocking put that cannot hang on a dead worker's full queue."""
+        nonlocal blocks
+        try:
+            in_queues[index].put_nowait(item)
+            return
+        except queue_module.Full:
+            blocks += 1
+        while True:
+            try:
+                in_queues[index].put(item, timeout=_POLL_INTERVAL)
+                return
+            except queue_module.Full:
+                if not workers[index].is_alive():
+                    raise RuntimeError(
+                        f"stream shard {index} died with a full input queue"
+                    ) from None
+
+    def flush(index: int) -> None:
+        if not pending[index]:
+            return
+        batch = pending[index]
+        pending[index] = []
+        safe_put(index, batch)
+
+    try:
+        for tagged in merged:
+            element = tagged.element
+            if isinstance(element, StreamEvent):
+                events_processed += 1
+                if tagged.side == LEFT:
+                    key = theta.left_key(element.tuple)
+                    # Stamp ingestion before the element can queue anywhere,
+                    # so emit latency includes serialization + queueing.
+                    tagged = Tagged(tagged.side, element, time.perf_counter())
+                else:
+                    key = theta.right_key(element.tuple)
+                index = _route(key, partitions)
+                pending[index].append(encode_tagged(tagged))
+                if len(pending[index]) >= micro_batch_size:
+                    flush(index)
+            elif isinstance(element, Watermark):
+                code = encode_tagged(tagged)
+                for index in range(partitions):
+                    pending[index].append(code)
+                    # Watermarks count toward the micro-batch budget too:
+                    # a partition receiving few events must still ship its
+                    # broadcast watermarks (bounding pending growth and
+                    # letting an otherwise-idle worker finalize windows).
+                    if len(pending[index]) >= micro_batch_size:
+                        flush(index)
+        for index in range(partitions):
+            flush(index)
+            safe_put(index, None)
+
+        results: dict[int, tuple] = {}
+        grace_polls = 5
+        while len(results) < partitions:
+            try:
+                message = out_queue.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                missing = sorted(set(range(partitions)) - set(results))
+                if any(workers[index].is_alive() for index in missing):
+                    # Slow workers (large final window drains) are waited on
+                    # for as long as they live — no arbitrary deadline.
+                    continue
+                # Every missing worker has exited; its result may still be in
+                # flight through the queue's feeder pipe, so poll a few more
+                # times before declaring it lost.
+                grace_polls -= 1
+                if grace_polls <= 0:
+                    raise RuntimeError(
+                        f"stream shards {missing} exited without a result"
+                    ) from None
+                continue
+            results[message[0]] = message
+    finally:
+        for worker in workers:
+            worker.join(timeout=5.0)
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - defensive cleanup
+                worker.terminate()
+
+    outputs: List[TPTuple] = []
+    latencies: List[float] = []
+    late_dropped = 0
+    for index in range(partitions):
+        _index, status, payload, shard_latencies, late = results[index]
+        if status != "ok":
+            raise RuntimeError(f"stream shard {index} failed:\n{payload}")
+        outputs.extend(decode_tuples(payload))
+        latencies.extend(shard_latencies)
+        late_dropped += late
+    return ProcessRunOutcome(
+        outputs=outputs,
+        emit_latencies=latencies,
+        late_dropped=late_dropped,
+        events_processed=events_processed,
+        backpressure_blocks=blocks,
+    )
+
+
+def _route(key, partitions: int) -> int:
+    return stable_hash(key) % partitions

@@ -23,6 +23,7 @@ from .predicates import (
     ThetaCondition,
     TrueCondition,
     equi_join_on,
+    stable_key_hash,
     theta_or_true,
 )
 from .relation import TPRelation, fresh_event_names
@@ -43,6 +44,7 @@ __all__ = [
     "UnknownAttributeError",
     "difference",
     "equi_join_on",
+    "stable_key_hash",
     "fresh_event_names",
     "project",
     "read_relation_csv",

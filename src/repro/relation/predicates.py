@@ -10,11 +10,50 @@ partitioning.
 
 from __future__ import annotations
 
+import numbers
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Sequence
 
 from .schema import Schema
 from .tptuple import TPTuple
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """An equality-invariant, run-stable hash of a partition key.
+
+    Two properties matter for shard routing, in this order:
+
+    1. **Equality invariance** — ``a == b`` must imply the same hash, or
+       equal join keys land in different shards and the shared-nothing
+       invariant breaks.  Numbers are normalised through builtin ``hash``
+       (``hash(1) == hash(1.0) == hash(True)``, and numeric hashing is not
+       salted), so cross-type equal keys route together exactly as the
+       serial join's ``==`` matches them.
+    2. **Run stability** — Python's builtin string hash is salted per
+       process (``PYTHONHASHSEED``), so strings are hashed via CRC-32 of
+       their bytes instead; shard assignment is then reproducible across
+       runs for keys built from strings, numbers, ``None`` and tuples
+       thereof (every key a :class:`ThetaCondition` produces).  Exotic key
+       types fall back to builtin ``hash`` — equality-invariant and
+       consistent within the routing process, though not across runs.
+    """
+    return zlib.crc32(repr(_normalize_key(key)).encode("utf-8", "backslashreplace"))
+
+
+def _normalize_key(value) -> object:
+    """Map a key to an address-free form on which ``repr`` is stable."""
+    if value is None or isinstance(value, (str, bytes)):
+        return value
+    if isinstance(value, numbers.Number):
+        # Python guarantees hash equality across ==-equal numerics of any
+        # registered Number type (int/float/complex/Decimal/Fraction/...).
+        return ("num", hash(value))
+    if isinstance(value, tuple):
+        return tuple(_normalize_key(part) for part in value)
+    if isinstance(value, frozenset):
+        return ("set", tuple(sorted(repr(_normalize_key(part)) for part in value)))
+    return ("obj", hash(value))
 
 
 class ThetaCondition:

@@ -32,10 +32,17 @@ from .operators import (
     ContinuousJoinBase,
     ContinuousLeftOuterJoin,
     continuous_join,
+    continuous_output_schema,
     joined_output_schema,
     theta_from_pairs,
 )
-from .query import StreamDef, StreamQuery, StreamQueryConfig, StreamQueryResult
+from .query import (
+    WORKER_BACKENDS,
+    StreamDef,
+    StreamQuery,
+    StreamQueryConfig,
+    StreamQueryResult,
+)
 from .source import SourceStats, StreamSource, merge_tagged
 
 __all__ = [
@@ -60,8 +67,10 @@ __all__ = [
     "StreamQueryResult",
     "StreamSource",
     "Tagged",
+    "WORKER_BACKENDS",
     "Watermark",
     "continuous_join",
+    "continuous_output_schema",
     "joined_output_schema",
     "merge_tagged",
     "tag",

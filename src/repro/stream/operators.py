@@ -202,6 +202,24 @@ CONTINUOUS_OPERATORS = {
 }
 
 
+def continuous_output_schema(
+    kind: str, left_schema: Schema, right_schema: Schema, right_name: str = "s"
+) -> Schema:
+    """The output schema of a continuous join, without building the operator.
+
+    Mirrors the per-class ``output_schema`` definitions above so callers
+    that only need the schema (e.g. :class:`repro.stream.StreamQuery`
+    wrapping a finished run) skip constructing a window maintainer.
+    """
+    if kind not in CONTINUOUS_OPERATORS:
+        raise ValueError(
+            f"continuous execution supports {sorted(CONTINUOUS_OPERATORS)}, not {kind!r}"
+        )
+    if kind == "anti":
+        return left_schema
+    return joined_output_schema(left_schema, right_schema, right_name)
+
+
 def continuous_join(
     kind: str,
     left_schema: Schema,

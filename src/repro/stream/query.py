@@ -10,6 +10,12 @@ micro-batches from a :class:`~repro.stream.buffer.BoundedBuffer`, whose hard
 capacity backpressures the router (and the sources behind it) when a worker
 falls behind.
 
+Two worker backends share that topology: ``workers="threads"`` (default)
+runs partitions as threads in this interpreter, ``workers="processes"``
+runs each partition in its own OS process via
+:mod:`repro.parallel.stream_exec` for true multi-core speedup on CPU-bound
+lineage work (the GIL caps the thread backend at one core).
+
 With ``partitions=1`` (or a non-equi θ, which cannot be key-partitioned) the
 query runs inline on the calling thread — the fast path for small streams
 and the engine's SQL entry point.
@@ -27,10 +33,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..lineage import EventSpace
-from ..relation import Schema, TPRelation, TPTuple
+from ..relation import Schema, TPRelation, TPTuple, stable_key_hash
 from .buffer import BoundedBuffer, BufferClosed
 from .elements import LEFT, StreamElement, StreamEvent, Tagged, Watermark
-from .operators import ContinuousJoinBase, continuous_join, theta_from_pairs
+from .operators import (
+    ContinuousJoinBase,
+    continuous_join,
+    continuous_output_schema,
+    theta_from_pairs,
+)
 from .source import SourceStats, merge_tagged
 
 
@@ -48,17 +59,33 @@ class StreamDef:
     name: str = ""
 
 
+#: Valid values of :attr:`StreamQueryConfig.workers`.
+WORKER_BACKENDS = ("threads", "processes")
+
+
 @dataclass(frozen=True)
 class StreamQueryConfig:
-    """Execution knobs of a continuous query."""
+    """Execution knobs of a continuous query.
+
+    ``workers`` picks the parallel backend for ``partitions > 1``:
+    ``"threads"`` shares one interpreter (cheap, but the GIL caps CPU-bound
+    lineage work at one core), ``"processes"`` runs each partition in its
+    own OS process via :mod:`repro.parallel.stream_exec` (true multi-core
+    speedup, paid for with per-element serialization).
+    """
 
     partitions: int = 1
     micro_batch_size: int = 64
     buffer_capacity: int = 1024
+    workers: str = "threads"
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
             raise ValueError("partitions must be positive")
+        if self.workers not in WORKER_BACKENDS:
+            raise ValueError(
+                f"workers must be one of {WORKER_BACKENDS}, got {self.workers!r}"
+            )
 
 
 @dataclass
@@ -73,6 +100,7 @@ class StreamQueryResult:
     partitions: int = 1
     late_dropped: int = 0
     backpressure_blocks: int = 0
+    workers: str = "threads"
 
     @property
     def events_per_second(self) -> float:
@@ -135,13 +163,21 @@ class StreamQuery:
 
     def describe(self) -> str:
         condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        backend = ""
+        if self.effective_partitions > 1 and self._config.workers == "processes":
+            backend = ", workers=processes"
         return (
             f"StreamQuery[{self._kind}] {self._left_name} × {self._right_name} "
-            f"on {condition} (partitions={self._effective_partitions()})"
+            f"on {condition} (partitions={self.effective_partitions}{backend})"
         )
 
-    def _effective_partitions(self) -> int:
-        # Non-equi θ cannot be hash-partitioned by key: run on one partition.
+    @property
+    def effective_partitions(self) -> int:
+        """The partition count a run will actually use.
+
+        Non-equi θ cannot be hash-partitioned by key: such queries run on
+        one partition regardless of the configured count.
+        """
         if not self._theta.is_equi:
             return 1
         return self._config.partitions
@@ -168,29 +204,42 @@ class StreamQuery:
         left_elements = left_def.replay()
         right_elements = right_def.replay()
         merged = merge_tagged(left_elements, right_elements, seed=merge_seed)
-        partitions = self._effective_partitions()
+        partitions = self.effective_partitions
+        backend = self._config.workers if partitions > 1 else "threads"
         started = time.perf_counter()
         if partitions == 1:
-            outputs, joins, events_processed, blocks = self._run_inline(merged)
+            outputs, latencies, late, events_processed, blocks = self._run_inline(merged)
+        elif backend == "processes":
+            from ..parallel.stream_exec import WorkerStartError
+
+            try:
+                outputs, latencies, late, events_processed, blocks = self._run_processes(
+                    merged, partitions
+                )
+            except WorkerStartError:
+                # Processes unavailable (sandbox): degrade to the thread
+                # backend — safe, no element was consumed yet — and report
+                # the backend that actually ran.
+                backend = "threads"
+                outputs, latencies, late, events_processed, blocks = self._run_parallel(
+                    merged, partitions
+                )
         else:
-            outputs, joins, events_processed, blocks = self._run_parallel(
+            outputs, latencies, late, events_processed, blocks = self._run_parallel(
                 merged, partitions
             )
         elapsed = time.perf_counter() - started
 
         events = left_def.events.merge(right_def.events)
-        schema = joins[0].output_schema()
+        schema = continuous_output_schema(
+            self._kind,
+            left_def.schema,
+            right_def.schema,
+            right_def.name or self._right_name,
+        )
         relation = TPRelation(
             schema, outputs, events, name=self.describe(), check_constraint=False
         )
-        latencies: List[float] = []
-        late = 0
-        for join in joins:
-            latencies.extend(join.emit_latencies)
-            late += (
-                join.maintainer.stats.late_positives_dropped
-                + join.maintainer.stats.late_negatives_dropped
-            )
         # Sources evict events beyond their lateness bound at ingestion;
         # surface those too (a replay that exposes stats, e.g. StreamSource).
         for elements in (left_elements, right_elements):
@@ -206,7 +255,20 @@ class StreamQuery:
             partitions=partitions,
             late_dropped=late,
             backpressure_blocks=blocks,
+            workers=backend,
         )
+
+    @staticmethod
+    def _operator_stats(joins: Sequence[ContinuousJoinBase]):
+        latencies: List[float] = []
+        late = 0
+        for join in joins:
+            latencies.extend(join.emit_latencies)
+            late += (
+                join.maintainer.stats.late_positives_dropped
+                + join.maintainer.stats.late_negatives_dropped
+            )
+        return latencies, late
 
     def _run_inline(self, merged: Iterable[Tagged]):
         join = self._build_join()
@@ -217,7 +279,40 @@ class StreamQuery:
                 events_processed += 1
             outputs.extend(join.process(tagged))
         outputs.extend(join.close())
-        return outputs, [join], events_processed, 0
+        latencies, late = self._operator_stats([join])
+        return outputs, latencies, late, events_processed, 0
+
+    def _run_processes(self, merged: Iterable[Tagged], partitions: int):
+        """Shard the run across worker processes (shared-nothing backend)."""
+        # Imported lazily: repro.parallel depends on stream submodules, so a
+        # top-level import here would be circular during package init.
+        from ..parallel.stream_exec import StreamShardSpec, run_process_partitions
+
+        left_def = self._catalog.lookup_stream(self._left_name)
+        right_def = self._catalog.lookup_stream(self._right_name)
+        spec = StreamShardSpec(
+            kind=self._kind,
+            left_attributes=left_def.schema.attributes,
+            right_attributes=right_def.schema.attributes,
+            on=self._on,
+            left_name=left_def.name or self._left_name,
+            right_name=right_def.name or self._right_name,
+        )
+        outcome = run_process_partitions(
+            spec,
+            merged,
+            self._theta,
+            partitions,
+            micro_batch_size=self._config.micro_batch_size,
+            buffer_capacity=self._config.buffer_capacity,
+        )
+        return (
+            outcome.outputs,
+            outcome.emit_latencies,
+            outcome.late_dropped,
+            outcome.events_processed,
+            outcome.backpressure_blocks,
+        )
 
     def _run_parallel(self, merged: Iterable[Tagged], partitions: int):
         joins = [self._build_join() for _ in range(partitions)]
@@ -265,7 +360,10 @@ class StreamQuery:
                         tagged = Tagged(tagged.side, element, time.perf_counter())
                     else:
                         key = theta.right_key(element.tuple)
-                    buffers[hash(key) % partitions].put(tagged)
+                    # Stable hash, not builtin hash(): shard assignment must
+                    # be reproducible across runs and identical to the
+                    # process router's.
+                    buffers[stable_key_hash(key) % partitions].put(tagged)
                 elif isinstance(element, Watermark):
                     for buffer in buffers:
                         buffer.put(tagged)
@@ -285,4 +383,5 @@ class StreamQuery:
         for worker_outputs in outputs_per_worker:
             outputs.extend(worker_outputs)
         blocks = sum(buffer.put_blocks for buffer in buffers)
-        return outputs, joins, events_processed, blocks
+        latencies, late = self._operator_stats(joins)
+        return outputs, latencies, late, events_processed, blocks

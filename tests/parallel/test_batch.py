@@ -1,0 +1,109 @@
+"""Parallel batch joins: equality with serial runs, fallbacks, metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    tp_anti_join,
+    tp_full_outer_join,
+    tp_inner_join,
+    tp_left_outer_join,
+    tp_right_outer_join,
+)
+from repro.parallel import ParallelConfig, canonical_order, parallel_tp_join, plan_workers
+from repro.relation import PredicateCondition
+from tests.conftest import canonical_rows, make_random_relations
+
+SERIAL_JOINS = {
+    "anti": tp_anti_join,
+    "left_outer": tp_left_outer_join,
+    "right_outer": tp_right_outer_join,
+    "full_outer": tp_full_outer_join,
+    "inner": tp_inner_join,
+}
+
+
+def tuple_rows(relation, with_probability=True):
+    """Canonically ordered identity rows for tuple-for-tuple comparison."""
+    ordered = canonical_order(list(relation))
+    return [
+        (t.fact, t.start, t.end, str(t.lineage), t.probability if with_probability else None)
+        for t in ordered
+    ]
+
+
+@pytest.mark.parametrize("kind", sorted(SERIAL_JOINS))
+def test_parallel_join_matches_serial_for_every_kind(kind):
+    left, right, theta = make_random_relations(seed=11, left_size=24, right_size=24)
+    serial = SERIAL_JOINS[kind](left, right, theta, compute_probabilities=True)
+    result = parallel_tp_join(kind, left, right, [("Key", "Key")], workers=3)
+    assert result.workers == 3
+    assert tuple_rows(result.relation) == tuple_rows(serial)
+
+
+def test_parallel_join_probabilities_are_bitwise_equal_to_serial():
+    left, right, _theta = make_random_relations(seed=21, left_size=30, right_size=30)
+    one = parallel_tp_join("left_outer", left, right, [("Key", "Key")], workers=1)
+    four = parallel_tp_join("left_outer", left, right, [("Key", "Key")], workers=4)
+    assert [t.probability for t in one.relation] == [t.probability for t in four.relation]
+
+
+def test_workers_one_is_canonically_ordered_serial_run():
+    left, right, theta = make_random_relations(seed=2)
+    result = parallel_tp_join("anti", left, right, [("Key", "Key")], workers=1)
+    serial = tp_anti_join(left, right, theta)
+    assert result.workers == 1
+    assert not result.ran_parallel
+    assert [t.key() for t in result.relation] == [t.key() for t in canonical_order(serial.tuples)]
+
+
+def test_non_equi_theta_falls_back_to_serial():
+    left, right, _theta = make_random_relations(seed=3)
+    result = parallel_tp_join("left_outer", left, right, on=(), workers=4)
+    assert result.workers == 1
+    serial = tp_left_outer_join(
+        left, right, PredicateCondition(lambda l, r: True), compute_probabilities=True
+    )
+    assert canonical_rows(result.relation) == canonical_rows(serial)
+
+
+def test_unknown_kind_and_bad_workers_are_rejected():
+    left, right, _theta = make_random_relations(seed=4)
+    with pytest.raises(ValueError):
+        parallel_tp_join("semi", left, right, [("Key", "Key")])
+    with pytest.raises(ValueError):
+        parallel_tp_join("anti", left, right, [("Key", "Key")], workers=0)
+
+
+def test_shard_metadata_accounts_for_every_tuple():
+    left, right, _theta = make_random_relations(seed=6, left_size=40, right_size=32)
+    result = parallel_tp_join("left_outer", left, right, [("Key", "Key")], workers=4)
+    assert len(result.shard_input_sizes) == 4
+    assert sum(l for l, _ in result.shard_input_sizes) == len(left)
+    assert sum(r for _, r in result.shard_input_sizes) == len(right)
+    assert sum(result.shard_output_sizes) == len(result.relation)
+
+
+def test_plan_workers_uses_cost_model():
+    left, right, _theta = make_random_relations(
+        seed=8, left_size=60, right_size=60, num_keys=8
+    )
+    eager = ParallelConfig(max_workers=4, state_per_worker=10.0, min_tuples=10)
+    lazy = ParallelConfig(max_workers=4, state_per_worker=1e12, min_tuples=10)
+    assert plan_workers("left_outer", left, right, (("Key", "Key"),), eager) == 4
+    assert plan_workers("left_outer", left, right, (("Key", "Key"),), lazy) == 1
+    # Non-shardable θ (no pairs) always plans serial.
+    assert plan_workers("left_outer", left, right, (), eager) == 1
+    # Worker count never exceeds the distinct join keys (one key, one shard).
+    few_keys, few_negatives, _ = make_random_relations(
+        seed=8, left_size=60, right_size=60, num_keys=1
+    )
+    assert plan_workers("left_outer", few_keys, few_negatives, (("Key", "Key"),), eager) == 1
+
+
+def test_cost_model_choice_applied_when_workers_omitted():
+    left, right, _theta = make_random_relations(seed=8, left_size=60, right_size=60)
+    config = ParallelConfig(max_workers=2, state_per_worker=10.0, min_tuples=10)
+    result = parallel_tp_join("anti", left, right, [("Key", "Key")], config=config)
+    assert result.workers == 2

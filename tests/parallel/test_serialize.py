@@ -1,0 +1,89 @@
+"""Round-trip tests for the compact partition codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lineage import FALSE, TRUE, EventSpace, Var, lineage_and, lineage_not, lineage_or
+from repro.parallel import (
+    decode_lineage,
+    decode_tagged,
+    decode_tuple,
+    decode_tuples,
+    encode_lineage,
+    encode_tagged,
+    encode_tuple,
+    encode_tuples,
+    restricted_probabilities,
+)
+from repro.relation import TPTuple
+from repro.stream import CLOSED, LEFT, RIGHT, StreamEvent, Tagged, Watermark
+from repro.temporal import Interval
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        Var("a1"),
+        TRUE,
+        FALSE,
+        lineage_not(Var("b2")),
+        lineage_and(Var("a1"), lineage_not(lineage_or(Var("b1"), Var("b2")))),
+        lineage_or(Var("x"), lineage_and(Var("y"), Var("z")), Var("w")),
+    ],
+)
+def test_lineage_roundtrip(expr):
+    assert decode_lineage(encode_lineage(expr)) == expr
+
+
+def test_lineage_encoding_is_primitive():
+    code = encode_lineage(lineage_and(Var("a1"), lineage_not(Var("b1"))))
+
+    def only_primitives(part):
+        if isinstance(part, tuple):
+            return all(only_primitives(item) for item in part)
+        return isinstance(part, (str, int, float))
+
+    assert only_primitives(code)
+
+
+def test_tuple_roundtrip_with_and_without_probability():
+    lineage = lineage_and(Var("a1"), lineage_not(Var("b1")))
+    with_p = TPTuple(("Ann", None), lineage, Interval(2, 8), 0.28)
+    without_p = TPTuple(("Ann", "ZAK"), Var("a1"), Interval(1, 3))
+    assert decode_tuple(encode_tuple(with_p)) == with_p
+    assert decode_tuple(encode_tuple(without_p)) == without_p
+
+
+def test_tuple_batch_roundtrip_preserves_order():
+    tuples = [
+        TPTuple((f"f{i}",), Var(f"e{i}"), Interval(i, i + 2), 0.5) for i in range(6)
+    ]
+    assert decode_tuples(encode_tuples(tuples)) == tuples
+
+
+def test_tagged_event_roundtrip_keeps_side_sequence_and_clock():
+    event = StreamEvent(TPTuple(("x",), Var("e1"), Interval(0, 4), 0.9), sequence=7)
+    tagged = Tagged(LEFT, event, 123.456)
+    decoded = decode_tagged(encode_tagged(tagged))
+    assert decoded.side == LEFT
+    assert decoded.element.sequence == 7
+    assert decoded.element.tuple == event.tuple
+    assert decoded.ingest_clock == 123.456
+
+
+def test_tagged_watermark_roundtrip_including_closed():
+    for value in (5, CLOSED):
+        decoded = decode_tagged(encode_tagged(Tagged(RIGHT, Watermark(value))))
+        assert decoded.side == RIGHT
+        assert decoded.element.value == value
+        assert decoded.ingest_clock is None
+
+
+def test_restricted_probabilities_only_ships_mentioned_events():
+    events = EventSpace({"a1": 0.5, "a2": 0.6, "b1": 0.7})
+    tuples = [
+        TPTuple(("x",), lineage_and(Var("a1"), lineage_not(Var("b1"))), Interval(0, 2))
+    ]
+    shipped = restricted_probabilities(events, tuples)
+    assert shipped == {"a1": 0.5, "b1": 0.7}
