@@ -1,0 +1,78 @@
+"""Early-emitting dashboard over a multi-way continuous join tree.
+
+``meteo_monitoring_live.py`` waits for the watermark before showing an
+answer — correct, but the dashboard lags the data by the watermark bound.
+This example runs the retractable dataflow variant instead: a 3-way join
+tree (``r ⟕ s`` feeding ``(…) ⟖ t``) with **early emission** on, so
+provisional windows appear on the dashboard as soon as the events arrive
+and are corrected (retracted / refined) when late readings land.
+
+The example shows
+
+* the compiled multi-join SQL plan with its ``[dataflow 2-node]`` marker,
+* per-node revision traffic (emits / retracts / refines) and the
+  first-publication latency that early emission buys,
+* and the convergence check: once the final watermark closes everything,
+  the settled output of every node equals the batch re-run, probabilities
+  bitwise.
+
+Run with::
+
+    python examples/meteo_dashboard_dataflow.py [size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dataflow import DataflowQuery, NodeSpec, assert_converged
+from repro.datasets import ReplayConfig, stream_def
+from repro.datasets.generators import generate_relation
+from repro.datasets.meteo import meteo_config
+from repro.engine import Engine
+from repro.lineage import EventSpace
+from repro.stream import StreamQueryConfig
+
+TREE = [
+    NodeSpec("stable", "left_outer", "r", "s", (("Metric", "Metric"),)),
+    NodeSpec("dashboard", "right_outer", "stable", "t", (("Metric", "Metric"),)),
+]
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    events = EventSpace()
+    engine = Engine(stream_config=StreamQueryConfig(early_emit=True))
+    for offset, name in enumerate(("r", "s", "t")):
+        relation = generate_relation(meteo_config(size, seed=offset), events, name=name)
+        engine.register_stream(
+            name, stream_def(relation, ReplayConfig(disorder=8, seed=offset))
+        )
+
+    sql = (
+        "SELECT * FROM STREAM r TP LEFT OUTER JOIN STREAM s ON r.Metric = s.Metric "
+        "TP RIGHT OUTER JOIN STREAM t ON r.Metric = t.Metric"
+    )
+    print(engine.explain_sql(sql))
+    print()
+
+    query: DataflowQuery = engine.dataflow_query("dashboard", TREE)
+    result = query.run(merge_seed=0)
+    for name, node in result.nodes.items():
+        latency = node.latency_summary()
+        print(
+            f"{name:>10}  settled={len(node.relation):>5}  "
+            f"emits={node.stats.emits:>5}  refines={node.stats.refines:>5}  "
+            f"retracts={node.stats.retracts:>5} ({node.retraction_rate:.1%})  "
+            f"first-publication p50={latency['p50_ms']:.2f}ms"
+        )
+
+    cardinalities = assert_converged(result, engine.catalog, TREE)
+    print(
+        f"\nconverged: every settled node equals its batch re-run "
+        f"(bitwise probabilities) — {cardinalities}"
+    )
+
+
+if __name__ == "__main__":
+    main()

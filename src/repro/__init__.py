@@ -79,6 +79,7 @@ from .lineage import (
     probability,
     var,
 )
+from .dataflow import DataflowQuery, NodeSpec, Revision, RevisionKind
 from .parallel import ParallelConfig, parallel_tp_join
 from .relation import (
     EquiJoinCondition,
@@ -105,9 +106,13 @@ __version__ = "1.0.0"
 __all__ = [
     "ContinuousAntiJoin",
     "ContinuousLeftOuterJoin",
+    "DataflowQuery",
     "EquiJoinCondition",
     "EventSpace",
     "Interval",
+    "NodeSpec",
+    "Revision",
+    "RevisionKind",
     "IntervalSet",
     "LineageExpr",
     "MonteCarloEstimator",

@@ -1,0 +1,81 @@
+"""Retractable multi-way continuous dataflow over TP streams.
+
+Chained lineage-aware operators with revision streams and derived
+watermarks — the multi-way, correction-tolerant layer above
+:mod:`repro.stream`:
+
+* :mod:`repro.dataflow.revision` — ``Emit`` / ``Retract`` / ``Refine``
+  elements, the algebra every dataflow edge carries.
+* :mod:`repro.dataflow.operators` — :class:`RevisionJoin`, the retractable
+  early-emitting continuous join (all five Table II kinds, reverse windows
+  included).
+* :mod:`repro.dataflow.graph` — :class:`NodeSpec` / :class:`DataflowGraph`:
+  DAG description, validation, schema and watermark topology.
+* :mod:`repro.dataflow.executor` — inline and node-per-thread pipelined
+  execution reusing the bounded-buffer backpressure seam; the
+  node-per-process backend lives in :mod:`repro.parallel.stream_exec`.
+* :mod:`repro.dataflow.query` — :class:`DataflowQuery` /
+  :class:`DataflowResult`, the registered executable form.
+* :mod:`repro.dataflow.convergence` — the batch re-run harness proving
+  settled output is tuple-for-tuple (probabilities bitwise) equal to the
+  batch joins.
+"""
+
+from .convergence import (
+    BATCH_JOINS,
+    ConvergenceError,
+    assert_converged,
+    batch_rerun,
+    drained_relation,
+    identity_rows,
+)
+from .executor import (
+    GraphRunOutcome,
+    run_graph_inline,
+    run_graph_threads,
+)
+from .graph import DataflowGraph, GraphError, NodeSpec
+from .operators import RevisionJoin, RevisionJoinStats
+from .query import (
+    GRAPH_BACKENDS,
+    DataflowQuery,
+    DataflowResult,
+    NodeResult,
+    percentile,
+    summarize_ms,
+)
+from .revision import (
+    Revision,
+    RevisionCounters,
+    RevisionElement,
+    RevisionKind,
+    as_revision,
+)
+
+__all__ = [
+    "BATCH_JOINS",
+    "ConvergenceError",
+    "DataflowGraph",
+    "DataflowQuery",
+    "DataflowResult",
+    "GRAPH_BACKENDS",
+    "GraphError",
+    "GraphRunOutcome",
+    "NodeResult",
+    "NodeSpec",
+    "Revision",
+    "RevisionCounters",
+    "RevisionElement",
+    "RevisionJoin",
+    "RevisionJoinStats",
+    "RevisionKind",
+    "as_revision",
+    "assert_converged",
+    "batch_rerun",
+    "drained_relation",
+    "identity_rows",
+    "percentile",
+    "run_graph_inline",
+    "run_graph_threads",
+    "summarize_ms",
+]

@@ -1,0 +1,279 @@
+"""Dataflow graph execution: inline and thread-pipelined backends.
+
+Both backends drive the same :class:`~repro.dataflow.operators.RevisionJoin`
+per node and differ only in scheduling:
+
+* **inline** — a single thread merges every source edge and pushes elements
+  through the graph depth-first: each output revision of a node is delivered
+  to its consumers before the next input element is read.  The fast path for
+  small streams and the engine's SQL entry point.
+* **threads** — one worker thread per node, connected by the same
+  :class:`~repro.stream.buffer.BoundedBuffer` seam the partitioned
+  :class:`~repro.stream.StreamQuery` uses: a router thread merges the source
+  edges and every edge hop goes through a bounded buffer, so a slow
+  downstream operator backpressures its producers (and, transitively, the
+  sources) instead of queueing without bound.  This is *pipeline*
+  parallelism across chained operators — complementary to the per-operator
+  key partitioning of :class:`StreamQuery`.
+
+The process backend (node-per-process over multiprocessing queues) lives in
+:mod:`repro.parallel.stream_exec` next to the existing shard runtime, and
+degrades to the thread backend when processes cannot start.
+
+Termination needs no out-of-band protocol: every source replay ends with a
+``CLOSED`` watermark, each node's derived watermark therefore reaches
+``CLOSED`` once all its groups settle, and the cascade closes the whole
+graph.  The executors still call ``close()`` defensively so a malformed
+source cannot leave windows open.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..relation import TPTuple
+from ..stream.buffer import BoundedBuffer, BufferClosed
+from ..stream.elements import StreamElement, StreamEvent, Tagged
+from .graph import DataflowGraph
+from .operators import RevisionJoin, RevisionJoinStats
+
+
+@dataclass
+class GraphRunOutcome:
+    """Per-node results of one graph execution, backend-independent."""
+
+    settled: Dict[str, List[TPTuple]]
+    stats: Dict[str, RevisionJoinStats]
+    emit_latencies: Dict[str, List[float]]
+    emit_event_lags: Dict[str, List[float]]
+    events_processed: int = 0
+    backpressure_blocks: int = 0
+    backend: str = "inline"
+
+
+def build_joins(graph: DataflowGraph, config) -> List[RevisionJoin]:
+    """Instantiate one :class:`RevisionJoin` per graph node, in topo order."""
+    materialize = getattr(config, "materialize_probabilities", False)
+    events = graph.merged_events() if materialize else None
+    joins = []
+    for spec in graph.nodes:
+        joins.append(
+            RevisionJoin(
+                spec.kind,
+                graph.schema_of(spec.left),
+                graph.schema_of(spec.right),
+                spec.on,
+                left_name=spec.left,
+                right_name=spec.right,
+                early_emit=getattr(config, "early_emit", False),
+                events=events,
+                materialize_probabilities=materialize,
+            )
+        )
+    return joins
+
+
+def _outcome_from_joins(
+    graph: DataflowGraph,
+    joins: Sequence[RevisionJoin],
+    events_processed: int,
+    blocks: int,
+    backend: str,
+) -> GraphRunOutcome:
+    settled: Dict[str, List[TPTuple]] = {}
+    stats: Dict[str, RevisionJoinStats] = {}
+    latencies: Dict[str, List[float]] = {}
+    lags: Dict[str, List[float]] = {}
+    for spec, join in zip(graph.nodes, joins):
+        settled[spec.name] = list(join.settled_outputs.values())
+        stats[spec.name] = join.stats
+        latencies[spec.name] = list(join.emit_latencies)
+        lags[spec.name] = list(join.emit_event_lags)
+    return GraphRunOutcome(
+        settled=settled,
+        stats=stats,
+        emit_latencies=latencies,
+        emit_event_lags=lags,
+        events_processed=events_processed,
+        backpressure_blocks=blocks,
+        backend=backend,
+    )
+
+
+def source_edges(
+    graph: DataflowGraph, node_index: Dict[str, int]
+) -> List[Tuple[int, str, Iterator[StreamElement]]]:
+    """One fresh replay per (source → node input) edge of the graph."""
+    edges: List[Tuple[int, str, Iterator[StreamElement]]] = []
+    for source in graph.source_names:
+        stream_def = graph.catalog.lookup_stream(source)
+        for consumer, side in graph.consumers_of(source):
+            edges.append((node_index[consumer], side, iter(stream_def.replay())))
+    return edges
+
+
+def merge_edges(
+    edges: List[Tuple[int, str, Iterator[StreamElement]]],
+    seed: Optional[int] = None,
+) -> Iterator[Tuple[int, str, StreamElement]]:
+    """Interleave the source edges into one delivery sequence.
+
+    Round-robin by default; with a seed, each step picks a random
+    non-exhausted edge (each edge's internal order is preserved, which is
+    all the watermark semantics require).
+    """
+    rng = random.Random(seed) if seed is not None else None
+    open_edges = list(range(len(edges)))
+    turn = 0
+    while open_edges:
+        if rng is None:
+            slot = open_edges[turn % len(open_edges)]
+            turn += 1
+        else:
+            slot = rng.choice(open_edges)
+        target, side, iterator = edges[slot]
+        try:
+            element = next(iterator)
+        except StopIteration:
+            open_edges.remove(slot)
+            continue
+        yield target, side, element
+
+
+def downstream_table(graph: DataflowGraph, node_index: Dict[str, int]) -> List[List[Tuple[int, str]]]:
+    """Per node: the (consumer index, side) edges its output feeds."""
+    table: List[List[Tuple[int, str]]] = []
+    for spec in graph.nodes:
+        table.append(
+            [
+                (node_index[consumer], side)
+                for consumer, side in graph.consumers_of(spec.name)
+                if consumer in node_index
+            ]
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# inline backend
+# --------------------------------------------------------------------------- #
+def run_graph_inline(
+    graph: DataflowGraph, config, merge_seed: Optional[int] = None
+) -> GraphRunOutcome:
+    """Single-threaded depth-first execution of the whole graph."""
+    joins = build_joins(graph, config)
+    node_index = {name: index for index, name in enumerate(graph.node_names)}
+    downstream = downstream_table(graph, node_index)
+
+    def deliver(index: int, tagged: Tagged) -> None:
+        for element in joins[index].process(tagged):
+            for consumer, side in downstream[index]:
+                deliver(consumer, Tagged(side, element))
+
+    events_processed = 0
+    for target, side, element in merge_edges(source_edges(graph, node_index), merge_seed):
+        if isinstance(element, StreamEvent):
+            events_processed += 1
+        deliver(target, Tagged(side, element))
+    # Sources close with CLOSED watermarks, so this is normally a no-op.
+    for index in range(len(joins)):
+        for element in joins[index].close():
+            for consumer, side in downstream[index]:
+                deliver(consumer, Tagged(side, element))
+    return _outcome_from_joins(graph, joins, events_processed, 0, "inline")
+
+
+# --------------------------------------------------------------------------- #
+# thread-pipeline backend
+# --------------------------------------------------------------------------- #
+class _Inbox:
+    """A node's input buffer with multi-producer close bookkeeping."""
+
+    def __init__(self, capacity: int, producers: int) -> None:
+        self.buffer: BoundedBuffer[Tagged] = BoundedBuffer(capacity)
+        self._producers = producers
+        self._lock = threading.Lock()
+
+    def producer_done(self) -> None:
+        with self._lock:
+            self._producers -= 1
+            if self._producers <= 0:
+                self.buffer.close()
+
+
+def run_graph_threads(
+    graph: DataflowGraph, config, merge_seed: Optional[int] = None
+) -> GraphRunOutcome:
+    """Node-per-thread pipelined execution with bounded-buffer backpressure."""
+    joins = build_joins(graph, config)
+    node_index = {name: index for index, name in enumerate(graph.node_names)}
+    downstream = downstream_table(graph, node_index)
+    capacity = getattr(config, "buffer_capacity", 1024)
+    micro_batch = getattr(config, "micro_batch_size", 64)
+    producer_counts = [0] * len(joins)
+    edges = source_edges(graph, node_index)
+    for target, _side, _iterator in edges:
+        producer_counts[target] += 1
+    for index, consumers in enumerate(downstream):
+        for consumer, _side in consumers:
+            producer_counts[consumer] += 1
+    inboxes = [_Inbox(capacity, count) for count in producer_counts]
+    failures: List[BaseException] = []
+
+    def fan_out(index: int, elements) -> None:
+        for element in elements:
+            for consumer, side in downstream[index]:
+                inboxes[consumer].buffer.put(Tagged(side, element))
+
+    def work(index: int) -> None:
+        join = joins[index]
+        try:
+            while True:
+                batch = inboxes[index].buffer.take_batch(micro_batch)
+                if batch is None:
+                    break
+                for tagged in batch:
+                    fan_out(index, join.process(tagged))
+            fan_out(index, join.close())
+        except BufferClosed:
+            # A consumer died; the failure that closed its buffer is reported.
+            pass
+        except BaseException as error:  # noqa: BLE001 - reported to caller
+            failures.append(error)
+            inboxes[index].buffer.close()
+        finally:
+            for consumer, _side in downstream[index]:
+                inboxes[consumer].producer_done()
+
+    workers = [
+        threading.Thread(target=work, args=(index,), name=f"dataflow-node-{index}")
+        for index in range(len(joins))
+    ]
+    for worker in workers:
+        worker.start()
+
+    events_processed = 0
+    try:
+        for target, side, element in merge_edges(edges, merge_seed):
+            ingest_clock = None
+            if isinstance(element, StreamEvent):
+                events_processed += 1
+                # Stamp ingestion before the element can sit in a buffer, so
+                # emit latency includes cross-stage queueing time.
+                ingest_clock = time.perf_counter()
+            inboxes[target].buffer.put(Tagged(side, element, ingest_clock))
+    except BufferClosed:
+        pass
+    finally:
+        for target, _side, _iterator in edges:
+            inboxes[target].producer_done()
+        for worker in workers:
+            worker.join()
+    if failures:
+        raise failures[0]
+    blocks = sum(inbox.buffer.put_blocks for inbox in inboxes)
+    return _outcome_from_joins(graph, joins, events_processed, blocks, "threads")

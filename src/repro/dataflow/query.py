@@ -1,0 +1,182 @@
+"""DataflowQuery: the registered, executable form of a dataflow graph.
+
+Mirrors :class:`repro.stream.StreamQuery` one level up: where a stream query
+binds one continuous join to two registered streams, a dataflow query binds
+a whole operator *graph* to the catalog and executes it to settlement on a
+chosen backend — inline, node-per-thread pipeline, or node-per-process
+pipeline (:mod:`repro.parallel.stream_exec`), the latter degrading to
+threads when processes cannot start.  It reuses
+:class:`~repro.stream.StreamQueryConfig` for its knobs: ``workers`` picks
+the backend, ``buffer_capacity``/``micro_batch_size`` shape the
+backpressure seam, ``early_emit`` switches provisional publication on and
+``materialize_probabilities`` computes output probabilities inline through
+the maintainer-owned per-key computers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..relation import TPRelation, TPTuple
+from ..stream.query import StreamQueryConfig, summarize_latency_ms as summarize_ms
+from .executor import GraphRunOutcome, run_graph_inline, run_graph_threads
+from .graph import DataflowGraph, NodeSpec
+from .operators import RevisionJoinStats
+
+#: Valid executor backends of a dataflow query.
+GRAPH_BACKENDS = ("inline", "threads", "processes")
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile of a sample list (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+@dataclass
+class NodeResult:
+    """The settled output and revision statistics of one graph node."""
+
+    name: str
+    kind: str
+    relation: TPRelation
+    stats: RevisionJoinStats
+    emit_latencies: List[float] = field(default_factory=list)
+    emit_event_lags: List[float] = field(default_factory=list)
+
+    def latency_summary(self) -> dict:
+        """Wall-clock first-publication latency percentiles (ms)."""
+        return summarize_ms(self.emit_latencies)
+
+    @property
+    def retraction_rate(self) -> float:
+        """Output retractions per addition (emits + refines)."""
+        additions = self.stats.emits + self.stats.refines
+        if not additions:
+            return 0.0
+        return self.stats.retracts / additions
+
+
+@dataclass
+class DataflowResult:
+    """The settled outcome of one dataflow graph execution."""
+
+    nodes: Dict[str, NodeResult]
+    sink: str
+    events_processed: int
+    elapsed_seconds: float
+    backend: str
+    backpressure_blocks: int = 0
+
+    @property
+    def relation(self) -> TPRelation:
+        """The sink node's settled output relation."""
+        return self.nodes[self.sink].relation
+
+    @property
+    def events_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.events_processed / self.elapsed_seconds
+
+
+class DataflowQuery:
+    """A continuous operator graph registered against catalogued streams.
+
+    Args:
+        catalog: any object with ``lookup_stream`` (the engine catalog).
+        nodes: node specs in topological order (see :class:`NodeSpec`).
+        config: execution knobs; ``config.workers`` picks the default
+            backend (``"threads"`` maps to the node-per-thread pipeline).
+    """
+
+    def __init__(
+        self,
+        catalog,
+        nodes: Sequence[NodeSpec],
+        config: StreamQueryConfig | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._graph = DataflowGraph(catalog, nodes)
+        self._config = config or StreamQueryConfig()
+
+    @property
+    def graph(self) -> DataflowGraph:
+        return self._graph
+
+    @property
+    def config(self) -> StreamQueryConfig:
+        return self._config
+
+    def describe(self) -> str:
+        mode = "early-emit" if self._config.early_emit else "watermark-only"
+        return (
+            f"DataflowQuery[{len(self._graph.nodes)} nodes, sink={self._graph.sink}, "
+            f"{mode}, workers={self._config.workers}]"
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self, merge_seed: Optional[int] = None, backend: Optional[str] = None
+    ) -> DataflowResult:
+        """Execute the graph over fresh source replays until settlement."""
+        chosen = backend or self._config.workers
+        if chosen not in GRAPH_BACKENDS:
+            raise ValueError(f"backend must be one of {GRAPH_BACKENDS}, got {chosen!r}")
+        started = time.perf_counter()
+        if chosen == "inline":
+            outcome = run_graph_inline(self._graph, self._config, merge_seed)
+        elif chosen == "threads":
+            outcome = run_graph_threads(self._graph, self._config, merge_seed)
+        else:
+            outcome = self._run_processes(merge_seed)
+        elapsed = time.perf_counter() - started
+        return self._build_result(outcome, elapsed)
+
+    def _run_processes(self, merge_seed: Optional[int]) -> GraphRunOutcome:
+        # Imported lazily: repro.parallel depends on stream submodules, so a
+        # top-level import here would be circular during package init.
+        from ..parallel.stream_exec import WorkerStartError, run_graph_processes
+
+        try:
+            return run_graph_processes(self._graph, self._config, merge_seed)
+        except WorkerStartError:
+            # Processes unavailable (sandbox): degrade to the thread
+            # pipeline — safe, no source element was consumed yet.
+            return run_graph_threads(self._graph, self._config, merge_seed)
+
+    def _build_result(self, outcome: GraphRunOutcome, elapsed: float) -> DataflowResult:
+        events = self._graph.merged_events()
+        nodes: Dict[str, NodeResult] = {}
+        for spec in self._graph.nodes:
+            tuples = sorted(outcome.settled[spec.name], key=TPTuple.key)
+            relation = TPRelation(
+                self._graph.schema_of(spec.name),
+                tuples,
+                events,
+                name=spec.name,
+                check_constraint=False,
+            )
+            nodes[spec.name] = NodeResult(
+                name=spec.name,
+                kind=spec.kind,
+                relation=relation,
+                stats=outcome.stats[spec.name],
+                emit_latencies=outcome.emit_latencies[spec.name],
+                emit_event_lags=outcome.emit_event_lags[spec.name],
+            )
+        return DataflowResult(
+            nodes=nodes,
+            sink=self._graph.sink,
+            events_processed=outcome.events_processed,
+            elapsed_seconds=elapsed,
+            backend=outcome.backend,
+            backpressure_blocks=outcome.backpressure_blocks,
+        )

@@ -1,7 +1,12 @@
 """Pipelined query engine: catalog, plans, planner, executor and SQL front end."""
 
 from .catalog import Catalog, RelationStats
-from .continuous import ContinuousJoinOperator, ContinuousScanOperator
+from .continuous import (
+    CONTINUOUS_KINDS,
+    ContinuousJoinOperator,
+    ContinuousScanOperator,
+    DataflowJoinOperator,
+)
 from .errors import CatalogError, EngineError, PlanError, SQLSyntaxError
 from .executor import Engine, execute_sql
 from .explain import explain_logical, explain_physical
@@ -31,14 +36,17 @@ from .physical import (
     TimesliceOperator,
 )
 from .planner import Planner, PlannerConfig
-from .sql import ParsedQuery, parse_plan, parse_query, tokenize
+from .sql import JoinClause, ParsedQuery, parse_plan, parse_query, tokenize
 
 __all__ = [
+    "CONTINUOUS_KINDS",
     "Catalog",
     "CatalogError",
     "ContinuousJoinOperator",
     "ContinuousScanOperator",
+    "DataflowJoinOperator",
     "Engine",
+    "JoinClause",
     "EngineError",
     "FilterOperator",
     "JoinKind",

@@ -19,6 +19,7 @@ from ..relation import TPRelation
 from .errors import CatalogError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..dataflow import DataflowQuery
     from ..stream import StreamDef, StreamQuery
 
 
@@ -38,13 +39,14 @@ class RelationStats:
 class Catalog:
     """A named collection of TP relations and streams, with statistics."""
 
-    __slots__ = ("_relations", "_stats", "_streams", "_continuous_queries")
+    __slots__ = ("_relations", "_stats", "_streams", "_continuous_queries", "_dataflows")
 
     def __init__(self) -> None:
         self._relations: Dict[str, TPRelation] = {}
         self._stats: Dict[str, RelationStats] = {}
         self._streams: Dict[str, "StreamDef"] = {}
         self._continuous_queries: Dict[str, "StreamQuery"] = {}
+        self._dataflows: Dict[str, "DataflowQuery"] = {}
 
     def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
         """Register a relation under ``name``.
@@ -169,6 +171,32 @@ class Catalog:
                 f"unknown continuous query {name!r}; registered: "
                 f"{sorted(self._continuous_queries)}"
             ) from exc
+
+    def register_dataflow(
+        self, name: str, query: "DataflowQuery", replace: bool = False
+    ) -> None:
+        """Register a dataflow graph query under ``name`` for later execution.
+
+        Dataflow queries live in their own namespace, like continuous
+        queries: long-running deployments address graphs by name, not by
+        re-supplying node specs.
+        """
+        if name in self._dataflows and not replace:
+            raise CatalogError(f"dataflow {name!r} already registered")
+        self._dataflows[name] = query
+
+    def lookup_dataflow(self, name: str) -> "DataflowQuery":
+        """Return the dataflow query registered under ``name``."""
+        try:
+            return self._dataflows[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown dataflow {name!r}; registered: {sorted(self._dataflows)}"
+            ) from exc
+
+    def dataflow_names(self) -> list[str]:
+        """All registered dataflow names, sorted."""
+        return sorted(self._dataflows)
 
 
 def _compute_stats(relation: TPRelation) -> RelationStats:

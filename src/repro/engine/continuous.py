@@ -15,7 +15,7 @@ never-ending deployments use :class:`repro.stream.StreamQuery` directly.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from ..relation import Schema, TPTuple
 from ..stream import (
@@ -30,11 +30,15 @@ from .errors import PlanError
 from .iterators import PhysicalOperator
 from .logical import JoinKind
 
-#: JoinKind → continuous operator kind name; only the joins whose output
-#: depends solely on the positive relation's windows can run continuously.
+#: JoinKind → continuous operator kind name.  All five Table II kinds run
+#: continuously: right/full outer joins derive the reverse windows through
+#: the mirrored maintainer (:mod:`repro.stream.operators`).
 CONTINUOUS_KINDS: dict[JoinKind, str] = {
     JoinKind.ANTI: "anti",
     JoinKind.LEFT_OUTER: "left_outer",
+    JoinKind.RIGHT_OUTER: "right_outer",
+    JoinKind.FULL_OUTER: "full_outer",
+    JoinKind.INNER: "inner",
 }
 
 
@@ -92,7 +96,7 @@ class ContinuousJoinOperator(PhysicalOperator):
         super().__init__()
         if kind not in CONTINUOUS_KINDS:
             raise PlanError(
-                "continuous execution supports anti and left outer joins, "
+                f"continuous execution supports {sorted(k.value for k in CONTINUOUS_KINDS)}, "
                 f"not {kind.value}"
             )
         self._left = left
@@ -132,6 +136,65 @@ class ContinuousJoinOperator(PhysicalOperator):
 
     def estimated_cost(self) -> float:
         return self._left.estimated_cost() + self._right.estimated_cost()
+
+    def _produce(self) -> Iterator[TPTuple]:
+        self.last_result = self._query.run()
+        yield from self.last_result.relation
+
+
+class DataflowJoinOperator(PhysicalOperator):
+    """A multi-way (or early-emitting) stream join tree as one physical node.
+
+    The planner compiles a TP join tree whose leaves are all stream scans
+    into a :class:`repro.dataflow.DataflowQuery`; within the Volcano
+    executor this operator runs the graph to settlement and streams the sink
+    node's settled relation out.  The child scans appear in the plan tree
+    for EXPLAIN but are not pulled from — each graph edge consumes its own
+    replay.  EXPLAIN renders the ``[dataflow k-node]`` marker from
+    :attr:`dataflow_nodes`.
+    """
+
+    is_continuous = True
+
+    def __init__(
+        self,
+        catalog,
+        scans: tuple[ContinuousScanOperator, ...],
+        nodes: Sequence,
+        config: StreamQueryConfig | None = None,
+    ) -> None:
+        super().__init__()
+        from ..dataflow import DataflowQuery
+
+        self._scans = scans
+        self._query = DataflowQuery(catalog, nodes, config=config)
+        #: Read by EXPLAIN to render the ``[dataflow k-node]`` annotation.
+        self.dataflow_nodes = len(self._query.graph.nodes)
+        self.last_result = None
+
+    @property
+    def query(self):
+        """The compiled dataflow query (exposed for registration/monitoring)."""
+        return self._query
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return tuple(self._scans)
+
+    def output_schema(self) -> Schema:
+        graph = self._query.graph
+        return graph.schema_of(graph.sink)
+
+    def describe(self) -> str:
+        graph = self._query.graph
+        chain = "→".join(spec.kind for spec in graph.nodes)
+        mode = "early-emit" if self._query.config.early_emit else "watermark-only"
+        return (
+            f"DataflowJoin [{chain}] sink={graph.sink} "
+            f"(revision streams, {mode}, workers={self._query.config.workers})"
+        )
+
+    def estimated_cost(self) -> float:
+        return float(len(self._scans))
 
     def _produce(self) -> Iterator[TPTuple]:
         self.last_result = self._query.run()

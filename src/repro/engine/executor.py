@@ -76,6 +76,26 @@ class Engine:
         self._catalog.register_continuous_query(name, query, replace=replace)
         return query
 
+    def dataflow_query(
+        self,
+        name: str,
+        nodes: Sequence,
+        config: StreamQueryConfig | None = None,
+        replace: bool = False,
+    ):
+        """Build a :class:`repro.dataflow.DataflowQuery` and register it.
+
+        ``nodes`` is a sequence of :class:`repro.dataflow.NodeSpec` in
+        topological order over this engine's registered streams.
+        """
+        from ..dataflow import DataflowQuery
+
+        query = DataflowQuery(
+            self._catalog, nodes, config=config or self._stream_config
+        )
+        self._catalog.register_dataflow(name, query, replace=replace)
+        return query
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #

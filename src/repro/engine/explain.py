@@ -8,6 +8,8 @@ not by cardinalities.
 Operators executing across more than one shard (the process-parallel batch
 join, or a continuous join with multiple partitions) additionally carry a
 ``[parallel n=K]`` marker, read from their ``parallel_workers`` attribute.
+A compiled dataflow graph (multi-way or early-emitting stream join tree)
+carries ``[dataflow k-node]``, read from ``dataflow_nodes``.
 """
 
 from __future__ import annotations
@@ -44,6 +46,9 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
     workers = getattr(operator, "parallel_workers", 1)
     if workers > 1:
         annotation += f" [parallel n={workers}]"
+    dataflow_nodes = getattr(operator, "dataflow_nodes", 0)
+    if dataflow_nodes:
+        annotation += f" [dataflow {dataflow_nodes}-node]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

@@ -192,11 +192,23 @@ class _JoinOperatorBase(PhysicalOperator):
         right_schema = self._right.output_schema()
         if self._kind is JoinKind.ANTI:
             return left_schema
-        left_names = set(left_schema.attributes)
-        right_attributes = tuple(
-            f"s.{name}" if name in left_names else name for name in right_schema.attributes
-        )
-        return Schema(left_schema.attributes + right_attributes)
+        # Clashing right attributes get an "s." prefix; in a join *chain* the
+        # prefixed name itself can clash with an earlier join's prefix, so
+        # uniquify ("s2.", "s3.", ...) instead of raising a duplicate-schema
+        # error.
+        taken = set(left_schema.attributes)
+        right_attributes = []
+        for name in right_schema.attributes:
+            candidate = name
+            if candidate in taken:
+                candidate = f"s.{name}"
+                counter = 2
+                while candidate in taken:
+                    candidate = f"s{counter}.{name}"
+                    counter += 1
+            taken.add(candidate)
+            right_attributes.append(candidate)
+        return Schema(left_schema.attributes + tuple(right_attributes))
 
     def estimated_cost(self) -> float:
         return self._left.estimated_cost() + self._right.estimated_cost()

@@ -36,6 +36,7 @@ from .logical import (
     StreamScan,
     Timeslice,
     TPJoin,
+    walk,
 )
 from .physical import (
     FilterOperator,
@@ -109,9 +110,11 @@ class Planner:
         return plan
 
     def _try_push_into_join(self, select: Select, join: TPJoin) -> LogicalPlan | None:
-        if isinstance(join.left, StreamScan) or isinstance(join.right, StreamScan):
-            # A continuous join consumes the streams' own replays; selections
-            # stay above it and filter the finalized output.
+        from .logical import find_stream_scans
+
+        if find_stream_scans(join):
+            # A continuous join (or dataflow tree) consumes the streams' own
+            # replays; selections stay above it and filter settled output.
             return None
         left_schema = self._output_schema(join.left)
         right_schema = self._output_schema(join.right)
@@ -169,40 +172,65 @@ class Planner:
                 self._physicalise(plan.child), plan.attributes, self._merged_events(plan)
             )
         if isinstance(plan, TPJoin):
-            left_is_stream = isinstance(plan.left, StreamScan)
-            right_is_stream = isinstance(plan.right, StreamScan)
-            if left_is_stream != right_is_stream:
+            left_streamness = self._streamness(plan.left)
+            right_streamness = self._streamness(plan.right)
+            if "stream" in (left_streamness, right_streamness) and (
+                left_streamness != "stream" or right_streamness != "stream"
+            ):
                 raise PlanError(
                     "a TP join must be stream × stream or relation × relation; "
                     "register the stored side as a replay stream to mix them"
                 )
-            if left_is_stream and right_is_stream:
+            if left_streamness == "stream" and right_streamness == "stream":
                 # Continuous execution is the watermark-driven NJ pipeline;
                 # pinning NJ is redundant but true, pinning anything else
                 # would be silently ignored — reject it instead.
-                if plan.strategy not in (JoinStrategy.AUTO, JoinStrategy.NJ):
-                    raise PlanError(
-                        f"USING {plan.strategy.value.upper()} cannot be honoured on a "
-                        "stream join: continuous execution always uses the NJ pipeline"
-                    )
-                return self._continuous_join(plan)
+                for node in walk(plan):
+                    if isinstance(node, TPJoin) and node.strategy not in (
+                        JoinStrategy.AUTO,
+                        JoinStrategy.NJ,
+                    ):
+                        raise PlanError(
+                            f"USING {node.strategy.value.upper()} cannot be honoured "
+                            "on a stream join: continuous execution always uses the "
+                            "NJ pipeline"
+                        )
+                early = (
+                    self._config.stream_config is not None
+                    and self._config.stream_config.early_emit
+                )
+                if (
+                    isinstance(plan.left, StreamScan)
+                    and isinstance(plan.right, StreamScan)
+                    and not early
+                ):
+                    # A single binary stream join without early emission keeps
+                    # the direct continuous operator; join *trees* (and any
+                    # early-emitting query) compile to a dataflow graph.
+                    return self._continuous_join(plan)
+                return self._dataflow_join(plan)
             strategy = self.resolve_strategy(plan.strategy)
             workers = self._parallel_workers(plan, strategy)
+            left_operator = self._physicalise(plan.left)
+            right_operator = self._physicalise(plan.right)
+            on = self._resolve_on(
+                plan.on, left_operator.output_schema(), right_operator.output_schema()
+            )
             if workers > 1:
                 return ParallelNJJoinOperator(
-                    self._physicalise(plan.left),
-                    self._physicalise(plan.right),
+                    left_operator,
+                    right_operator,
                     plan.kind,
-                    plan.on,
+                    on,
                     self._merged_events(plan),
                     workers,
                 )
             return join_operator_for(
                 strategy,
-                self._physicalise(plan.left),
-                self._physicalise(plan.right),
+                left_operator,
+                right_operator,
                 plan.kind,
-                plan.on,
+                on,
                 self._merged_events(plan),
             )
         raise PlanError(f"unsupported logical node {type(plan).__name__}")
@@ -233,6 +261,107 @@ class Planner:
         )
         return choose_partitions(
             state, left_cardinality, self._config.parallel, distinct_keys=right_distinct
+        )
+
+    @staticmethod
+    def _resolve_reference(schema, name: str) -> str:
+        """Map a (possibly qualified) attribute reference to a schema attribute.
+
+        Chained joins accumulate combined schemas in which a clashing
+        attribute of a non-first input is prefixed with that input's name
+        (``sb.Loc``).  The SQL layer keeps such qualifiers; here they are
+        resolved against the *real* schema: the exact (prefixed) name wins,
+        a bare match means the attribute never clashed, and as a fallback a
+        unique ``*.attr`` suffix match absorbs prefix-spelling differences.
+        """
+        if name in schema:
+            return name
+        if "." in name:
+            bare = name.split(".", 1)[1]
+            # A qualified reference names a *non-first* input, so when the
+            # attribute clashed (any "*.attr" is present) the prefixed
+            # column is the one meant — the bare column belongs to the
+            # left-most input.  Only when it never clashed does the bare
+            # name refer to the qualified input's own column.
+            suffix_matches = [
+                attribute
+                for attribute in schema.attributes
+                if attribute.endswith(f".{bare}")
+            ]
+            if len(suffix_matches) == 1:
+                return suffix_matches[0]
+            if len(suffix_matches) > 1:
+                raise PlanError(
+                    f"ambiguous attribute reference {name!r}: matches "
+                    f"{suffix_matches}"
+                )
+            if bare in schema:
+                return bare
+        raise PlanError(
+            f"unknown attribute reference {name!r}; available: "
+            f"{list(schema.attributes)}"
+        )
+
+    def _resolve_on(self, on, left_schema, right_schema):
+        """Resolve every θ pair of a join against its input schemas."""
+        return tuple(
+            (
+                self._resolve_reference(left_schema, left_attribute),
+                self._resolve_reference(right_schema, right_attribute),
+            )
+            for left_attribute, right_attribute in on
+        )
+
+    def _streamness(self, plan: LogicalPlan) -> str:
+        """Classify a join input subtree: ``stream``, ``relation`` or ``mixed``.
+
+        A *stream* subtree is a :class:`StreamScan` or a TP join tree whose
+        leaves are all stream scans — the shape the dataflow compiler
+        accepts.  Anything containing a relation scan (or an intermediate
+        non-join operator) is ``relation``; a tree mixing both is ``mixed``
+        (rejected by the caller).
+        """
+        if isinstance(plan, StreamScan):
+            return "stream"
+        if isinstance(plan, TPJoin):
+            parts = {self._streamness(plan.left), self._streamness(plan.right)}
+            if parts == {"stream"}:
+                return "stream"
+            if "stream" in parts:
+                return "mixed"
+            return "relation"
+        return "relation"
+
+    def _dataflow_join(self, plan: TPJoin) -> PhysicalOperator:
+        """Compile a stream join tree into a retractable dataflow graph."""
+        from ..dataflow import NodeSpec
+        from .continuous import CONTINUOUS_KINDS, DataflowJoinOperator
+
+        from ..stream import continuous_output_schema
+
+        nodes: list[NodeSpec] = []
+        scans: list[ContinuousScanOperator] = []
+
+        def build(subtree: LogicalPlan):
+            if isinstance(subtree, StreamScan):
+                stream_def = self._catalog.lookup_stream(subtree.stream_name)
+                scans.append(ContinuousScanOperator(stream_def, subtree.stream_name))
+                return subtree.stream_name, stream_def.schema
+            assert isinstance(subtree, TPJoin)
+            left_name, left_schema = build(subtree.left)
+            right_name, right_schema = build(subtree.right)
+            name = f"node{len(nodes) + 1}"
+            kind = CONTINUOUS_KINDS[subtree.kind]
+            # Qualified references from chained ON clauses resolve against
+            # the accumulated left schema (prefixed name when it clashed,
+            # bare name when it never did).
+            on = self._resolve_on(subtree.on, left_schema, right_schema)
+            nodes.append(NodeSpec(name, kind, left_name, right_name, on))
+            return name, continuous_output_schema(kind, left_schema, right_schema, right_name)
+
+        build(plan)
+        return DataflowJoinOperator(
+            self._catalog, tuple(scans), nodes, config=self._config.stream_config
         )
 
     def _continuous_join(self, plan: TPJoin) -> PhysicalOperator:

@@ -7,7 +7,7 @@ covering exactly the operations the engine supports.
 
 Grammar (case-insensitive keywords)::
 
-    query      :=  SELECT select_list FROM source join_clause?
+    query      :=  SELECT select_list FROM source join_clause*
                    where_clause? during_clause? using_clause?
     select_list:=  '*' | identifier (',' identifier)*
     source     :=  STREAM? relation
@@ -26,12 +26,16 @@ Examples::
     SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann'
     SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc DURING [4, 8) USING TA
     SELECT * FROM STREAM a TP ANTI JOIN STREAM b ON a.Loc = b.Loc
+    SELECT * FROM STREAM a TP ANTI JOIN STREAM b ON a.Loc = b.Loc
+                  TP FULL OUTER JOIN STREAM c ON a.Loc = c.Loc
 
 ``STREAM name`` targets a registered stream instead of a stored relation;
-a TP anti / left outer join between two streams is planned as a continuous,
-watermark-driven join.  ``STREAM`` is a *contextual* keyword: it only acts
-as a marker when followed by a name, so relations or attributes named
-``stream`` keep working.
+a TP join between two streams is planned as a continuous, watermark-driven
+join.  ``STREAM`` is a *contextual* keyword: it only acts as a marker when
+followed by a name, so relations or attributes named ``stream`` keep
+working.  Multiple join clauses chain left-deep: each clause joins the
+accumulated result with the next source — over streams the planner compiles
+the chain into a retractable dataflow graph (:mod:`repro.dataflow`).
 """
 
 from __future__ import annotations
@@ -87,8 +91,23 @@ _STRATEGIES = {"nj": JoinStrategy.NJ, "ta": JoinStrategy.TA, "naive": JoinStrate
 
 
 @dataclass(frozen=True)
+class JoinClause:
+    """One parsed ``TP ... JOIN source ON ...`` clause."""
+
+    kind: JoinKind
+    relation: str
+    is_stream: bool
+    on: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
 class ParsedQuery:
-    """The outcome of parsing: a logical plan plus surface details."""
+    """The outcome of parsing: a logical plan plus surface details.
+
+    ``right_relation`` / ``join_kind`` / ``right_is_stream`` describe the
+    *first* join clause (kept for single-join callers); ``joins`` lists
+    every clause of a chained query in order.
+    """
 
     plan: LogicalPlan
     select_list: tuple[str, ...]
@@ -98,6 +117,7 @@ class ParsedQuery:
     strategy: JoinStrategy
     left_is_stream: bool = False
     right_is_stream: bool = False
+    joins: tuple[JoinClause, ...] = ()
 
 
 def tokenize(text: str) -> list[str]:
@@ -122,6 +142,7 @@ class _Parser:
     def __init__(self, tokens: list[str]) -> None:
         self._tokens = tokens
         self._position = 0
+        self._base_relation: Optional[str] = None
 
     # -- token helpers ---------------------------------------------------- #
     def _peek(self) -> Optional[str]:
@@ -163,19 +184,20 @@ class _Parser:
         self._expect_keyword("from")
         left_is_stream = self._stream_marker()
         left_relation = self._identifier()
+        self._base_relation = left_relation
 
-        join_kind: Optional[JoinKind] = None
-        right_relation: Optional[str] = None
-        right_is_stream = False
-        on_pairs: tuple[tuple[str, str], ...] = ()
-        if self._peek_keyword() == "tp":
+        joins: list[JoinClause] = []
+        prior_relations = {left_relation}
+        while self._peek_keyword() == "tp":
             self._advance()
             join_kind = self._join_kind()
             self._expect_keyword("join")
             right_is_stream = self._stream_marker()
             right_relation = self._identifier()
             self._expect_keyword("on")
-            on_pairs = self._conditions(left_relation, right_relation)
+            on_pairs = self._conditions(prior_relations, right_relation)
+            joins.append(JoinClause(join_kind, right_relation, right_is_stream, on_pairs))
+            prior_relations.add(right_relation)
 
         filters = self._where_clause()
         during = self._during_clause()
@@ -187,27 +209,28 @@ class _Parser:
             StreamScan(left_relation) if left_is_stream else Scan(left_relation)
         )
         plan: LogicalPlan = left_scan
-        if join_kind is not None:
-            assert right_relation is not None
+        for clause in joins:
             right_scan: LogicalPlan = (
-                StreamScan(right_relation) if right_is_stream else Scan(right_relation)
+                StreamScan(clause.relation) if clause.is_stream else Scan(clause.relation)
             )
-            plan = TPJoin(left_scan, right_scan, join_kind, on_pairs, strategy)
+            plan = TPJoin(plan, right_scan, clause.kind, clause.on, strategy)
         for attribute, value in filters:
             plan = Select(plan, attribute, value)
         if during is not None:
             plan = Timeslice(plan, during)
         if select_list != ("*",):
             plan = Project(plan, select_list)
+        first = joins[0] if joins else None
         return ParsedQuery(
             plan=plan,
             select_list=select_list,
             left_relation=left_relation,
-            right_relation=right_relation,
-            join_kind=join_kind,
+            right_relation=first.relation if first else None,
+            join_kind=first.kind if first else None,
             strategy=strategy,
             left_is_stream=left_is_stream,
-            right_is_stream=right_is_stream,
+            right_is_stream=first.is_stream if first else False,
+            joins=tuple(joins),
         )
 
     def _stream_marker(self) -> bool:
@@ -249,11 +272,13 @@ class _Parser:
             return _JOIN_KINDS[(first,)]
         raise SQLSyntaxError(f"unknown join kind starting with {first!r}")
 
-    def _conditions(self, left_relation: str, right_relation: str) -> tuple[tuple[str, str], ...]:
-        pairs = [self._condition(left_relation, right_relation)]
+    def _conditions(
+        self, prior_relations: set[str], right_relation: str
+    ) -> tuple[tuple[str, str], ...]:
+        pairs = [self._condition(prior_relations, right_relation)]
         while self._peek_keyword() == "and" and self._looks_like_condition():
             self._advance()
-            pairs.append(self._condition(left_relation, right_relation))
+            pairs.append(self._condition(prior_relations, right_relation))
         return tuple(pairs)
 
     def _looks_like_condition(self) -> bool:
@@ -270,13 +295,37 @@ class _Parser:
         finally:
             self._position = save
 
-    def _condition(self, left_relation: str, right_relation: str) -> tuple[str, str]:
+    def _condition(
+        self, prior_relations: set[str], right_relation: str
+    ) -> tuple[str, str]:
         first_relation, first_attribute = self._qualified()
         self._expect("=")
         second_relation, second_attribute = self._qualified()
-        if first_relation == right_relation and second_relation in (left_relation, None):
-            return (second_attribute, first_attribute)
-        return (first_attribute, second_attribute)
+        if first_relation == right_relation and (
+            second_relation is None or second_relation in prior_relations
+        ):
+            left_relation, left_attribute = second_relation, second_attribute
+            right_attribute = first_attribute
+        else:
+            left_relation, left_attribute = first_relation, first_attribute
+            right_attribute = second_attribute
+        return (self._left_reference(left_relation, left_attribute), right_attribute)
+
+    def _left_reference(self, relation: Optional[str], attribute: str) -> str:
+        """The left-side attribute reference a chained join condition names.
+
+        In a chain, the accumulated left schema prefixes attributes of a
+        non-first input when they clash with an earlier name (e.g. ``Loc``
+        of ``sb`` becomes ``sb.Loc`` after the first join).  A qualifier
+        naming such a relation is therefore *kept* — the planner resolves
+        it against the real accumulated schema (exact name when prefixed,
+        bare name when it never clashed).  Base-relation qualifiers and
+        unqualified names stay bare, which is also the single-join
+        behaviour of earlier grammars.
+        """
+        if relation is None or relation == self._base_relation:
+            return attribute
+        return f"{relation}.{attribute}"
 
     def _qualified(self) -> tuple[Optional[str], str]:
         name = self._identifier()

@@ -28,6 +28,20 @@ from ..relation import TPTuple
 from ..stream.elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
 from ..temporal import Interval
 
+#: Revision kinds by wire code (index = code), derived from the enum itself
+#: so the wire order can never drift from RevisionKind's definition order.
+#: Populated lazily: repro.dataflow imports this package's stream codecs, so
+#: a module-level import here would be circular during package init.
+_REVISION_KINDS: list = []
+
+
+def _revision_kinds() -> list:
+    if not _REVISION_KINDS:
+        from ..dataflow.revision import RevisionKind
+
+        _REVISION_KINDS.extend(RevisionKind)
+    return _REVISION_KINDS
+
 # --------------------------------------------------------------------------- #
 # lineage codec
 # --------------------------------------------------------------------------- #
@@ -119,6 +133,48 @@ def decode_tagged(code: tuple) -> Tagged:
     if code[0] == "w":
         return Tagged(side, Watermark(code[2]))
     raise ValueError(f"unknown element code tag {code[0]!r}")
+
+
+# --------------------------------------------------------------------------- #
+# revision-stream element codec (dataflow edges)
+# --------------------------------------------------------------------------- #
+def encode_revision_tagged(tagged: Tagged) -> tuple:
+    """Flatten one tagged dataflow element (revision, event or watermark).
+
+    Revisions become ``("r", side, kind_code, provisional, tuple_code,
+    clock)``; events and watermarks keep the stream-element encoding, so a
+    source edge and a node edge share one wire format.
+    """
+    from ..dataflow.revision import Revision
+
+    element = tagged.element
+    if isinstance(element, Revision):
+        side_code = 0 if tagged.side == LEFT else 1
+        return (
+            "r",
+            side_code,
+            _revision_kinds().index(element.kind),
+            element.provisional,
+            encode_tuple(element.tuple),
+            tagged.ingest_clock,
+        )
+    return encode_tagged(tagged)
+
+
+def decode_revision_tagged(code: tuple) -> Tagged:
+    """Rebuild one tagged dataflow element from its encoding."""
+    if code[0] != "r":
+        return decode_tagged(code)
+    from ..dataflow.revision import Revision
+
+    _tag, side_code, kind_code, provisional, tuple_code, clock = code
+    side = LEFT if side_code == 0 else RIGHT
+    revision = Revision(
+        _revision_kinds()[kind_code],
+        decode_tuple(tuple_code),
+        provisional=provisional,
+    )
+    return Tagged(side, revision, clock)
 
 
 # --------------------------------------------------------------------------- #

@@ -28,14 +28,20 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..relation import Schema, ThetaCondition, TPTuple
 from ..stream.elements import LEFT, StreamEvent, Tagged, Watermark
 from ..stream.operators import continuous_join
 from .plan import stable_hash
 from .pool import preferred_context
-from .serialize import decode_tagged, decode_tuples, encode_tagged, encode_tuples
+from .serialize import (
+    decode_tagged,
+    decode_tuples,
+    encode_tagged,
+    encode_tuples,
+    events_from_probabilities,
+)
 
 #: Poll interval (seconds) for queue operations that must watch worker
 #: liveness.  Slow-but-alive workers are waited on indefinitely; only a dead
@@ -54,7 +60,14 @@ class WorkerStartError(RuntimeError):
 
 @dataclass(frozen=True)
 class StreamShardSpec:
-    """Everything a worker process needs to rebuild its continuous join."""
+    """Everything a worker process needs to rebuild its continuous join.
+
+    ``event_probabilities`` ships the marginal probabilities of the base
+    events when the query materializes probabilities inline: workers rebuild
+    an event space from it and compute output probabilities with their
+    maintainer-owned per-key computers.  ``None`` leaves probabilities unset
+    (the caller computes them later, the default).
+    """
 
     kind: str
     left_attributes: tuple
@@ -62,9 +75,11 @@ class StreamShardSpec:
     on: tuple
     left_name: str = "r"
     right_name: str = "s"
+    event_probabilities: Optional[dict] = None
 
     def build_join(self):
         """Instantiate the continuous join this spec describes."""
+        materialize = self.event_probabilities is not None
         return continuous_join(
             self.kind,
             Schema(tuple(self.left_attributes)),
@@ -72,6 +87,10 @@ class StreamShardSpec:
             self.on,
             left_name=self.left_name,
             right_name=self.right_name,
+            events=events_from_probabilities(self.event_probabilities)
+            if materialize
+            else None,
+            materialize_probabilities=materialize,
         )
 
 
@@ -157,6 +176,9 @@ def run_process_partitions(
     pending: List[List[tuple]] = [[] for _ in range(partitions)]
     blocks = 0
     events_processed = 0
+    # Right/full outer joins treat right events as positives too (mirrored
+    # maintainer), so both sides get an ingestion stamp for emit latency.
+    stamp_right = spec.kind in ("right_outer", "full_outer")
 
     def safe_put(index: int, item) -> None:
         """Blocking put that cannot hang on a dead worker's full queue."""
@@ -195,6 +217,8 @@ def run_process_partitions(
                     tagged = Tagged(tagged.side, element, time.perf_counter())
                 else:
                     key = theta.right_key(element.tuple)
+                    if stamp_right:
+                        tagged = Tagged(tagged.side, element, time.perf_counter())
                 index = _route(key, partitions)
                 pending[index].append(encode_tagged(tagged))
                 if len(pending[index]) >= micro_batch_size:
@@ -262,3 +286,316 @@ def run_process_partitions(
 
 def _route(key, partitions: int) -> int:
     return stable_hash(key) % partitions
+
+
+# --------------------------------------------------------------------------- #
+# dataflow graphs: node-per-process pipelined execution
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DataflowNodeSpec:
+    """Everything a worker process needs to run one dataflow node.
+
+    ``downstream`` lists ``(consumer node index, side)`` edges this node's
+    output feeds; ``producers`` is the number of incoming edges (parent
+    source edges plus sibling node edges) — the count of ``None`` done
+    sentinels to await before closing.
+    """
+
+    index: int
+    name: str
+    kind: str
+    left_attributes: tuple
+    right_attributes: tuple
+    on: tuple
+    left_name: str
+    right_name: str
+    downstream: tuple
+    producers: int
+    early_emit: bool = False
+    event_probabilities: Optional[dict] = None
+
+    def build_join(self):
+        """Instantiate the retractable join this spec describes."""
+        from ..dataflow.operators import RevisionJoin
+
+        materialize = self.event_probabilities is not None
+        return RevisionJoin(
+            self.kind,
+            Schema(tuple(self.left_attributes)),
+            Schema(tuple(self.right_attributes)),
+            self.on,
+            left_name=self.left_name,
+            right_name=self.right_name,
+            early_emit=self.early_emit,
+            events=events_from_probabilities(self.event_probabilities)
+            if materialize
+            else None,
+            materialize_probabilities=materialize,
+        )
+
+
+def _graph_worker_main(
+    spec: DataflowNodeSpec, node_queues, out_queue, micro_batch_size: int, abort
+) -> None:
+    """Dataflow node worker: drain revisions, publish downstream, report."""
+    from .serialize import decode_revision_tagged, encode_revision_tagged
+
+    try:
+        join = spec.build_join()
+        in_queue = node_queues[spec.index]
+        pending: dict[int, list] = {}
+
+        def guarded_put(target: int, item) -> None:
+            # A sibling node may have died with a full queue nobody drains;
+            # the parent sets `abort` when it learns of the failure, which
+            # is this worker's signal to stop instead of blocking forever.
+            while True:
+                try:
+                    node_queues[target].put(item, timeout=_POLL_INTERVAL)
+                    return
+                except queue_module.Full:
+                    if abort.is_set():
+                        raise RuntimeError(
+                            "run aborted while publishing downstream"
+                        ) from None
+
+        def route(elements) -> None:
+            for element in elements:
+                for target, side in spec.downstream:
+                    pending.setdefault(target, []).append(
+                        encode_revision_tagged(Tagged(side, element))
+                    )
+                    if len(pending[target]) >= micro_batch_size:
+                        guarded_put(target, pending.pop(target))
+
+        def flush() -> None:
+            for target in list(pending):
+                guarded_put(target, pending.pop(target))
+
+        remaining = spec.producers
+        while remaining > 0:
+            message = in_queue.get()
+            if message is None:
+                remaining -= 1
+                continue
+            for code in message:
+                route(join.process(decode_revision_tagged(code)))
+            flush()
+        route(join.close())
+        flush()
+        for target, _side in spec.downstream:
+            guarded_put(target, None)
+        stats = join.stats
+        out_queue.put(
+            (
+                spec.index,
+                "ok",
+                encode_tuples(join.settled_outputs.values()),
+                (
+                    stats.emits,
+                    stats.retracts,
+                    stats.refines,
+                    stats.groups_published_early,
+                    stats.groups_settled,
+                    stats.inputs_retracted,
+                ),
+                list(join.emit_latencies),
+                list(join.emit_event_lags),
+            )
+        )
+    except BaseException:  # noqa: BLE001 - marshalled to the parent
+        out_queue.put((spec.index, "error", traceback.format_exc(), None, None, None))
+
+
+def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
+    """Compile a :class:`~repro.dataflow.DataflowGraph` into worker specs."""
+    from ..dataflow.executor import downstream_table
+
+    node_index = {name: index for index, name in enumerate(graph.node_names)}
+    event_probabilities = None
+    if getattr(config, "materialize_probabilities", False):
+        events = graph.merged_events()
+        event_probabilities = {
+            name: events.probability(name) for name in events.names()
+        }
+    producers = [0] * len(graph.nodes)
+    for source in graph.source_names:
+        for consumer, _side in graph.consumers_of(source):
+            producers[node_index[consumer]] += 1
+    downstream = [tuple(edges) for edges in downstream_table(graph, node_index)]
+    for edges in downstream:
+        for target, _side in edges:
+            producers[target] += 1
+    specs = []
+    for index, spec in enumerate(graph.nodes):
+        specs.append(
+            DataflowNodeSpec(
+                index=index,
+                name=spec.name,
+                kind=spec.kind,
+                left_attributes=graph.schema_of(spec.left).attributes,
+                right_attributes=graph.schema_of(spec.right).attributes,
+                on=spec.on,
+                left_name=spec.left,
+                right_name=spec.right,
+                downstream=downstream[index],
+                producers=producers[index],
+                early_emit=getattr(config, "early_emit", False),
+                event_probabilities=event_probabilities,
+            )
+        )
+    return specs
+
+
+def run_graph_processes(graph, config, merge_seed=None):
+    """Run a dataflow graph with one OS process per node.
+
+    The same pipeline topology as the thread backend — bounded queues
+    between stages provide backpressure, done sentinels implement the
+    multi-producer close protocol — with elements crossing process
+    boundaries through the compact revision codec.  Raises
+    :class:`WorkerStartError` (strictly before consuming any source
+    element) when processes cannot start, so callers can fall back.
+    """
+    from ..dataflow.executor import GraphRunOutcome, merge_edges, source_edges
+    from ..dataflow.operators import RevisionJoinStats
+    from .serialize import decode_tuples as _decode_tuples
+
+    specs = graph_node_specs(graph, config)
+    node_index = {name: index for index, name in enumerate(graph.node_names)}
+    micro_batch_size = getattr(config, "micro_batch_size", 64)
+    buffer_capacity = getattr(config, "buffer_capacity", 1024)
+    queue_batches = max(2, buffer_capacity // max(1, micro_batch_size))
+    context = preferred_context()
+    workers: List = []
+    try:
+        node_queues = [context.Queue(maxsize=queue_batches) for _ in specs]
+        out_queue = context.Queue()
+        abort = context.Event()
+        workers = [
+            context.Process(
+                target=_graph_worker_main,
+                args=(spec, node_queues, out_queue, micro_batch_size, abort),
+                name=f"dataflow-node-{spec.index}",
+                daemon=True,
+            )
+            for spec in specs
+        ]
+        for worker in workers:
+            worker.start()
+    except (OSError, PermissionError) as error:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        raise WorkerStartError(f"cannot start dataflow processes: {error}") from error
+
+    edges = list(source_edges(graph, node_index))
+    pending: List[List[tuple]] = [[] for _ in specs]
+    events_processed = 0
+    blocks = 0
+    results: dict[int, tuple] = {}
+
+    def take_result(message) -> None:
+        """Record one worker message; a failure aborts the whole run."""
+        if message[1] != "ok":
+            abort.set()
+            raise RuntimeError(f"dataflow node {message[0]} failed:\n{message[2]}")
+        results[message[0]] = message
+
+    def drain_results() -> None:
+        while True:
+            try:
+                take_result(out_queue.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def safe_put(index: int, item) -> None:
+        nonlocal blocks
+        try:
+            node_queues[index].put_nowait(item)
+            return
+        except queue_module.Full:
+            blocks += 1
+        while True:
+            try:
+                node_queues[index].put(item, timeout=_POLL_INTERVAL)
+                return
+            except queue_module.Full:
+                # A failed sibling node can make the whole pipeline stall
+                # while this node stays alive: surface marshalled errors
+                # instead of spinning on liveness alone.
+                drain_results()
+                if not workers[index].is_alive():
+                    raise RuntimeError(
+                        f"dataflow node {index} died with a full input queue"
+                    ) from None
+
+    def flush(index: int) -> None:
+        if pending[index]:
+            batch = pending[index]
+            pending[index] = []
+            safe_put(index, batch)
+
+    try:
+        for target, side, element in merge_edges(edges, merge_seed):
+            clock = None
+            if isinstance(element, StreamEvent):
+                events_processed += 1
+                clock = time.perf_counter()
+            pending[target].append(encode_tagged(Tagged(side, element, clock)))
+            if len(pending[target]) >= micro_batch_size:
+                flush(target)
+        for target, _side, _iterator in edges:
+            flush(target)
+            safe_put(target, None)
+        for index in range(len(specs)):
+            flush(index)
+
+        grace_polls = 5
+        while len(results) < len(specs):
+            try:
+                message = out_queue.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                missing = sorted(set(range(len(specs))) - set(results))
+                if any(workers[index].is_alive() for index in missing):
+                    continue
+                grace_polls -= 1
+                if grace_polls <= 0:
+                    raise RuntimeError(
+                        f"dataflow nodes {missing} exited without a result"
+                    ) from None
+                continue
+            take_result(message)
+    except BaseException:
+        # Unblock any worker parked on a full queue of a dead consumer.
+        abort.set()
+        raise
+    finally:
+        for worker in workers:
+            worker.join(timeout=5.0)
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - defensive cleanup
+                worker.terminate()
+
+    settled = {}
+    stats = {}
+    latencies = {}
+    lags = {}
+    for spec in specs:
+        _index, _status, tuple_codes, stat_values, node_latencies, node_lags = results[
+            spec.index
+        ]
+        settled[spec.name] = _decode_tuples(tuple_codes)
+        stats[spec.name] = RevisionJoinStats(*stat_values)
+        latencies[spec.name] = node_latencies
+        lags[spec.name] = node_lags
+    return GraphRunOutcome(
+        settled=settled,
+        stats=stats,
+        emit_latencies=latencies,
+        emit_event_lags=lags,
+        events_processed=events_processed,
+        backpressure_blocks=blocks,
+        backend="processes",
+    )

@@ -25,15 +25,27 @@ from .elements import (
     Watermark,
     tag,
 )
-from .incremental import FinalizedGroup, IncrementalWindowMaintainer, MaintainerStats
+from .incremental import (
+    FinalizedGroup,
+    IncrementalWindowMaintainer,
+    MaintainerStats,
+    OpenPositive,
+)
 from .operators import (
     CONTINUOUS_OPERATORS,
+    REVERSE_KINDS,
     ContinuousAntiJoin,
+    ContinuousFullOuterJoin,
+    ContinuousInnerJoin,
     ContinuousJoinBase,
     ContinuousLeftOuterJoin,
+    ContinuousRightOuterJoin,
     continuous_join,
     continuous_output_schema,
+    forward_group_tuples,
+    group_of,
     joined_output_schema,
+    reverse_group_tuples,
     theta_from_pairs,
 )
 from .query import (
@@ -51,12 +63,17 @@ __all__ = [
     "BoundedBuffer",
     "BufferClosed",
     "ContinuousAntiJoin",
+    "ContinuousFullOuterJoin",
+    "ContinuousInnerJoin",
     "ContinuousJoinBase",
     "ContinuousLeftOuterJoin",
+    "ContinuousRightOuterJoin",
     "FinalizedGroup",
     "IncrementalWindowMaintainer",
     "LEFT",
     "MaintainerStats",
+    "OpenPositive",
+    "REVERSE_KINDS",
     "RIGHT",
     "SourceStats",
     "StreamDef",
@@ -71,8 +88,11 @@ __all__ = [
     "Watermark",
     "continuous_join",
     "continuous_output_schema",
+    "forward_group_tuples",
+    "group_of",
     "joined_output_schema",
     "merge_tagged",
+    "reverse_group_tuples",
     "tag",
     "theta_from_pairs",
 ]

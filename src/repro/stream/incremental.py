@@ -28,14 +28,32 @@ State is bounded by eviction: finalized positives are dropped immediately,
 and a negative tuple is dropped once the *left* watermark passes its end
 (no open positive references it through the index any more, and every future
 positive starts after it).
+
+Two extensions serve the retractable dataflow subsystem
+(:mod:`repro.dataflow`):
+
+* **Retraction** — :meth:`IncrementalWindowMaintainer.remove_positive` /
+  :meth:`remove_negative` unwind an earlier addition exactly, so a node
+  consuming a *revision stream* (provisional upstream output that may be
+  retracted) keeps state identical to a run that never saw the retracted
+  tuple.  The ingestion methods return the open entries they touched, which
+  is what early-emission needs to republish affected provisional windows.
+* **Per-key probability computers** — when constructed with an event space,
+  the maintainer owns one hash-consed
+  :class:`~repro.lineage.ProbabilityComputer` per join key, carried across
+  *all* windows of a live continuous query.  Repeated windows of the same
+  positive tuple then reuse interned sub-expression probabilities end to
+  end, and the values stay bitwise-identical to a fresh computation (the
+  memo only ever returns a value it previously computed the uncached way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.overlap import OverlapGroup, OverlapRecord
+from ..lineage import EventSpace, ProbabilityComputer
 from ..relation import TPTuple, ThetaCondition
 from .elements import CLOSED
 
@@ -55,15 +73,28 @@ class MaintainerStats:
     negatives_evicted: int = 0
     peak_open_positives: int = 0
     peak_indexed_negatives: int = 0
+    positives_retracted: int = 0
+    negatives_retracted: int = 0
 
 
 @dataclass
-class _OpenPositive:
-    """One positive tuple awaiting finalization, with its accrued matches."""
+class OpenPositive:
+    """One positive tuple awaiting finalization, with its accrued matches.
+
+    ``serial`` is a maintainer-unique id assigned at ingestion; the dataflow
+    layer uses it to key the provisional windows published for this group
+    (object identity is unsafe: ids are reused after finalization).
+    """
 
     tuple: TPTuple
     matches: List[OverlapRecord] = field(default_factory=list)
     ingest_clock: float = 0.0
+    key: Hashable = None
+    serial: int = 0
+
+
+#: Backwards-compatible alias (the entry type used to be module-private).
+_OpenPositive = OpenPositive
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,11 +103,15 @@ class FinalizedGroup:
 
     ``ingest_clock`` is the wall-clock reading recorded when the positive
     tuple was ingested; operators subtract it from the emission clock to
-    report per-tuple emit latency.
+    report per-tuple emit latency.  ``key`` and ``serial`` identify the
+    originating open entry (join key for the per-key probability computer,
+    serial for provisional-publication bookkeeping).
     """
 
     group: OverlapGroup
     ingest_clock: float
+    key: Hashable = None
+    serial: int = 0
 
 
 def _match_order(record: OverlapRecord) -> tuple:
@@ -89,7 +124,7 @@ def _match_order(record: OverlapRecord) -> tuple:
 class IncrementalWindowMaintainer:
     """Per-key overlap state with watermark-driven window finalization."""
 
-    def __init__(self, theta: ThetaCondition) -> None:
+    def __init__(self, theta: ThetaCondition, events: Optional[EventSpace] = None) -> None:
         self._theta = theta
         self._partitioned = theta.is_equi
         self._open: Dict[Hashable, List[_OpenPositive]] = {}
@@ -100,6 +135,12 @@ class IncrementalWindowMaintainer:
         self.stats = MaintainerStats()
         self._open_count = 0
         self._negative_count = 0
+        self._serial = 0
+        # Per-key probability computers (requires an event space): the
+        # hash-cons intern table of each computer persists across every
+        # window of its key for the maintainer's lifetime.
+        self._events = events
+        self._computers: Dict[Hashable, ProbabilityComputer] = {}
         # Smallest interval end among open positives / indexed negatives:
         # lets watermark advances skip the state scan entirely when nothing
         # can finalize or be evicted yet (the common case with frequent
@@ -126,6 +167,41 @@ class IncrementalWindowMaintainer:
         """Number of negative tuples currently held for future matching."""
         return self._negative_count
 
+    def min_open_start(self) -> float:
+        """Exact smallest interval start among open positives (inf when none).
+
+        The dataflow layer derives a node's *output watermark* from this: any
+        future emission or retraction concerns an open positive, and all of a
+        positive's windows start at or after the positive's own start.  The
+        value is computed exactly (not as a cached bound) because an
+        over-estimate would break the downstream watermark contract.
+        """
+        smallest = float("inf")
+        for entries in self._open.values():
+            for entry in entries:
+                if entry.tuple.start < smallest:
+                    smallest = entry.tuple.start
+        return smallest
+
+    def computer_for(self, key: Hashable) -> ProbabilityComputer:
+        """The persistent per-key probability computer (requires events).
+
+        One hash-consed computer per join key, owned by the maintainer and
+        carried across all windows of a live continuous query, so repeated
+        windows of the same positive tuple reuse interned sub-expression
+        probabilities.
+        """
+        if self._events is None:
+            raise ValueError(
+                "maintainer was built without an event space; "
+                "pass events= to materialize probabilities"
+            )
+        computer = self._computers.get(key)
+        if computer is None:
+            computer = ProbabilityComputer(self._events, hash_cons=True)
+            self._computers[key] = computer
+        return computer
+
     # ------------------------------------------------------------------ #
     # event ingestion
     # ------------------------------------------------------------------ #
@@ -135,14 +211,21 @@ class IncrementalWindowMaintainer:
     def _negative_key(self, tp_tuple: TPTuple) -> Hashable:
         return self._theta.right_key(tp_tuple) if self._partitioned else _WHOLE_STREAM
 
-    def add_positive(self, tp_tuple: TPTuple, ingest_clock: float = 0.0) -> None:
-        """Ingest one positive-stream tuple, matching it against stored negatives."""
+    def add_positive(
+        self, tp_tuple: TPTuple, ingest_clock: float = 0.0
+    ) -> Optional[OpenPositive]:
+        """Ingest one positive-stream tuple, matching it against stored negatives.
+
+        Returns the created open entry, or ``None`` when the tuple arrived
+        behind the left watermark and was dropped.
+        """
         self.stats.positives_in += 1
         if tp_tuple.start < self._watermark_left:
             self.stats.late_positives_dropped += 1
-            return
-        entry = _OpenPositive(tp_tuple, ingest_clock=ingest_clock)
+            return None
         key = self._positive_key(tp_tuple)
+        self._serial += 1
+        entry = OpenPositive(tp_tuple, ingest_clock=ingest_clock, key=key, serial=self._serial)
         for negative in self._negatives.get(key, ()):
             overlap = tp_tuple.interval.intersect(negative.interval)
             if overlap is not None and self._theta.evaluate(tp_tuple, negative):
@@ -153,13 +236,19 @@ class IncrementalWindowMaintainer:
             self._min_open_end = tp_tuple.end
         if self._open_count > self.stats.peak_open_positives:
             self.stats.peak_open_positives = self._open_count
+        return entry
 
-    def add_negative(self, tp_tuple: TPTuple) -> None:
-        """Ingest one negative-stream tuple, extending affected open positives."""
+    def add_negative(self, tp_tuple: TPTuple) -> List[OpenPositive]:
+        """Ingest one negative-stream tuple, extending affected open positives.
+
+        Returns the open entries whose match lists grew (empty when the
+        tuple was dropped as late or overlapped nothing) — the groups whose
+        provisional windows an early-emitting operator must republish.
+        """
         self.stats.negatives_in += 1
         if tp_tuple.start < self._watermark_right:
             self.stats.late_negatives_dropped += 1
-            return
+            return []
         key = self._negative_key(tp_tuple)
         self._negatives.setdefault(key, []).append(tp_tuple)
         self._negative_count += 1
@@ -167,10 +256,69 @@ class IncrementalWindowMaintainer:
             self._min_negative_end = tp_tuple.end
         if self._negative_count > self.stats.peak_indexed_negatives:
             self.stats.peak_indexed_negatives = self._negative_count
+        affected: List[OpenPositive] = []
         for entry in self._open.get(key, ()):
             overlap = entry.tuple.interval.intersect(tp_tuple.interval)
             if overlap is not None and self._theta.evaluate(entry.tuple, tp_tuple):
                 entry.matches.append(OverlapRecord(entry.tuple, tp_tuple, overlap))
+                affected.append(entry)
+        return affected
+
+    # ------------------------------------------------------------------ #
+    # retraction (revision-stream inputs)
+    # ------------------------------------------------------------------ #
+    def remove_positive(self, tp_tuple: TPTuple) -> Optional[OpenPositive]:
+        """Unwind an earlier :meth:`add_positive`; returns the removed entry.
+
+        The upstream watermark contract guarantees a retractable tuple is
+        still open here (its group cannot have been finalized: finalization
+        needs the combined watermark past its end, while retraction implies
+        the upstream watermark — and therefore our side watermark — has not
+        passed its start).  ``None`` means the tuple was never added, which
+        callers treat as a contract violation.
+        """
+        key = self._positive_key(tp_tuple)
+        identity = tp_tuple.key()
+        entries = self._open.get(key, [])
+        for index, entry in enumerate(entries):
+            if entry.tuple.key() == identity:
+                del entries[index]
+                if not entries:
+                    self._open.pop(key, None)
+                self._open_count -= 1
+                self.stats.positives_retracted += 1
+                # _min_open_end is a lower bound; removal only raises the
+                # true minimum, so the bound stays valid as-is.
+                return entry
+        return None
+
+    def remove_negative(self, tp_tuple: TPTuple) -> List[OpenPositive]:
+        """Unwind an earlier :meth:`add_negative`.
+
+        Drops the tuple from the index (when still there — it may have been
+        evicted) and strips its overlap records from every open positive of
+        its key, returning the entries whose match lists shrank so an
+        early-emitting operator can republish them.
+        """
+        key = self._negative_key(tp_tuple)
+        identity = tp_tuple.key()
+        bucket = self._negatives.get(key)
+        if bucket is not None:
+            for index, negative in enumerate(bucket):
+                if negative.key() == identity:
+                    del bucket[index]
+                    if not bucket:
+                        self._negatives.pop(key, None)
+                    self._negative_count -= 1
+                    break
+        self.stats.negatives_retracted += 1
+        affected: List[OpenPositive] = []
+        for entry in self._open.get(key, ()):
+            kept = [record for record in entry.matches if record.s.key() != identity]
+            if len(kept) != len(entry.matches):
+                entry.matches[:] = kept
+                affected.append(entry)
+        return affected
 
     # ------------------------------------------------------------------ #
     # watermark advancement and finalization
@@ -218,7 +366,10 @@ class IncrementalWindowMaintainer:
                     self._open_count -= 1
                     finalized.append(
                         FinalizedGroup(
-                            OverlapGroup(entry.tuple, entry.matches), entry.ingest_clock
+                            OverlapGroup(entry.tuple, entry.matches),
+                            entry.ingest_clock,
+                            key=entry.key,
+                            serial=entry.serial,
                         )
                     )
                 else:

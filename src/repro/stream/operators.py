@@ -1,19 +1,37 @@
 """Continuous TP join operators over watermarked element streams.
 
-The two operators mirror the batch joins whose output depends only on the
-windows of the positive relation (``WU``/``WN``/``WO`` of ``r`` w.r.t. ``s``,
-the first two rows of the paper's Table II):
+The operators mirror the batch joins of the paper's Table II.  The first two
+depend only on the windows of the positive (left) relation:
 
 * :class:`ContinuousAntiJoin` — ``r ▷ s``: unmatched and negating windows.
 * :class:`ContinuousLeftOuterJoin` — ``r ⟕ s``: all three window classes.
+* :class:`ContinuousInnerJoin` — ``r ⋈ s``: overlapping windows only.
 
-Both consume :class:`~repro.stream.elements.Tagged` stream elements (events
-and watermarks of either side) and emit *finalized* output tuples: each
-output is produced exactly once, when the combined watermark passes the end
-of its originating positive tuple, and is never retracted.  Window
+Right and full outer joins additionally need the *reverse* windows — the
+unmatched and negating windows of ``s`` with respect to ``r``.  They run a
+second, mirrored :class:`~repro.stream.incremental.IncrementalWindowMaintainer`
+whose positive side is the right stream (θ swapped), while the overlapping
+windows keep coming from the forward maintainer so output lineages are
+constructed operand-for-operand like the batch joins build them (which keeps
+probabilities bitwise-comparable):
+
+* :class:`ContinuousRightOuterJoin` — ``r ⟖ s``.
+* :class:`ContinuousFullOuterJoin` — ``r ⟗ s``.
+
+All operators consume :class:`~repro.stream.elements.Tagged` stream elements
+(events and watermarks of either side) and emit *finalized* output tuples:
+each output is produced exactly once, when the combined watermark passes the
+end of its originating positive tuple, and is never retracted.  (The
+retractable, early-emitting variant lives in :mod:`repro.dataflow`.)  Window
 derivation replays the unchanged batch sweeps over each completed overlap
 group, so a continuous run over any delivery order (within the lateness
 bound) emits exactly the batch join's output set.
+
+With ``materialize_probabilities=True`` (requires the merged event space)
+output probabilities are computed inline by the maintainer-owned per-key
+:class:`~repro.lineage.ProbabilityComputer` — the hash-cons intern table is
+carried across all windows of a key for the operator's lifetime, and the
+values stay bitwise-identical to a fresh per-tuple computation.
 
 Per-tuple emit latency — the wall-clock span between the ingestion of a
 positive event and the emission of its finalized outputs — is recorded in
@@ -23,7 +41,7 @@ positive event and the emission of its finalized outputs — is recorded in
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.concat import (
@@ -31,11 +49,14 @@ from ..core.concat import (
     window_to_positive_tuple,
     window_to_tuple,
 )
+from ..core.joins import swap_theta
 from ..core.lawan import iter_lawan
+from ..core.overlap import OverlapGroup
 from ..core.windows import WindowClass
+from ..lineage import EventSpace
 from ..relation import Schema, TPTuple, ThetaCondition, theta_or_true
 from .elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
-from .incremental import FinalizedGroup, IncrementalWindowMaintainer
+from .incremental import FinalizedGroup, IncrementalWindowMaintainer, OpenPositive
 
 
 @dataclass
@@ -55,8 +76,77 @@ def theta_from_pairs(
     return theta_or_true(left_schema, right_schema, on)
 
 
+# --------------------------------------------------------------------------- #
+# window-tuple derivation shared with the retractable dataflow operators
+# --------------------------------------------------------------------------- #
+#: Forward window classes each join kind turns into output tuples.
+_FORWARD_CLASSES: dict[str, frozenset] = {
+    "anti": frozenset({WindowClass.UNMATCHED, WindowClass.NEGATING}),
+    "left_outer": frozenset(
+        {WindowClass.UNMATCHED, WindowClass.OVERLAPPING, WindowClass.NEGATING}
+    ),
+    "inner": frozenset({WindowClass.OVERLAPPING}),
+    "right_outer": frozenset({WindowClass.OVERLAPPING}),
+    "full_outer": frozenset(
+        {WindowClass.UNMATCHED, WindowClass.OVERLAPPING, WindowClass.NEGATING}
+    ),
+}
+
+#: Kinds that also derive the reverse windows (positive side = right stream).
+REVERSE_KINDS = frozenset({"right_outer", "full_outer"})
+
+
+def forward_group_tuples(
+    kind: str, group: OverlapGroup, left_width: int, right_width: int
+) -> Iterator[TPTuple]:
+    """Output tuples a completed *forward* group (positive = left) yields."""
+    wanted = _FORWARD_CLASSES[kind]
+    for window in iter_lawan([group]):
+        if window.window_class not in wanted:
+            continue
+        if kind == "anti":
+            yield window_to_positive_tuple(window)
+        else:
+            yield window_to_tuple(window, left_width, right_width, left_is_positive=True)
+
+
+def reverse_group_tuples(
+    kind: str, group: OverlapGroup, left_width: int, right_width: int
+) -> Iterator[TPTuple]:
+    """Output tuples a completed *reverse* group (positive = right) yields.
+
+    Only the unmatched and negating windows of ``s`` w.r.t. ``r``: the
+    overlapping windows are shared with the forward direction (``WO(r;s,θ) =
+    WO(s;r,θ)``) and are emitted from there, with the batch joins' operand
+    order.
+    """
+    if kind not in REVERSE_KINDS:
+        return
+    for window in iter_lawan([group]):
+        if window.window_class is WindowClass.OVERLAPPING:
+            continue
+        yield window_to_tuple(window, left_width, right_width, left_is_positive=False)
+
+
+def group_of(entry: OpenPositive) -> OverlapGroup:
+    """The (possibly still open) overlap group of one maintainer entry.
+
+    Matches are sorted into sweep order on a copy — the entry keeps arrival
+    order so later additions stay cheap.
+    """
+    from .incremental import _match_order
+
+    return OverlapGroup(entry.tuple, sorted(entry.matches, key=_match_order))
+
+
 class ContinuousJoinBase:
-    """Shared machinery of the continuous joins with negation."""
+    """Shared machinery of the continuous TP joins.
+
+    Subclasses set ``kind``; kinds in :data:`REVERSE_KINDS` additionally run
+    the mirrored reverse maintainer.
+    """
+
+    kind: str = ""
 
     def __init__(
         self,
@@ -66,14 +156,25 @@ class ContinuousJoinBase:
         left_name: str = "r",
         right_name: str = "s",
         clock: Callable[[], float] = time.perf_counter,
+        events: Optional[EventSpace] = None,
+        materialize_probabilities: bool = False,
     ) -> None:
+        if materialize_probabilities and events is None:
+            raise ValueError("materialize_probabilities requires an event space")
         self._left_schema = left_schema
         self._right_schema = right_schema
         self._theta = theta
         self._left_name = left_name
         self._right_name = right_name
         self._clock = clock
-        self._maintainer = IncrementalWindowMaintainer(theta)
+        self._events = events
+        self._materialize = materialize_probabilities
+        self._maintainer = IncrementalWindowMaintainer(theta, events=events)
+        self._reverse: Optional[IncrementalWindowMaintainer] = (
+            IncrementalWindowMaintainer(swap_theta(theta), events=events)
+            if self.kind in REVERSE_KINDS
+            else None
+        )
         self.stats = OperatorStats()
         #: Per finalized positive tuple: seconds from ingestion to emission.
         self.emit_latencies: List[float] = []
@@ -87,14 +188,39 @@ class ContinuousJoinBase:
 
     @property
     def maintainer(self) -> IncrementalWindowMaintainer:
-        """The underlying incremental window state (exposed for monitoring)."""
+        """The forward incremental window state (exposed for monitoring)."""
         return self._maintainer
 
+    @property
+    def reverse_maintainer(self) -> Optional[IncrementalWindowMaintainer]:
+        """The mirrored maintainer of right/full outer joins (else ``None``)."""
+        return self._reverse
+
+    @property
+    def materializes_probabilities(self) -> bool:
+        return self._materialize
+
     def output_schema(self) -> Schema:
-        raise NotImplementedError
+        if self.kind == "anti":
+            return self._left_schema
+        return joined_output_schema(
+            self._left_schema, self._right_schema, self._right_name
+        )
+
+    _SYMBOLS = {
+        "anti": "▷",
+        "left_outer": "⟕",
+        "right_outer": "⟖",
+        "full_outer": "⟗",
+        "inner": "⋈",
+    }
 
     def describe(self) -> str:
-        raise NotImplementedError
+        symbol = self._SYMBOLS[self.kind]
+        return (
+            f"{type(self).__name__}[{self._left_name} {symbol} {self._right_name}] "
+            f"on {self._theta.describe()}"
+        )
 
     # ------------------------------------------------------------------ #
     # element processing
@@ -104,26 +230,41 @@ class ContinuousJoinBase:
         element = tagged.element
         if isinstance(element, StreamEvent):
             if tagged.side == LEFT:
-                # Emit latency is measured per positive tuple, so only the
-                # positive path pays for a clock reading; a router-stamped
-                # clock wins so buffered queueing time is included.
+                # Emit latency is measured per positive-group finalization, so
+                # only sides acting as a positive pay for a clock reading; a
+                # router-stamped clock wins so buffered queueing is included.
                 now = (
                     tagged.ingest_clock
                     if tagged.ingest_clock is not None
                     else self._clock()
                 )
                 self._maintainer.add_positive(element.tuple, ingest_clock=now)
+                if self._reverse is not None:
+                    self._reverse.add_negative(element.tuple)
             elif tagged.side == RIGHT:
                 self._maintainer.add_negative(element.tuple)
+                if self._reverse is not None:
+                    now = (
+                        tagged.ingest_clock
+                        if tagged.ingest_clock is not None
+                        else self._clock()
+                    )
+                    self._reverse.add_positive(element.tuple, ingest_clock=now)
             else:
                 raise ValueError(f"unknown stream side {tagged.side!r}")
             return []
         if isinstance(element, Watermark):
             if tagged.side == LEFT:
                 finalized = self._maintainer.advance_left(element.value)
+                finalized_reverse = (
+                    self._reverse.advance_right(element.value) if self._reverse else []
+                )
             else:
                 finalized = self._maintainer.advance_right(element.value)
-            return self._emit(finalized)
+                finalized_reverse = (
+                    self._reverse.advance_left(element.value) if self._reverse else []
+                )
+            return self._emit(finalized, finalized_reverse)
         raise TypeError(f"unsupported stream element {element!r}")
 
     def run(self, tagged_elements: Iterable[Tagged]) -> Iterator[TPTuple]:
@@ -134,71 +275,98 @@ class ContinuousJoinBase:
 
     def close(self) -> List[TPTuple]:
         """Finalize all remaining windows (both sides closed)."""
-        return self._emit(self._maintainer.close())
+        return self._emit(
+            self._maintainer.close(), self._reverse.close() if self._reverse else []
+        )
 
     # ------------------------------------------------------------------ #
     # output formation
     # ------------------------------------------------------------------ #
-    def _emit(self, finalized: Sequence[FinalizedGroup]) -> List[TPTuple]:
+    def _emit(
+        self,
+        finalized: Sequence[FinalizedGroup],
+        finalized_reverse: Sequence[FinalizedGroup] = (),
+    ) -> List[TPTuple]:
         outputs: List[TPTuple] = []
-        if not finalized:
+        if not finalized and not finalized_reverse:
             return outputs
         emit_clock = self._clock()
+        left_width = len(self._left_schema)
+        right_width = len(self._right_schema)
         for group in finalized:
             self.stats.groups_finalized += 1
             self.emit_latencies.append(max(0.0, emit_clock - group.ingest_clock))
-            outputs.extend(self._tuples_of(group))
+            outputs.extend(
+                self._materialized(
+                    forward_group_tuples(self.kind, group.group, left_width, right_width),
+                    self._maintainer,
+                    group,
+                )
+            )
+        for group in finalized_reverse:
+            self.stats.groups_finalized += 1
+            self.emit_latencies.append(max(0.0, emit_clock - group.ingest_clock))
+            outputs.extend(
+                self._materialized(
+                    reverse_group_tuples(self.kind, group.group, left_width, right_width),
+                    self._reverse,
+                    group,
+                )
+            )
         self.stats.outputs_emitted += len(outputs)
         return outputs
 
-    def _tuples_of(self, finalized: FinalizedGroup) -> Iterator[TPTuple]:
-        raise NotImplementedError
+    def _materialized(
+        self,
+        tuples: Iterator[TPTuple],
+        maintainer: IncrementalWindowMaintainer,
+        group: FinalizedGroup,
+    ) -> Iterator[TPTuple]:
+        if not self._materialize:
+            yield from tuples
+            return
+        computer = maintainer.computer_for(group.key)
+        for tp_tuple in tuples:
+            yield replace(tp_tuple, probability=computer.probability(tp_tuple.lineage))
 
 
 class ContinuousAntiJoin(ContinuousJoinBase):
     """Continuous TP anti join ``r ▷ s`` with watermark-driven finalization."""
 
-    def output_schema(self) -> Schema:
-        return self._left_schema
-
-    def describe(self) -> str:
-        return (
-            f"ContinuousAntiJoin[{self._left_name} ▷ {self._right_name}] "
-            f"on {self._theta.describe()}"
-        )
-
-    def _tuples_of(self, finalized: FinalizedGroup) -> Iterator[TPTuple]:
-        for window in iter_lawan([finalized.group]):
-            if window.window_class is WindowClass.OVERLAPPING:
-                continue
-            yield window_to_positive_tuple(window)
+    kind = "anti"
 
 
 class ContinuousLeftOuterJoin(ContinuousJoinBase):
     """Continuous TP left outer join ``r ⟕ s`` with watermark-driven finalization."""
 
-    def output_schema(self) -> Schema:
-        return joined_output_schema(
-            self._left_schema, self._right_schema, self._right_name
-        )
+    kind = "left_outer"
 
-    def describe(self) -> str:
-        return (
-            f"ContinuousLeftOuterJoin[{self._left_name} ⟕ {self._right_name}] "
-            f"on {self._theta.describe()}"
-        )
 
-    def _tuples_of(self, finalized: FinalizedGroup) -> Iterator[TPTuple]:
-        left_width = len(self._left_schema)
-        right_width = len(self._right_schema)
-        for window in iter_lawan([finalized.group]):
-            yield window_to_tuple(window, left_width, right_width, left_is_positive=True)
+class ContinuousInnerJoin(ContinuousJoinBase):
+    """Continuous TP inner join ``r ⋈ s`` (overlapping windows only)."""
+
+    kind = "inner"
+
+
+class ContinuousRightOuterJoin(ContinuousJoinBase):
+    """Continuous TP right outer join ``r ⟖ s`` (reverse windows + WO)."""
+
+    kind = "right_outer"
+
+
+class ContinuousFullOuterJoin(ContinuousJoinBase):
+    """Continuous TP full outer join ``r ⟗ s`` (all five window sets)."""
+
+    kind = "full_outer"
 
 
 #: Continuous operator class per join-kind name (mirrors the batch registry).
 CONTINUOUS_OPERATORS = {
     "anti": ContinuousAntiJoin,
     "left_outer": ContinuousLeftOuterJoin,
+    "inner": ContinuousInnerJoin,
+    "right_outer": ContinuousRightOuterJoin,
+    "full_outer": ContinuousFullOuterJoin,
 }
 
 
@@ -227,8 +395,10 @@ def continuous_join(
     on: Sequence[tuple[str, str]] = (),
     left_name: str = "r",
     right_name: str = "s",
+    events: Optional[EventSpace] = None,
+    materialize_probabilities: bool = False,
 ) -> ContinuousJoinBase:
-    """Instantiate a continuous join by kind name (``anti`` / ``left_outer``)."""
+    """Instantiate a continuous join by kind name (see :data:`CONTINUOUS_OPERATORS`)."""
     try:
         operator_class = CONTINUOUS_OPERATORS[kind]
     except KeyError:
@@ -237,5 +407,11 @@ def continuous_join(
         ) from None
     theta = theta_from_pairs(left_schema, right_schema, on)
     return operator_class(
-        left_schema, right_schema, theta, left_name=left_name, right_name=right_name
+        left_schema,
+        right_schema,
+        theta,
+        left_name=left_name,
+        right_name=right_name,
+        events=events,
+        materialize_probabilities=materialize_probabilities,
     )

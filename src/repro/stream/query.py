@@ -72,12 +72,24 @@ class StreamQueryConfig:
     lineage work at one core), ``"processes"`` runs each partition in its
     own OS process via :mod:`repro.parallel.stream_exec` (true multi-core
     speedup, paid for with per-element serialization).
+
+    ``materialize_probabilities`` computes output probabilities inline with
+    the maintainer-owned per-key hash-consed computers (carried across all
+    windows of a live query) instead of leaving them for a later
+    ``with_probabilities`` pass.
+
+    ``early_emit`` publishes provisional windows before the watermark closes
+    them, retracting/refining on later data.  It is honoured by the dataflow
+    graph executor (:mod:`repro.dataflow`); the planner routes stream joins
+    through a dataflow plan whenever it is set.
     """
 
     partitions: int = 1
     micro_batch_size: int = 64
     buffer_capacity: int = 1024
     workers: str = "threads"
+    materialize_probabilities: bool = False
+    early_emit: bool = False
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
@@ -86,6 +98,25 @@ class StreamQueryConfig:
             raise ValueError(
                 f"workers must be one of {WORKER_BACKENDS}, got {self.workers!r}"
             )
+
+
+def summarize_latency_ms(samples: Sequence[float]) -> dict:
+    """Mean / p50 / p95 / max of a latency sample list, in milliseconds.
+
+    Shared by :class:`StreamQueryResult` and the dataflow layer's
+    :class:`~repro.dataflow.NodeResult`, so both subsystems report
+    identically computed percentiles.
+    """
+    if not samples:
+        return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+    ordered = sorted(samples)
+    count = len(ordered)
+    return {
+        "mean_ms": 1000.0 * sum(ordered) / count,
+        "p50_ms": 1000.0 * ordered[count // 2],
+        "p95_ms": 1000.0 * ordered[min(count - 1, (95 * count) // 100)],
+        "max_ms": 1000.0 * ordered[-1],
+    }
 
 
 @dataclass
@@ -111,16 +142,7 @@ class StreamQueryResult:
 
     def latency_summary(self) -> dict:
         """Mean / p50 / p95 / max emit latency in milliseconds."""
-        if not self.emit_latencies:
-            return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
-        ordered = sorted(self.emit_latencies)
-        count = len(ordered)
-        return {
-            "mean_ms": 1000.0 * sum(ordered) / count,
-            "p50_ms": 1000.0 * ordered[count // 2],
-            "p95_ms": 1000.0 * ordered[min(count - 1, (95 * count) // 100)],
-            "max_ms": 1000.0 * ordered[-1],
-        }
+        return summarize_latency_ms(self.emit_latencies)
 
 
 class StreamQuery:
@@ -185,6 +207,7 @@ class StreamQuery:
     def _build_join(self) -> ContinuousJoinBase:
         left_def = self._catalog.lookup_stream(self._left_name)
         right_def = self._catalog.lookup_stream(self._right_name)
+        materialize = self._config.materialize_probabilities
         return continuous_join(
             self._kind,
             left_def.schema,
@@ -192,6 +215,8 @@ class StreamQuery:
             self._on,
             left_name=left_def.name or self._left_name,
             right_name=right_def.name or self._right_name,
+            events=left_def.events.merge(right_def.events) if materialize else None,
+            materialize_probabilities=materialize,
         )
 
     # ------------------------------------------------------------------ #
@@ -290,6 +315,12 @@ class StreamQuery:
 
         left_def = self._catalog.lookup_stream(self._left_name)
         right_def = self._catalog.lookup_stream(self._right_name)
+        event_probabilities = None
+        if self._config.materialize_probabilities:
+            merged_events = left_def.events.merge(right_def.events)
+            event_probabilities = {
+                name: merged_events.probability(name) for name in merged_events.names()
+            }
         spec = StreamShardSpec(
             kind=self._kind,
             left_attributes=left_def.schema.attributes,
@@ -297,6 +328,7 @@ class StreamQuery:
             on=self._on,
             left_name=left_def.name or self._left_name,
             right_name=right_def.name or self._right_name,
+            event_probabilities=event_probabilities,
         )
         outcome = run_process_partitions(
             spec,
@@ -348,6 +380,9 @@ class StreamQuery:
 
         events_processed = 0
         theta = self._theta
+        # Right/full outer joins also treat right events as positives (in the
+        # mirrored maintainer), so their ingestion must be stamped too.
+        stamp_right = self._kind in ("right_outer", "full_outer")
         try:
             for tagged in merged:
                 element = tagged.element
@@ -360,6 +395,8 @@ class StreamQuery:
                         tagged = Tagged(tagged.side, element, time.perf_counter())
                     else:
                         key = theta.right_key(element.tuple)
+                        if stamp_right:
+                            tagged = Tagged(tagged.side, element, time.perf_counter())
                     # Stable hash, not builtin hash(): shard assignment must
                     # be reproducible across runs and identical to the
                     # process router's.

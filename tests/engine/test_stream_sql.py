@@ -110,11 +110,21 @@ def test_mixed_stream_relation_join_is_rejected(stream_engine):
         )
 
 
-def test_full_outer_join_on_streams_is_rejected(stream_engine):
-    with pytest.raises(PlanError):
-        stream_engine.execute_sql(
-            "SELECT * FROM STREAM sa TP FULL OUTER JOIN STREAM sb ON sa.Loc = sb.Loc"
-        )
+def test_full_outer_join_on_streams_matches_batch(
+    stream_engine, wants_to_visit, hotel_availability, loc_theta
+):
+    # Supported since the reverse-window operators landed: the mirrored
+    # maintainer derives the unmatched/negating windows of the right stream.
+    from repro.core import tp_full_outer_join
+
+    batch = tp_full_outer_join(
+        wants_to_visit, hotel_availability, loc_theta, compute_probabilities=False
+    )
+    streamed = stream_engine.execute_sql(
+        "SELECT * FROM STREAM sa TP FULL OUTER JOIN STREAM sb ON sa.Loc = sb.Loc",
+        compute_probabilities=False,
+    )
+    assert rows(streamed) == rows(batch)
 
 
 def test_unknown_stream_name_raises_catalog_error(stream_engine):

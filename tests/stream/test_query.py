@@ -28,7 +28,7 @@ def test_unknown_stream_fails_at_registration(random_relation_factory):
 def test_unknown_kind_fails_at_registration(random_relation_factory):
     catalog, *_ = _catalog(random_relation_factory)
     with pytest.raises(ValueError):
-        StreamQuery(catalog, "full_outer", "l", "r", [("Key", "Key")])
+        StreamQuery(catalog, "semi", "l", "r", [("Key", "Key")])
 
 
 def test_describe_names_the_query_shape(random_relation_factory):
