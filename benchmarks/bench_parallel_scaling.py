@@ -32,10 +32,12 @@ import sys
 import time
 from typing import List, Sequence
 
+from conftest import bench_payload_base
+
 from repro.core import tp_left_outer_join
 from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Catalog
-from repro.harness.reporting import environment_info, write_bench_file
+from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
 from repro.parallel import available_cpus, canonical_order, parallel_tp_join
 from repro.relation import EquiJoinCondition, TPTuple
@@ -227,19 +229,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
 
     if arguments.json_dir:
-        payload = {
-            "experiment": "parallel_scaling",
-            "title": "Process-sharded TP joins: speedup vs single process",
-            "seed": arguments.seed,
-            "cpu_count": cpus,
-            "best_batch_speedup": best_batch,
-            "speedup_gate": {
+        metrics: dict = {"best_batch_speedup": best_batch}
+        for record in records:
+            prefix = f"{record['path']}_s{record['size']}_w{record['workers']}"
+            metrics[f"{prefix}_outputs"] = record["outputs"]
+            metrics[f"{prefix}_seconds"] = record["seconds"]
+        payload = bench_payload_base(
+            "parallel_scaling",
+            "Process-sharded TP joins: speedup vs single process",
+            seed=arguments.seed,
+            skipped_reason=skipped_reason,
+            metrics=metrics,
+            speedup_gate={
                 "required": arguments.require_speedup,
                 "skipped_reason": skipped_reason,
             },
-            "measurements": records,
-            "environment": environment_info(),
-        }
+            measurements=records,
+        )
         path = write_bench_file("parallel_scaling", payload, arguments.json_dir)
         print(f"wrote {path}")
     return 0

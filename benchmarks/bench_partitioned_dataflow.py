@@ -1,0 +1,311 @@
+"""Partitioned dataflow stages: pipeline × partition throughput.
+
+The dataflow executor scales a chained continuous TP query along two
+independent axes — *pipeline* (one worker set per chained operator, PR 3)
+and *partition* (``NodeSpec.partitions = K`` key-routed workers inside each
+stage, this benchmark's subject).  This benchmark measures a 2-node join
+tree (a Meteo-like ``left_outer`` feeding a ``right_outer`` — one
+reverse-window stage) in three worker topologies, at two or more disorder
+settings:
+
+* **pipeline** — the pipelined backend with one worker per node
+  (``partitions=1``): parallelism across chained operators only;
+* **partition** — K workers per stage but *stage-sequential*: each node
+  runs to settlement as its own single-node partitioned graph, its settled
+  output replayed into the next stage.  Parallelism within an operator
+  only;
+* **combined** — the pipelined backend with ``partitions=K`` per node:
+  both axes multiplied (ΣKᵢ concurrent workers).
+
+Every configuration first proves the settled output equals the batch
+re-run **tuple for tuple with bitwise-equal probabilities**
+(:func:`repro.dataflow.assert_converged`) before any number is reported, so
+the benchmark cannot measure a wrong computation.  On hosts with at least 4
+cores the run *fails* unless combined throughput is at least either axis
+alone; on smaller hosts the gate is skipped with a recorded
+``skipped_reason`` (a 1–2 core runner measures scheduling overhead, not
+parallelism).  Results go to ``bench_results/BENCH_partitioned_dataflow.json``.
+
+Run with::
+
+    python benchmarks/bench_partitioned_dataflow.py              # default sizes
+    python benchmarks/bench_partitioned_dataflow.py --smoke      # CI-sized
+    python benchmarks/bench_partitioned_dataflow.py --sizes 2000 --partitions 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence
+
+from conftest import bench_payload_base
+
+from repro.dataflow import (
+    DataflowQuery,
+    NodeSpec,
+    assert_converged,
+    batch_rerun,
+    identity_rows,
+)
+from repro.datasets import ReplayConfig, stream_def
+from repro.datasets.generators import generate_relation
+from repro.datasets.meteo import meteo_config
+from repro.engine import Catalog
+from repro.harness.reporting import write_bench_file
+from repro.lineage import EventSpace
+from repro.parallel import available_cpus
+from repro.stream import StreamQueryConfig
+
+#: The two-stage tree: one forward-window and one reverse-window operator.
+KINDS = (("n1", "left_outer", "r", "s"), ("n2", "right_outer", "n1", "t"))
+ON = (("Metric", "Metric"),)
+
+
+def tree(partitions: int) -> List[NodeSpec]:
+    return [
+        NodeSpec(name, kind, left, right, ON, partitions=partitions)
+        for name, kind, left, right in KINDS
+    ]
+
+
+def build_catalog(size: int, disorder: int, seed: int) -> Catalog:
+    """Three Meteo-like streams over one shared event space."""
+    events = EventSpace()
+    catalog = Catalog()
+    for offset, name in enumerate(("r", "s", "t")):
+        relation = generate_relation(
+            meteo_config(size, seed=seed + offset), events, name=name
+        )
+        catalog.register_stream(
+            name,
+            stream_def(relation, ReplayConfig(disorder=disorder, seed=seed + offset)),
+        )
+    return catalog
+
+
+def check_against_batch(result, catalog, nodes) -> None:
+    """Tuple-for-tuple, bitwise-probability equality with the batch re-run."""
+    assert_converged(result, catalog, nodes, check_probabilities=True)
+
+
+def run_pipelined(
+    size: int, disorder: int, seed: int, partitions: int, backend: str
+) -> dict:
+    """One pipelined run (partitions=1 → pipeline axis, >1 → combined)."""
+    catalog = build_catalog(size, disorder, seed)
+    nodes = tree(partitions)
+    query = DataflowQuery(catalog, nodes, StreamQueryConfig(workers=backend))
+    result = query.run(merge_seed=seed, backend=backend)
+    check_against_batch(result, catalog, nodes)
+    return {
+        "backend": result.backend,
+        "seconds": result.elapsed_seconds,
+        "source_events": result.events_processed,
+        "outputs": len(result.relation),
+    }
+
+
+def run_stage_sequential(
+    size: int, disorder: int, seed: int, partitions: int, backend: str
+) -> dict:
+    """Partition axis alone: each stage settles before the next starts.
+
+    Node 1 runs as a single-node K-partitioned graph; its settled relation
+    is replayed as a stream feeding node 2, so at any moment only one
+    stage's K workers are busy — partition parallelism without pipelining.
+    """
+    catalog = build_catalog(size, disorder, seed)
+    elapsed = 0.0
+    backends = []
+    stage_one = [NodeSpec("n1", "left_outer", "r", "s", ON, partitions=partitions)]
+    query = DataflowQuery(catalog, stage_one, StreamQueryConfig(workers=backend))
+    result_one = query.run(merge_seed=seed, backend=backend)
+    elapsed += result_one.elapsed_seconds
+    backends.append(result_one.backend)
+
+    # Materialize the settled intermediate and replay it into stage two.
+    intermediate = result_one.relation
+    started = time.perf_counter()
+    catalog.register_stream(
+        "n1_settled",
+        stream_def(intermediate, ReplayConfig(disorder=disorder, seed=seed + 7)),
+    )
+    elapsed += time.perf_counter() - started
+    stage_two = [
+        NodeSpec("n2", "right_outer", "n1_settled", "t", ON, partitions=partitions)
+    ]
+    query = DataflowQuery(catalog, stage_two, StreamQueryConfig(workers=backend))
+    result_two = query.run(merge_seed=seed + 1, backend=backend)
+    elapsed += result_two.elapsed_seconds
+    backends.append(result_two.backend)
+
+    # End-to-end equality with the batch re-run of the whole tree,
+    # probabilities bitwise.
+    batch = batch_rerun(catalog, tree(1), compute_probabilities=True)
+    got = identity_rows(result_two.relation.with_probabilities())
+    want = identity_rows(batch["n2"])
+    if got != want:
+        raise AssertionError(
+            f"stage-sequential output diverged from the batch re-run at "
+            f"size={size} disorder={disorder}"
+        )
+    return {
+        "backend": "+".join(backends),
+        "seconds": elapsed,
+        "outputs": len(result_two.relation),
+    }
+
+
+def run_one(size: int, disorder: int, seed: int, partitions: int, backend: str) -> dict:
+    pipeline = run_pipelined(size, disorder, seed, partitions=1, backend=backend)
+    partition = run_stage_sequential(size, disorder, seed, partitions, backend)
+    combined = run_pipelined(size, disorder, seed, partitions, backend)
+    source_events = pipeline["source_events"]
+    record = {
+        "size": size,
+        "disorder": disorder,
+        "partitions": partitions,
+        "source_events": source_events,
+        "outputs": combined["outputs"],
+    }
+    for mode, run in (("pipeline", pipeline), ("partition", partition), ("combined", combined)):
+        record[mode] = {
+            "backend": run["backend"],
+            "seconds": round(run["seconds"], 6),
+            "events_per_second": round(source_events / run["seconds"], 1)
+            if run["seconds"] > 0
+            else float("inf"),
+        }
+    best_axis = max(
+        record["pipeline"]["events_per_second"],
+        record["partition"]["events_per_second"],
+    )
+    record["combined_vs_best_axis_ratio"] = round(
+        record["combined"]["events_per_second"] / best_axis, 3
+    )
+    return record
+
+
+def report_line(record: dict) -> str:
+    return (
+        f"size={record['size']:>6}  disorder={record['disorder']:>3}  K={record['partitions']}  "
+        f"pipeline={record['pipeline']['events_per_second']:>9.0f} ev/s  "
+        f"partition={record['partition']['events_per_second']:>9.0f} ev/s  "
+        f"combined={record['combined']['events_per_second']:>9.0f} ev/s  "
+        f"(combined/best axis {record['combined_vs_best_axis_ratio']:.2f}x)"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--sizes", default=None, help="comma-separated relation sizes (default 1200)"
+    )
+    parser.add_argument(
+        "--disorder", default="4,16", help="comma-separated disorder settings (default 4,16)"
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=4, help="per-stage partition degree K"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        default="processes",
+        choices=("threads", "processes"),
+        help="worker backend (processes for real multi-core speedup; degrades "
+        "to threads when processes cannot start)",
+    )
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI smoke runs")
+    parser.add_argument("--json-dir", default="bench_results")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        sizes = [300]
+    elif arguments.sizes:
+        sizes = [int(part) for part in arguments.sizes.split(",") if part.strip()]
+    else:
+        sizes = [1200]
+    disorders = [int(part) for part in arguments.disorder.split(",") if part.strip()]
+    if len(disorders) < 2:
+        parser.error("need at least two disorder settings to compare")
+    if arguments.partitions < 2:
+        parser.error("the partition axis needs --partitions >= 2")
+
+    cpus = available_cpus()
+    print(
+        f"cpu_count={cpus}  K={arguments.partitions}  backend={arguments.backend}  "
+        f"sizes={sizes}  disorder={disorders}"
+    )
+    records: List[dict] = []
+    metrics: dict = {}
+    for size in sizes:
+        for disorder in disorders:
+            record = run_one(
+                size, disorder, arguments.seed, arguments.partitions, arguments.backend
+            )
+            records.append(record)
+            print(report_line(record))
+            prefix = f"s{size}_d{disorder}"
+            metrics[f"{prefix}_outputs"] = record["outputs"]
+            metrics[f"{prefix}_source_events"] = record["source_events"]
+            metrics[f"{prefix}_combined_events_per_second"] = record["combined"][
+                "events_per_second"
+            ]
+            metrics[f"{prefix}_combined_vs_best_axis_ratio"] = record[
+                "combined_vs_best_axis_ratio"
+            ]
+    print("all runs settled tuple-for-tuple, bitwise-probability equal to batch")
+
+    # The throughput gate: combined must be at least either axis alone.  A
+    # host with fewer than 4 cores cannot run ΣKᵢ workers concurrently, so
+    # the comparison would measure scheduling overhead — skip, and record
+    # why.  Smoke sizes are likewise overhead-dominated (process start-up
+    # and IPC outweigh the tiny steady state), so CI smoke runs record the
+    # numbers without gating on them.
+    skipped_reason = None
+    failures: List[str] = []
+    if cpus < 4:
+        skipped_reason = (
+            f"cpu_count={cpus} < 4: pipeline×partition gate requires a multi-core host"
+        )
+        print(f"SKIP throughput gate: {skipped_reason}")
+    elif arguments.smoke:
+        skipped_reason = (
+            "smoke sizes measure start-up overhead, not steady-state "
+            "throughput; run default sizes for the gate"
+        )
+        print(f"SKIP throughput gate: {skipped_reason}")
+    else:
+        for record in records:
+            if record["combined_vs_best_axis_ratio"] < 1.0:
+                failures.append(
+                    f"size={record['size']} disorder={record['disorder']}: combined "
+                    f"{record['combined']['events_per_second']:.0f} ev/s below the "
+                    f"best single axis ({record['combined_vs_best_axis_ratio']:.2f}x)"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+
+    if arguments.json_dir:
+        payload = bench_payload_base(
+            "partitioned_dataflow",
+            "Partitioned dataflow stages: pipeline × partition throughput",
+            seed=arguments.seed,
+            skipped_reason=skipped_reason,
+            metrics=metrics,
+            partitions=arguments.partitions,
+            requested_backend=arguments.backend,
+            tree=[spec.describe() for spec in tree(arguments.partitions)],
+            measurements=records,
+        )
+        path = write_bench_file("partitioned_dataflow", payload, arguments.json_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,8 @@ import argparse
 import sys
 from typing import List, Sequence
 
+from conftest import bench_payload_base
+
 from repro.dataflow import (
     DataflowQuery,
     NodeSpec,
@@ -46,7 +48,7 @@ from repro.datasets.meteo import meteo_config
 from repro.datasets import ReplayConfig, stream_def
 from repro.datasets.generators import generate_relation
 from repro.engine import Catalog
-from repro.harness.reporting import environment_info, write_bench_file
+from repro.harness.reporting import write_bench_file
 from repro.lineage import EventSpace
 from repro.stream import StreamQueryConfig
 
@@ -180,14 +182,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     print("all runs converged; early-emit p50 event lag below the watermark lag")
 
     if arguments.json_dir:
-        payload = {
-            "experiment": "retraction_latency",
-            "title": "Early emission vs watermark-only: emit latency and retraction rate",
-            "seed": arguments.seed,
-            "tree": [spec.describe() for spec in TREE],
-            "measurements": records,
-            "environment": environment_info(),
-        }
+        metrics: dict = {}
+        for record in records:
+            prefix = f"s{record['size']}_d{record['disorder']}_{record['mode']}"
+            metrics[f"{prefix}_outputs"] = record["outputs_settled"]
+            metrics[f"{prefix}_events"] = record["events"]
+            metrics[f"{prefix}_retraction_rate"] = record["retraction_rate"]
+            metrics[f"{prefix}_emit_p50_ms"] = record["emit_latency_ms"]["p50_ms"]
+        payload = bench_payload_base(
+            "retraction_latency",
+            "Early emission vs watermark-only: emit latency and retraction rate",
+            seed=arguments.seed,
+            metrics=metrics,
+            tree=[spec.describe() for spec in TREE],
+            measurements=records,
+        )
         path = write_bench_file("retraction_latency", payload, arguments.json_dir)
         print(f"wrote {path}")
     return 0

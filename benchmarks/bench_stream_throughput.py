@@ -33,10 +33,12 @@ import sys
 import time
 from typing import List, Sequence
 
+from conftest import bench_payload_base
+
 from repro.core import tp_left_outer_join
 from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Catalog
-from repro.harness.reporting import environment_info, write_bench_file
+from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
 from repro.relation import EquiJoinCondition, TPRelation
 from repro.stream import StreamQuery, StreamQueryConfig
@@ -145,13 +147,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(report_line(record))
 
     if arguments.json_dir:
-        payload = {
-            "experiment": "stream_throughput",
-            "title": "Continuous TP left outer join: throughput and emit latency",
-            "seed": arguments.seed,
-            "measurements": records,
-            "environment": environment_info(),
-        }
+        metrics: dict = {}
+        for record in records:
+            prefix = f"s{record['size']}_d{record['disorder']}"
+            metrics[f"{prefix}_events"] = record["events"]
+            metrics[f"{prefix}_outputs"] = record["outputs"]
+            metrics[f"{prefix}_late_dropped_count"] = record["late_dropped"]
+            metrics[f"{prefix}_events_per_second"] = record["events_per_second"]
+            metrics[f"{prefix}_emit_p95_ms"] = record["emit_latency_ms"]["p95_ms"]
+        payload = bench_payload_base(
+            "stream_throughput",
+            "Continuous TP left outer join: throughput and emit latency",
+            seed=arguments.seed,
+            metrics=metrics,
+            measurements=records,
+        )
         path = write_bench_file("stream_throughput", payload, arguments.json_dir)
         print(f"wrote {path}")
     return 0

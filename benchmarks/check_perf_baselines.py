@@ -1,0 +1,230 @@
+"""Perf-regression gate: compare BENCH_*.json results against baselines.
+
+Every benchmark writes a ``metrics`` mapping (the unified payload schema,
+see ``benchmarks/conftest.py``).  This script compares freshly emitted
+results in ``--results-dir`` against the committed baselines in
+``--baselines-dir`` and exits non-zero when a metric regressed beyond its
+tolerance band — the CI ``perf-regression`` job runs it on every PR.
+
+Metric names choose the comparison policy:
+
+* ``*_outputs`` / ``*_events`` / ``*_count`` — **exact**: these are
+  deterministic given the recorded seed, so any drift means the computation
+  changed, not the machine.
+* ``*_speedup`` / ``*_rate`` / ``*_ratio`` — **ratio band**
+  (``--tolerance``, default 0.5): machine-shape-independent relative
+  figures; speedups and ratios must not drop, rates must not rise, by more
+  than the band.
+* ``*_seconds`` / ``*_ms`` / ``*_per_second`` — **wall-clock band**
+  (``--time-tolerance``, default 1.0, i.e. a 2× budget): wall-clock figures
+  vary across machines, so the band is wide by design — it catches
+  order-of-magnitude regressions, while the exact and ratio classes do the
+  precise gating.
+* anything else — informational only (reported, never failing).
+
+Regenerate the baselines after an intentional perf change with::
+
+    python benchmarks/check_perf_baselines.py --update-baselines
+
+which copies the current results over the committed baselines (the escape
+hatch: review the diff like any other code change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+#: Near-zero guard: a baseline of exactly 0 compares absolutely against this.
+EPSILON = 1e-9
+
+EXACT_SUFFIXES = ("_outputs", "_events", "_count")
+RATIO_SUFFIXES = ("_speedup", "_rate", "_ratio")
+LOWER_BETTER_WALL = ("_seconds", "_ms")
+HIGHER_BETTER_WALL = ("_per_second",)
+
+
+def classify(name: str) -> str:
+    """Comparison policy of one metric, chosen by its name suffix."""
+    if name.endswith(EXACT_SUFFIXES):
+        return "exact"
+    if name.endswith(RATIO_SUFFIXES):
+        return "ratio"
+    if name.endswith(LOWER_BETTER_WALL):
+        return "wall_lower"
+    if name.endswith(HIGHER_BETTER_WALL):
+        return "wall_higher"
+    return "info"
+
+
+def higher_is_better(name: str) -> bool:
+    return name.endswith(("_speedup", "_ratio", "_per_second"))
+
+
+def compare_metric(
+    name: str, baseline: float, current: float, tolerance: float, time_tolerance: float
+) -> str | None:
+    """Return a failure description, or ``None`` when the metric passes."""
+    policy = classify(name)
+    if policy == "info":
+        return None
+    if policy == "exact":
+        if current != baseline:
+            return f"{name}: expected exactly {baseline}, got {current}"
+        return None
+    band = tolerance if policy == "ratio" else time_tolerance
+    if higher_is_better(name):
+        # Multiplicative band in both directions: tolerance 1.0 means "may
+        # halve", mirroring the "may double" budget of lower-is-better.
+        floor = baseline / (1.0 + band) if baseline > 0 else 0.0
+        if current < floor - EPSILON:
+            return (
+                f"{name}: {current} fell below {floor:.6g} "
+                f"(baseline {baseline}, tolerance {band:.0%})"
+            )
+    else:
+        if baseline <= EPSILON:
+            if current > EPSILON:
+                return f"{name}: baseline was 0, got {current}"
+            return None
+        ceiling = baseline * (1.0 + band)
+        if current > ceiling + EPSILON:
+            return (
+                f"{name}: {current} exceeded {ceiling:.6g} "
+                f"(baseline {baseline}, tolerance {band:.0%})"
+            )
+    return None
+
+
+def load_metrics(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return {}
+    return metrics
+
+
+def check_file(
+    result: Path, baseline: Path, tolerance: float, time_tolerance: float
+) -> tuple[List[str], List[str]]:
+    """Compare one result file against its baseline.
+
+    Returns ``(failures, notes)`` — notes cover informational and missing
+    metrics, which never fail the gate on their own.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    current_metrics = load_metrics(result)
+    baseline_metrics = load_metrics(baseline)
+    if not current_metrics:
+        notes.append(f"{result.name}: no metrics mapping (pre-schema payload?)")
+        return failures, notes
+    for name in sorted(current_metrics):
+        if name not in baseline_metrics:
+            notes.append(f"{result.name}: new metric {name} (no baseline yet)")
+            continue
+        failure = compare_metric(
+            name,
+            baseline_metrics[name],
+            current_metrics[name],
+            tolerance,
+            time_tolerance,
+        )
+        if failure:
+            failures.append(f"{result.name}: {failure}")
+    for name in sorted(set(baseline_metrics) - set(current_metrics)):
+        notes.append(f"{result.name}: baseline metric {name} no longer emitted")
+    return failures, notes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--results-dir", default="bench_results")
+    parser.add_argument("--baselines-dir", default="bench_results/baselines")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative band for ratio-class metrics (speedups, rates)",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=1.0,
+        help="relative band for wall-clock metrics (seconds, ms, events/s); "
+        "wide by design, machines differ",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy the current results over the baselines instead of comparing "
+        "(the escape hatch for intentional perf changes)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment names to restrict the check to",
+    )
+    arguments = parser.parse_args(argv)
+
+    results_dir = Path(arguments.results_dir)
+    baselines_dir = Path(arguments.baselines_dir)
+    wanted = (
+        {name.strip() for name in arguments.only.split(",") if name.strip()}
+        if arguments.only
+        else None
+    )
+    result_files = sorted(
+        path
+        for path in results_dir.glob("BENCH_*.json")
+        if wanted is None or path.stem.removeprefix("BENCH_") in wanted
+    )
+    if not result_files:
+        print(f"no BENCH_*.json files under {results_dir}", file=sys.stderr)
+        return 2
+
+    if arguments.update_baselines:
+        baselines_dir.mkdir(parents=True, exist_ok=True)
+        for path in result_files:
+            shutil.copyfile(path, baselines_dir / path.name)
+            print(f"baseline updated: {baselines_dir / path.name}")
+        return 0
+
+    failures: List[str] = []
+    notes: List[str] = []
+    checked = 0
+    for path in result_files:
+        baseline = baselines_dir / path.name
+        if not baseline.exists():
+            notes.append(
+                f"{path.name}: no committed baseline (run --update-baselines)"
+            )
+            continue
+        file_failures, file_notes = check_file(
+            path, baseline, arguments.tolerance, arguments.time_tolerance
+        )
+        failures.extend(file_failures)
+        notes.extend(file_notes)
+        checked += 1
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) against {baselines_dir}:")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print(
+            "\nIf the change is intentional, refresh the baselines with\n"
+            "  python benchmarks/check_perf_baselines.py --update-baselines\n"
+            "and commit the diff."
+        )
+        return 1
+    print(f"perf gate passed: {checked} result file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

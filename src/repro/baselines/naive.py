@@ -19,7 +19,7 @@ from ..core.concat import window_to_positive_tuple, window_to_tuple
 from ..core.windows import Window, WindowClass, WindowSet
 from ..lineage import disjunction_of
 from ..relation import Schema, TPRelation, ThetaCondition
-from ..temporal import Interval, partition_by_validity
+from ..temporal import partition_by_validity
 
 
 def naive_windows(

@@ -26,7 +26,7 @@ sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterator, Optional
 
 from ..relation import TPRelation, TPTuple, ThetaCondition
 from ..temporal import Interval

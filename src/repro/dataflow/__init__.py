@@ -30,9 +30,12 @@ from .convergence import (
     identity_rows,
 )
 from .executor import (
+    ChannelWatermarks,
     GraphRunOutcome,
+    route_partition,
     run_graph_inline,
     run_graph_threads,
+    stage_watermark,
 )
 from .graph import DataflowGraph, GraphError, NodeSpec
 from .operators import RevisionJoin, RevisionJoinStats
@@ -54,6 +57,7 @@ from .revision import (
 
 __all__ = [
     "BATCH_JOINS",
+    "ChannelWatermarks",
     "ConvergenceError",
     "DataflowGraph",
     "DataflowQuery",
@@ -75,7 +79,9 @@ __all__ = [
     "drained_relation",
     "identity_rows",
     "percentile",
+    "route_partition",
     "run_graph_inline",
     "run_graph_threads",
+    "stage_watermark",
     "summarize_ms",
 ]

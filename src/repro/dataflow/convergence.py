@@ -14,6 +14,13 @@ probabilities.  This module makes that checkable:
   counterpart in canonical order, computing probabilities on both sides the
   identical way so equality is exact (``==`` on floats), not approximate.
 
+The check is partition-oblivious by construction: a node with
+``NodeSpec.partitions = K`` settles key-disjoint outputs per partition, the
+executors merge them in the canonical deterministic order, and the batch
+re-run — which never partitions — must produce the identical sequence.  The
+same harness therefore gates serial, pipelined and K-way partitioned runs
+on every backend.
+
 The harness is used by the randomized/property tests and by
 ``benchmarks/bench_retraction_latency.py``, which refuses to report numbers
 for a run that did not converge.

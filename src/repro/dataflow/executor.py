@@ -7,21 +7,37 @@ per node and differ only in scheduling:
   through the graph depth-first: each output revision of a node is delivered
   to its consumers before the next input element is read.  The fast path for
   small streams and the engine's SQL entry point.
-* **threads** — one worker thread per node, connected by the same
-  :class:`~repro.stream.buffer.BoundedBuffer` seam the partitioned
+* **threads** — one worker thread per *node partition*, connected by the
+  same :class:`~repro.stream.buffer.BoundedBuffer` seam the partitioned
   :class:`~repro.stream.StreamQuery` uses: a router thread merges the source
   edges and every edge hop goes through a bounded buffer, so a slow
   downstream operator backpressures its producers (and, transitively, the
-  sources) instead of queueing without bound.  This is *pipeline*
-  parallelism across chained operators — complementary to the per-operator
-  key partitioning of :class:`StreamQuery`.
+  sources) instead of queueing without bound.
 
-The process backend (node-per-process over multiprocessing queues) lives in
-:mod:`repro.parallel.stream_exec` next to the existing shard runtime, and
-degrades to the thread backend when processes cannot start.
+The graph parallelises along **two independent axes**:
+
+* *pipeline* — chained operators run concurrently (one worker set per node);
+* *partition* — a node with ``NodeSpec.partitions = K`` fans out into K
+  key-partitioned workers.  Revision elements are routed by the stable hash
+  of the node's equi-join key (:func:`repro.parallel.plan.stable_hash`, so
+  routing is reproducible across runs and interpreters), watermarks are
+  broadcast to every partition of the stage, and the stage's *output*
+  watermark is the min over its partitions' derived watermarks.
+
+The min-over-partitions rule is enforced without cross-partition shared
+state: every consumer input side tracks the last watermark per *channel*
+(one channel per upstream partition or source edge) in a
+:class:`ChannelWatermarks` and feeds its join the merged minimum.  Channels
+are FIFO, so by the time a channel's watermark is applied, every revision
+that watermark covers has already been processed — the standard per-channel
+frontier argument.
+
+The process backend (worker-per-node-partition over multiprocessing queues)
+lives in :mod:`repro.parallel.stream_exec` next to the existing shard
+runtime, and degrades to the thread backend when processes cannot start.
 
 Termination needs no out-of-band protocol: every source replay ends with a
-``CLOSED`` watermark, each node's derived watermark therefore reaches
+``CLOSED`` watermark, each partition's derived watermark therefore reaches
 ``CLOSED`` once all its groups settle, and the cascade closes the whole
 graph.  The executors still call ``close()`` defensively so a malformed
 source cannot leave windows open.
@@ -32,19 +48,28 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from ..parallel.batch import canonical_order
+from ..parallel.plan import stable_hash
 from ..relation import TPTuple
 from ..stream.buffer import BoundedBuffer, BufferClosed
-from ..stream.elements import StreamElement, StreamEvent, Tagged
+from ..stream.elements import LEFT, RIGHT, StreamElement, StreamEvent, Tagged, Watermark
 from .graph import DataflowGraph
 from .operators import RevisionJoin, RevisionJoinStats
+from .revision import Revision
 
 
 @dataclass
 class GraphRunOutcome:
-    """Per-node results of one graph execution, backend-independent."""
+    """Per-node results of one graph execution, backend-independent.
+
+    Partitioned stages are already merged: ``settled`` holds each node's
+    partition outputs in the canonical deterministic order (the order-stable
+    merge contract shared with :func:`repro.parallel.batch.canonical_order`),
+    ``stats`` the summed partition counters.
+    """
 
     settled: Dict[str, List[TPTuple]]
     stats: Dict[str, RevisionJoinStats]
@@ -55,31 +80,98 @@ class GraphRunOutcome:
     backend: str = "inline"
 
 
-def build_joins(graph: DataflowGraph, config) -> List[RevisionJoin]:
-    """Instantiate one :class:`RevisionJoin` per graph node, in topo order."""
+class ChannelWatermarks:
+    """Min-merge of the per-channel watermarks feeding one input side.
+
+    A partitioned upstream stage reaches a consumer through one FIFO channel
+    per partition; a source edge is a single channel.  The side's effective
+    watermark — the stage *output* watermark, for a partitioned producer —
+    is the minimum over all channels, so it only advances once **every**
+    partition has advanced: exactly the ``min over partitions`` rule the
+    derived-watermark contract requires.  Channels start at ``-inf``, so the
+    merged value stays silent until every channel has reported.
+    """
+
+    __slots__ = ("_values", "_merged")
+
+    def __init__(self, channels: Sequence[Hashable]) -> None:
+        self._values: Dict[Hashable, float] = {
+            channel: float("-inf") for channel in channels
+        }
+        self._merged = float("-inf")
+
+    @property
+    def merged(self) -> float:
+        """The current min-over-channels watermark."""
+        return self._merged
+
+    def update(self, channel: Hashable, value: float) -> Optional[float]:
+        """Record one channel's watermark; returns the new merged minimum
+        when it advanced, ``None`` otherwise (per-channel regressions are
+        ignored — watermarks are monotone promises)."""
+        if value > self._values[channel]:
+            self._values[channel] = value
+            merged = min(self._values.values())
+            if merged > self._merged:
+                self._merged = merged
+                return merged
+        return None
+
+
+def stage_watermark(partition_joins: Sequence[RevisionJoin]) -> float:
+    """A stage's output watermark: the min over its partitions' derived ones."""
+    return min(join.derived_watermark() for join in partition_joins)
+
+
+def route_partition(join: RevisionJoin, side: str, element, partitions: int) -> int:
+    """The partition a revision/event element routes to on one node input.
+
+    Uses the node θ's join key for the element's side and the stable
+    (PYTHONHASHSEED-independent) hash shared with the batch shard planner,
+    so all of an input key's elements — emits and the retractions that must
+    unwind them — land in the same partition, in channel order.
+    """
+    if partitions <= 1:
+        return 0
+    if isinstance(element, StreamEvent):
+        tp_tuple = element.tuple
+    elif isinstance(element, Revision):
+        tp_tuple = element.tuple
+    else:
+        raise TypeError(f"cannot key-route element {element!r}")
+    theta = join.theta
+    key = theta.left_key(tp_tuple) if side == LEFT else theta.right_key(tp_tuple)
+    return stable_hash(key) % partitions
+
+
+def build_joins(graph: DataflowGraph, config) -> List[List[RevisionJoin]]:
+    """One :class:`RevisionJoin` per (node, partition), in topo order."""
     materialize = getattr(config, "materialize_probabilities", False)
     events = graph.merged_events() if materialize else None
-    joins = []
+    joins: List[List[RevisionJoin]] = []
     for spec in graph.nodes:
         joins.append(
-            RevisionJoin(
-                spec.kind,
-                graph.schema_of(spec.left),
-                graph.schema_of(spec.right),
-                spec.on,
-                left_name=spec.left,
-                right_name=spec.right,
-                early_emit=getattr(config, "early_emit", False),
-                events=events,
-                materialize_probabilities=materialize,
-            )
+            [
+                RevisionJoin(
+                    spec.kind,
+                    graph.schema_of(spec.left),
+                    graph.schema_of(spec.right),
+                    spec.on,
+                    left_name=spec.left,
+                    right_name=spec.right,
+                    early_emit=getattr(config, "early_emit", False),
+                    events=events,
+                    materialize_probabilities=materialize,
+                )
+                for _partition in range(spec.partitions)
+            ]
         )
     return joins
 
 
 def _outcome_from_joins(
     graph: DataflowGraph,
-    joins: Sequence[RevisionJoin],
+    joins: Sequence[Sequence[RevisionJoin]],
     events_processed: int,
     blocks: int,
     backend: str,
@@ -88,11 +180,22 @@ def _outcome_from_joins(
     stats: Dict[str, RevisionJoinStats] = {}
     latencies: Dict[str, List[float]] = {}
     lags: Dict[str, List[float]] = {}
-    for spec, join in zip(graph.nodes, joins):
-        settled[spec.name] = list(join.settled_outputs.values())
-        stats[spec.name] = join.stats
-        latencies[spec.name] = list(join.emit_latencies)
-        lags[spec.name] = list(join.emit_event_lags)
+    for spec, partition_joins in zip(graph.nodes, joins):
+        # Key-disjoint partitions produce disjoint outputs; the canonical
+        # order makes the merged sequence identical for any partition count.
+        merged: List[TPTuple] = []
+        for join in partition_joins:
+            merged.extend(join.settled_outputs.values())
+        settled[spec.name] = canonical_order(merged)
+        stats[spec.name] = RevisionJoinStats.merged(
+            [join.stats for join in partition_joins]
+        )
+        latencies[spec.name] = [
+            sample for join in partition_joins for sample in join.emit_latencies
+        ]
+        lags[spec.name] = [
+            sample for join in partition_joins for sample in join.emit_event_lags
+        ]
     return GraphRunOutcome(
         settled=settled,
         stats=stats,
@@ -119,12 +222,13 @@ def source_edges(
 def merge_edges(
     edges: List[Tuple[int, str, Iterator[StreamElement]]],
     seed: Optional[int] = None,
-) -> Iterator[Tuple[int, str, StreamElement]]:
+) -> Iterator[Tuple[int, int, str, StreamElement]]:
     """Interleave the source edges into one delivery sequence.
 
-    Round-robin by default; with a seed, each step picks a random
-    non-exhausted edge (each edge's internal order is preserved, which is
-    all the watermark semantics require).
+    Yields ``(edge index, target node, side, element)`` — the edge index is
+    the element's watermark channel.  Round-robin by default; with a seed,
+    each step picks a random non-exhausted edge (each edge's internal order
+    is preserved, which is all the watermark semantics require).
     """
     rng = random.Random(seed) if seed is not None else None
     open_edges = list(range(len(edges)))
@@ -141,7 +245,7 @@ def merge_edges(
         except StopIteration:
             open_edges.remove(slot)
             continue
-        yield target, side, element
+        yield slot, target, side, element
 
 
 def downstream_table(graph: DataflowGraph, node_index: Dict[str, int]) -> List[List[Tuple[int, str]]]:
@@ -158,32 +262,109 @@ def downstream_table(graph: DataflowGraph, node_index: Dict[str, int]) -> List[L
     return table
 
 
+def channel_topology(
+    graph: DataflowGraph, node_index: Dict[str, int]
+) -> List[Dict[str, List[Hashable]]]:
+    """Per node: the watermark channels feeding each input side.
+
+    A source edge contributes one ``("src", edge_index)`` channel (indices
+    match :func:`source_edges` order); an upstream node contributes one
+    ``("node", index, partition)`` channel per partition.  Every partition
+    of the consumer tracks the same channel set — watermarks are broadcast.
+    """
+    channels: List[Dict[str, List[Hashable]]] = [
+        {LEFT: [], RIGHT: []} for _ in graph.nodes
+    ]
+    edge_index = 0
+    for source in graph.source_names:
+        for consumer, side in graph.consumers_of(source):
+            channels[node_index[consumer]][side].append(("src", edge_index))
+            edge_index += 1
+    for index, spec in enumerate(graph.nodes):
+        for consumer, side in graph.consumers_of(spec.name):
+            if consumer in node_index:
+                for partition in range(spec.partitions):
+                    channels[node_index[consumer]][side].append(
+                        ("node", index, partition)
+                    )
+    return channels
+
+
+def _make_trackers(
+    channels: Dict[str, List[Hashable]],
+) -> Dict[str, ChannelWatermarks]:
+    return {
+        LEFT: ChannelWatermarks(channels[LEFT]),
+        RIGHT: ChannelWatermarks(channels[RIGHT]),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # inline backend
 # --------------------------------------------------------------------------- #
 def run_graph_inline(
     graph: DataflowGraph, config, merge_seed: Optional[int] = None
 ) -> GraphRunOutcome:
-    """Single-threaded depth-first execution of the whole graph."""
+    """Single-threaded depth-first execution of the whole graph.
+
+    Partitioned nodes run their K joins in the caller's thread — no
+    parallel speedup, but identical routing, watermark merging and settled
+    output as the parallel backends, which is what the determinism tests
+    exploit.
+    """
     joins = build_joins(graph, config)
     node_index = {name: index for index, name in enumerate(graph.node_names)}
     downstream = downstream_table(graph, node_index)
+    parts = graph.partition_counts
+    channels = channel_topology(graph, node_index)
+    trackers = [
+        [_make_trackers(channels[index]) for _partition in range(parts[index])]
+        for index in range(len(joins))
+    ]
 
-    def deliver(index: int, tagged: Tagged) -> None:
-        for element in joins[index].process(tagged):
+    def deliver(index: int, partition: int, channel: Hashable, tagged: Tagged) -> None:
+        element = tagged.element
+        if isinstance(element, Watermark):
+            merged = trackers[index][partition][tagged.side].update(
+                channel, element.value
+            )
+            if merged is None:
+                return
+            tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
+        forward(index, partition, joins[index][partition].process(tagged))
+
+    def forward(index: int, partition: int, elements) -> None:
+        for element in elements:
             for consumer, side in downstream[index]:
-                deliver(consumer, Tagged(side, element))
+                if isinstance(element, Watermark):
+                    for target_partition in range(parts[consumer]):
+                        deliver(
+                            consumer,
+                            target_partition,
+                            ("node", index, partition),
+                            Tagged(side, element),
+                        )
+                else:
+                    target_partition = route_partition(
+                        joins[consumer][0], side, element, parts[consumer]
+                    )
+                    deliver(consumer, target_partition, None, Tagged(side, element))
 
     events_processed = 0
-    for target, side, element in merge_edges(source_edges(graph, node_index), merge_seed):
-        if isinstance(element, StreamEvent):
+    for edge, target, side, element in merge_edges(
+        source_edges(graph, node_index), merge_seed
+    ):
+        if isinstance(element, Watermark):
+            for partition in range(parts[target]):
+                deliver(target, partition, ("src", edge), Tagged(side, element))
+        else:
             events_processed += 1
-        deliver(target, Tagged(side, element))
+            partition = route_partition(joins[target][0], side, element, parts[target])
+            deliver(target, partition, None, Tagged(side, element))
     # Sources close with CLOSED watermarks, so this is normally a no-op.
     for index in range(len(joins)):
-        for element in joins[index].close():
-            for consumer, side in downstream[index]:
-                deliver(consumer, Tagged(side, element))
+        for partition in range(parts[index]):
+            forward(index, partition, joins[index][partition].close())
     return _outcome_from_joins(graph, joins, events_processed, 0, "inline")
 
 
@@ -191,10 +372,10 @@ def run_graph_inline(
 # thread-pipeline backend
 # --------------------------------------------------------------------------- #
 class _Inbox:
-    """A node's input buffer with multi-producer close bookkeeping."""
+    """A worker's input buffer with multi-producer close bookkeeping."""
 
     def __init__(self, capacity: int, producers: int) -> None:
-        self.buffer: BoundedBuffer[Tagged] = BoundedBuffer(capacity)
+        self.buffer: BoundedBuffer[Tuple[Hashable, Tagged]] = BoundedBuffer(capacity)
         self._producers = producers
         self._lock = threading.Lock()
 
@@ -208,72 +389,126 @@ class _Inbox:
 def run_graph_threads(
     graph: DataflowGraph, config, merge_seed: Optional[int] = None
 ) -> GraphRunOutcome:
-    """Node-per-thread pipelined execution with bounded-buffer backpressure."""
+    """Pipelined execution with one worker thread per node partition.
+
+    Pipeline parallelism (across chained nodes) and partition parallelism
+    (K key-routed workers inside one node) compose: a graph of N nodes with
+    partition degrees K₁..K_N runs ΣKᵢ workers, all connected by the same
+    bounded-buffer backpressure seam.
+    """
     joins = build_joins(graph, config)
     node_index = {name: index for index, name in enumerate(graph.node_names)}
     downstream = downstream_table(graph, node_index)
+    parts = graph.partition_counts
+    channels = channel_topology(graph, node_index)
     capacity = getattr(config, "buffer_capacity", 1024)
     micro_batch = getattr(config, "micro_batch_size", 64)
-    producer_counts = [0] * len(joins)
     edges = source_edges(graph, node_index)
+    # Producers per partition inbox: each source edge feeding the node (the
+    # router broadcasts its watermarks to every partition) plus every
+    # partition worker of every upstream node.
+    producer_counts = [0] * len(joins)
     for target, _side, _iterator in edges:
         producer_counts[target] += 1
     for index, consumers in enumerate(downstream):
         for consumer, _side in consumers:
-            producer_counts[consumer] += 1
-    inboxes = [_Inbox(capacity, count) for count in producer_counts]
+            producer_counts[consumer] += parts[index]
+    inboxes = [
+        [_Inbox(capacity, producer_counts[index]) for _partition in range(parts[index])]
+        for index in range(len(joins))
+    ]
     failures: List[BaseException] = []
 
-    def fan_out(index: int, elements) -> None:
+    def fan_out(index: int, partition: int, elements) -> None:
         for element in elements:
             for consumer, side in downstream[index]:
-                inboxes[consumer].buffer.put(Tagged(side, element))
+                if isinstance(element, Watermark):
+                    channel = ("node", index, partition)
+                    for target_partition in range(parts[consumer]):
+                        inboxes[consumer][target_partition].buffer.put(
+                            (channel, Tagged(side, element))
+                        )
+                else:
+                    target_partition = route_partition(
+                        joins[consumer][0], side, element, parts[consumer]
+                    )
+                    inboxes[consumer][target_partition].buffer.put(
+                        (None, Tagged(side, element))
+                    )
 
-    def work(index: int) -> None:
-        join = joins[index]
+    def work(index: int, partition: int) -> None:
+        join = joins[index][partition]
+        tracker = _make_trackers(channels[index])
+        inbox = inboxes[index][partition]
         try:
             while True:
-                batch = inboxes[index].buffer.take_batch(micro_batch)
+                batch = inbox.buffer.take_batch(micro_batch)
                 if batch is None:
                     break
-                for tagged in batch:
-                    fan_out(index, join.process(tagged))
-            fan_out(index, join.close())
+                for channel, tagged in batch:
+                    element = tagged.element
+                    if isinstance(element, Watermark):
+                        merged = tracker[tagged.side].update(channel, element.value)
+                        if merged is None:
+                            continue
+                        tagged = Tagged(
+                            tagged.side, Watermark(merged), tagged.ingest_clock
+                        )
+                    fan_out(index, partition, join.process(tagged))
+            fan_out(index, partition, join.close())
         except BufferClosed:
             # A consumer died; the failure that closed its buffer is reported.
             pass
         except BaseException as error:  # noqa: BLE001 - reported to caller
             failures.append(error)
-            inboxes[index].buffer.close()
+            inbox.buffer.close()
         finally:
             for consumer, _side in downstream[index]:
-                inboxes[consumer].producer_done()
+                for target_partition in range(parts[consumer]):
+                    inboxes[consumer][target_partition].producer_done()
 
     workers = [
-        threading.Thread(target=work, args=(index,), name=f"dataflow-node-{index}")
+        threading.Thread(
+            target=work,
+            args=(index, partition),
+            name=f"dataflow-node-{index}-p{partition}",
+        )
         for index in range(len(joins))
+        for partition in range(parts[index])
     ]
     for worker in workers:
         worker.start()
 
     events_processed = 0
     try:
-        for target, side, element in merge_edges(edges, merge_seed):
-            ingest_clock = None
-            if isinstance(element, StreamEvent):
+        for edge, target, side, element in merge_edges(edges, merge_seed):
+            if isinstance(element, Watermark):
+                for partition in range(parts[target]):
+                    inboxes[target][partition].buffer.put(
+                        (("src", edge), Tagged(side, element))
+                    )
+            else:
                 events_processed += 1
                 # Stamp ingestion before the element can sit in a buffer, so
                 # emit latency includes cross-stage queueing time.
                 ingest_clock = time.perf_counter()
-            inboxes[target].buffer.put(Tagged(side, element, ingest_clock))
+                partition = route_partition(
+                    joins[target][0], side, element, parts[target]
+                )
+                inboxes[target][partition].buffer.put(
+                    (None, Tagged(side, element, ingest_clock))
+                )
     except BufferClosed:
         pass
     finally:
         for target, _side, _iterator in edges:
-            inboxes[target].producer_done()
+            for partition in range(parts[target]):
+                inboxes[target][partition].producer_done()
         for worker in workers:
             worker.join()
     if failures:
         raise failures[0]
-    blocks = sum(inbox.buffer.put_blocks for inbox in inboxes)
+    blocks = sum(
+        inbox.buffer.put_blocks for node_inboxes in inboxes for inbox in node_inboxes
+    )
     return _outcome_from_joins(graph, joins, events_processed, blocks, "threads")

@@ -38,6 +38,12 @@ class NodeSpec:
         left / right: input names; each is a registered stream or an
             earlier node of the same graph.
         on: ``(left_attribute, right_attribute)`` equality pairs (θ).
+        partitions: intra-stage parallelism degree — the executor fans the
+            node out into this many key-partitioned workers.  More than one
+            partition requires a non-empty equi-θ: revision elements are
+            routed by the stable hash of their join key, so key-disjoint
+            partitions never interact (the same shared-nothing property the
+            batch shard planner relies on).
     """
 
     name: str
@@ -45,10 +51,14 @@ class NodeSpec:
     left: str
     right: str
     on: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    partitions: int = 1
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self.on) or "true"
-        return f"{self.name}: {self.kind}({self.left}, {self.right}) on {condition}"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self.on) or "true"
+        parts = f" [parts={self.partitions}]" if self.partitions > 1 else ""
+        return (
+            f"{self.name}: {self.kind}({self.left}, {self.right}) on {condition}{parts}"
+        )
 
 
 #: An edge of the compiled graph: (consumer node name, input side).
@@ -80,6 +90,17 @@ class DataflowGraph:
                 )
             if spec.name in seen or spec.name in self._schemas:
                 raise GraphError(f"duplicate node name {spec.name!r}")
+            if spec.partitions < 1:
+                raise GraphError(
+                    f"node {spec.name!r}: partitions must be at least 1, "
+                    f"got {spec.partitions}"
+                )
+            if spec.partitions > 1 and not spec.on:
+                raise GraphError(
+                    f"node {spec.name!r}: partitions={spec.partitions} needs an "
+                    "equi-join condition to route by (a θ-free node cannot be "
+                    "key-partitioned)"
+                )
             if hasattr(catalog, "is_stream") and catalog.is_stream(spec.name):
                 raise GraphError(
                     f"node {spec.name!r} clashes with a registered stream name"
@@ -130,6 +151,20 @@ class DataflowGraph:
     @property
     def node_names(self) -> List[str]:
         return [spec.name for spec in self._nodes]
+
+    @property
+    def partition_counts(self) -> List[int]:
+        """Per-node partition degree, in topological node order."""
+        return [spec.partitions for spec in self._nodes]
+
+    def partitions_of(self, name: str) -> int:
+        """Partition degree of one node (sources are always 1)."""
+        for spec in self._nodes:
+            if spec.name == name:
+                return spec.partitions
+        if name in self._schemas:
+            return 1
+        raise GraphError(f"unknown graph input/node {name!r}")
 
     @property
     def source_names(self) -> List[str]:

@@ -81,6 +81,19 @@ class RevisionJoinStats:
     groups_settled: int = 0
     inputs_retracted: int = 0
 
+    @classmethod
+    def merged(cls, parts: "Sequence[RevisionJoinStats]") -> "RevisionJoinStats":
+        """Sum the counters of a stage's partition workers into one record."""
+        total = cls()
+        for stats in parts:
+            total.emits += stats.emits
+            total.retracts += stats.retracts
+            total.refines += stats.refines
+            total.groups_published_early += stats.groups_published_early
+            total.groups_settled += stats.groups_settled
+            total.inputs_retracted += stats.inputs_retracted
+        return total
+
 
 class RevisionJoin:
     """A retractable continuous TP join over tagged revision elements.

@@ -115,9 +115,10 @@ class DataflowQuery:
 
     def describe(self) -> str:
         mode = "early-emit" if self._config.early_emit else "watermark-only"
+        parts = "/".join(str(count) for count in self._graph.partition_counts)
         return (
             f"DataflowQuery[{len(self._graph.nodes)} nodes, sink={self._graph.sink}, "
-            f"{mode}, workers={self._config.workers}]"
+            f"parts={parts}, {mode}, workers={self._config.workers}]"
         )
 
     # ------------------------------------------------------------------ #

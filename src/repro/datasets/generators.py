@@ -17,9 +17,8 @@ from the config, so a given config always yields byte-identical relations.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional
 
 from ..lineage import EventSpace
 from ..relation import Schema, TPRelation, TPTuple

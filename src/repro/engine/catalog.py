@@ -154,6 +154,54 @@ class Catalog:
         state = estimate_join_state(left_cardinality, right_cardinality, right_distinct)
         return state, left_cardinality, right_distinct
 
+    def stream_join_state_estimate(
+        self,
+        left_names: Sequence[str],
+        right_names: Sequence[str],
+        on: tuple[tuple[str, str], ...],
+    ) -> tuple[float, int, int]:
+        """The :meth:`join_state_estimate` cost model over registered streams.
+
+        Dataflow nodes join streams (or other nodes, whose inputs bottom out
+        in streams), so the partition planner consults the streams' expected
+        statistics (:class:`repro.stream.StreamStats`) instead of relation
+        stats.  Streams without statistics contribute zero cardinality — an
+        unknown input never justifies fanning a stage out.
+
+        Unlike :meth:`join_state_estimate`, the returned
+        ``right_distinct_keys`` is **0 when the key selectivity is
+        unknown** (no stats, or stats without the join attribute), so the
+        planner can distinguish "one distinct key, never split" from "no
+        idea, don't cap"; the state estimate itself still assumes at least
+        one key.
+        """
+        from ..parallel.plan import estimate_join_state
+
+        def stats_of(name: str):
+            return self.lookup_stream(name).stats
+
+        left_cardinality = sum(
+            stats.cardinality
+            for stats in (stats_of(name) for name in left_names)
+            if stats is not None
+        )
+        right_stats = [
+            stats
+            for stats in (stats_of(name) for name in right_names)
+            if stats is not None
+        ]
+        right_cardinality = sum(stats.cardinality for stats in right_stats)
+        right_distinct = 0
+        if on:
+            key_attribute = on[0][1]
+            right_distinct = sum(
+                stats.distinct(key_attribute) for stats in right_stats
+            )
+        state = estimate_join_state(
+            left_cardinality, right_cardinality, max(1, right_distinct)
+        )
+        return state, left_cardinality, right_distinct
+
     def register_continuous_query(
         self, name: str, query: "StreamQuery", replace: bool = False
     ) -> None:

@@ -128,7 +128,7 @@ class ContinuousJoinOperator(PhysicalOperator):
         )
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         return (
             f"ContinuousNJJoin [{self._kind.value}] on {condition} "
             f"(watermark-driven, partitions={self._query.config.partitions})"
@@ -170,6 +170,9 @@ class DataflowJoinOperator(PhysicalOperator):
         self._query = DataflowQuery(catalog, nodes, config=config)
         #: Read by EXPLAIN to render the ``[dataflow k-node]`` annotation.
         self.dataflow_nodes = len(self._query.graph.nodes)
+        #: Per-node partition degrees; EXPLAIN appends ``parts=K1/K2/...``
+        #: when any stage fans out.
+        self.dataflow_partitions = tuple(self._query.graph.partition_counts)
         self.last_result = None
 
     @property
@@ -188,8 +191,13 @@ class DataflowJoinOperator(PhysicalOperator):
         graph = self._query.graph
         chain = "→".join(spec.kind for spec in graph.nodes)
         mode = "early-emit" if self._query.config.early_emit else "watermark-only"
+        parts = ""
+        if any(count > 1 for count in self.dataflow_partitions):
+            parts = " parts=" + "/".join(
+                str(count) for count in self.dataflow_partitions
+            )
         return (
-            f"DataflowJoin [{chain}] sink={graph.sink} "
+            f"DataflowJoin [{chain}] sink={graph.sink}{parts} "
             f"(revision streams, {mode}, workers={self._query.config.workers})"
         )
 

@@ -9,7 +9,9 @@ Operators executing across more than one shard (the process-parallel batch
 join, or a continuous join with multiple partitions) additionally carry a
 ``[parallel n=K]`` marker, read from their ``parallel_workers`` attribute.
 A compiled dataflow graph (multi-way or early-emitting stream join tree)
-carries ``[dataflow k-node]``, read from ``dataflow_nodes``.
+carries ``[dataflow k-node]``, read from ``dataflow_nodes``; when the
+partition planner fanned stages out, the marker grows the per-node degrees
+as ``[dataflow k-node, parts=K1/K2/...]`` from ``dataflow_partitions``.
 """
 
 from __future__ import annotations
@@ -48,7 +50,12 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
         annotation += f" [parallel n={workers}]"
     dataflow_nodes = getattr(operator, "dataflow_nodes", 0)
     if dataflow_nodes:
-        annotation += f" [dataflow {dataflow_nodes}-node]"
+        partitions = getattr(operator, "dataflow_partitions", ())
+        if any(count > 1 for count in partitions):
+            parts = "/".join(str(count) for count in partitions)
+            annotation += f" [dataflow {dataflow_nodes}-node, parts={parts}]"
+        else:
+            annotation += f" [dataflow {dataflow_nodes}-node]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

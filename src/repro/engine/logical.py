@@ -134,7 +134,7 @@ class TPJoin(LogicalPlan):
         return (self.left, self.right)
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self.on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self.on) or "true"
         return f"TPJoin[{self.kind.value}] on {condition} ({self.strategy.value})"
 
 

@@ -21,7 +21,7 @@ measures.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 from ..baselines.naive import naive_anti_join, naive_full_outer_join, naive_left_outer_join
 from ..baselines.temporal_alignment import (
@@ -226,7 +226,7 @@ class NJJoinOperator(_JoinOperatorBase):
     }
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         return f"NJJoin [{self._kind.value}] on {condition}"
 
     def estimated_cost(self) -> float:
@@ -283,7 +283,7 @@ class ParallelNJJoinOperator(_JoinOperatorBase):
         self.last_result = None
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         return f"ParallelNJJoin [{self._kind.value}] on {condition}"
 
     def estimated_cost(self) -> float:
@@ -313,7 +313,7 @@ class TAJoinOperator(_JoinOperatorBase):
     """TP join evaluated with the Temporal Alignment baseline."""
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         return f"TAJoin [{self._kind.value}] on {condition}"
 
     def estimated_cost(self) -> float:
@@ -356,7 +356,7 @@ class NaiveJoinOperator(_JoinOperatorBase):
     """TP join evaluated with the naive per-time-point oracle (small inputs)."""
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         return f"NaiveJoin [{self._kind.value}] on {condition}"
 
     def estimated_cost(self) -> float:

@@ -333,7 +333,13 @@ class Planner:
         return "relation"
 
     def _dataflow_join(self, plan: TPJoin) -> PhysicalOperator:
-        """Compile a stream join tree into a retractable dataflow graph."""
+        """Compile a stream join tree into a retractable dataflow graph.
+
+        With a :class:`~repro.parallel.plan.ParallelConfig`, every node also
+        gets a partition degree from the stream-statistics state model: hot
+        stages (large expected window state) fan out into more key-routed
+        workers than cold ones, multiplying the pipeline axis.
+        """
         from ..dataflow import NodeSpec
         from .continuous import CONTINUOUS_KINDS, DataflowJoinOperator
 
@@ -346,22 +352,62 @@ class Planner:
             if isinstance(subtree, StreamScan):
                 stream_def = self._catalog.lookup_stream(subtree.stream_name)
                 scans.append(ContinuousScanOperator(stream_def, subtree.stream_name))
-                return subtree.stream_name, stream_def.schema
+                return subtree.stream_name, stream_def.schema, (subtree.stream_name,)
             assert isinstance(subtree, TPJoin)
-            left_name, left_schema = build(subtree.left)
-            right_name, right_schema = build(subtree.right)
+            left_name, left_schema, left_streams = build(subtree.left)
+            right_name, right_schema, right_streams = build(subtree.right)
             name = f"node{len(nodes) + 1}"
             kind = CONTINUOUS_KINDS[subtree.kind]
             # Qualified references from chained ON clauses resolve against
             # the accumulated left schema (prefixed name when it clashed,
             # bare name when it never did).
             on = self._resolve_on(subtree.on, left_schema, right_schema)
-            nodes.append(NodeSpec(name, kind, left_name, right_name, on))
-            return name, continuous_output_schema(kind, left_schema, right_schema, right_name)
+            partitions = self._dataflow_partitions(
+                left_streams,
+                right_streams,
+                on,
+                right_is_stream=isinstance(subtree.right, StreamScan),
+            )
+            nodes.append(
+                NodeSpec(name, kind, left_name, right_name, on, partitions=partitions)
+            )
+            return (
+                name,
+                continuous_output_schema(kind, left_schema, right_schema, right_name),
+                left_streams + right_streams,
+            )
 
         build(plan)
         return DataflowJoinOperator(
             self._catalog, tuple(scans), nodes, config=self._config.stream_config
+        )
+
+    def _dataflow_partitions(
+        self,
+        left_streams: tuple[str, ...],
+        right_streams: tuple[str, ...],
+        on: tuple[tuple[str, str], ...],
+        right_is_stream: bool,
+    ) -> int:
+        """Partition degree for one dataflow stage (1 means a single worker).
+
+        Considered only when the planner carries a
+        :class:`~repro.parallel.plan.ParallelConfig` and the stage has an
+        equi-θ to route by.  The estimate sums the expected statistics of
+        the source streams under each input subtree; the distinct-key cap
+        applies only when the right input is a single stream whose key
+        selectivity is actually known.
+        """
+        if self._config.parallel is None or not on:
+            return 1
+        state, left_cardinality, right_distinct = (
+            self._catalog.stream_join_state_estimate(
+                list(left_streams), list(right_streams), on
+            )
+        )
+        distinct = right_distinct if right_is_stream and right_distinct > 0 else None
+        return choose_partitions(
+            state, left_cardinality, self._config.parallel, distinct_keys=distinct
         )
 
     def _continuous_join(self, plan: TPJoin) -> PhysicalOperator:

@@ -10,6 +10,7 @@ from .experiments import (
 )
 from .reporting import (
     bench_payload,
+    bench_payload_base,
     environment_info,
     experiment_report,
     measurements_table,
@@ -28,6 +29,7 @@ __all__ = [
     "RunResult",
     "SeriesSpec",
     "bench_payload",
+    "bench_payload_base",
     "environment_info",
     "experiment_report",
     "measurements_table",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 import platform
 import sys
 from collections import defaultdict
@@ -102,6 +103,45 @@ def write_csv(measurements: Iterable[Measurement], path: str | Path) -> None:
 # --------------------------------------------------------------------------- #
 # machine-readable results (perf trajectory across PRs)
 # --------------------------------------------------------------------------- #
+def bench_payload_base(
+    experiment: str,
+    title: str,
+    *,
+    seed: int,
+    skipped_reason: "str | None" = None,
+    metrics: "Mapping | None" = None,
+    **extra,
+) -> dict:
+    """The shared top-level schema of every ``BENCH_*.json`` payload.
+
+    One implementation serves every payload writer — the harness figures
+    (:func:`bench_payload`) and the standalone ``benchmarks/bench_*.py``
+    scripts (re-exported through ``benchmarks/conftest.py``) — so the keys
+    the CI perf-regression gate reads cannot drift between producers:
+
+    * ``seed`` — the workload-generator seed, making the payload
+      self-reproducing;
+    * ``cpu_count`` — so ≈1× speedups on single-core runners stay
+      interpretable;
+    * ``skipped_reason`` — why a gate was skipped, or ``None`` when it ran;
+    * ``metrics`` — the flat name → number mapping
+      ``benchmarks/check_perf_baselines.py`` compares against committed
+      baselines (``*_count`` keys exactly, ``*_seconds`` within the
+      wall-clock tolerance band).
+    """
+    payload = {
+        "experiment": experiment,
+        "title": title,
+        "seed": seed,
+        "cpu_count": os.cpu_count() or 1,
+        "skipped_reason": skipped_reason,
+        "metrics": dict(metrics or {}),
+        "environment": environment_info(),
+    }
+    payload.update(extra)
+    return payload
+
+
 def bench_payload(
     spec: ExperimentSpec, measurements: Sequence[Measurement], seed: int = 0
 ) -> dict:
@@ -111,13 +151,19 @@ def bench_payload(
     every ``BENCH_*.json`` self-reproducing (re-run the same experiment with
     the recorded seed and sizes to regenerate the identical workload).
     """
-    return {
-        "experiment": spec.experiment_id,
-        "title": spec.title,
-        "dataset": spec.dataset,
-        "expected_shape": spec.expected_shape,
-        "seed": seed,
-        "measurements": [
+    metrics: dict = {}
+    for m in measurements:
+        prefix = f"{m.series}_s{m.size}"
+        metrics[f"{prefix}_output_count"] = m.output_count
+        metrics[f"{prefix}_seconds"] = round(m.seconds, 6)
+    return bench_payload_base(
+        spec.experiment_id,
+        spec.title,
+        seed=seed,
+        metrics=metrics,
+        dataset=spec.dataset,
+        expected_shape=spec.expected_shape,
+        measurements=[
             {
                 "series": m.series,
                 "size": m.size,
@@ -126,8 +172,7 @@ def bench_payload(
             }
             for m in measurements
         ],
-        "environment": environment_info(),
-    }
+    )
 
 
 def environment_info() -> dict:

@@ -236,7 +236,7 @@ def parallel_tp_join(
         relation=relation,
         workers=workers,
         shard_input_sizes=tuple(
-            (len(l), len(r)) for l, r in zip(left_shards, right_shards)
+            (len(ls), len(rs)) for ls, rs in zip(left_shards, right_shards)
         ),
         shard_output_sizes=tuple(shard_output_sizes),
         elapsed_seconds=time.perf_counter() - started,

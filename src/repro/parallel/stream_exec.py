@@ -31,8 +31,9 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..relation import Schema, ThetaCondition, TPTuple
-from ..stream.elements import LEFT, StreamEvent, Tagged, Watermark
+from ..stream.elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
 from ..stream.operators import continuous_join
+from .batch import canonical_order
 from .plan import stable_hash
 from .pool import preferred_context
 from .serialize import (
@@ -289,21 +290,35 @@ def _route(key, partitions: int) -> int:
 
 
 # --------------------------------------------------------------------------- #
-# dataflow graphs: node-per-process pipelined execution
+# dataflow graphs: worker-per-(node, partition) pipelined execution
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class DataflowNodeSpec:
-    """Everything a worker process needs to run one dataflow node.
+    """Everything a worker process needs to run one dataflow node partition.
 
-    ``downstream`` lists ``(consumer node index, side)`` edges this node's
-    output feeds; ``producers`` is the number of incoming edges (parent
-    source edges plus sibling node edges) — the count of ``None`` done
-    sentinels to await before closing.
+    One spec — and one OS process — exists per *(node, partition)*: a node
+    with ``NodeSpec.partitions = K`` fans out into K shared-nothing workers
+    over disjoint slices of its key space, multiplying the pipeline axis
+    (worker per chained node) by the partition axis.
+
+    ``downstream`` lists ``(first worker index, consumer partitions, side,
+    key indices)`` routing entries: revisions go to ``first +
+    stable_hash(key) % partitions`` (the key is the output fact projected on
+    ``key indices`` — the consumer θ's attributes for that side), watermarks
+    are broadcast to all of the consumer's partitions.  ``producers`` is the
+    number of incoming FIFO channels (parent source edges plus upstream
+    partition workers) — the count of ``None`` done sentinels to await
+    before closing.  ``left_channels`` / ``right_channels`` name those
+    channels so the worker can min-merge per-channel watermarks (the stage
+    output watermark = min over the upstream partitions).
     """
 
     index: int
+    node_index: int
     name: str
     kind: str
+    partition: int
+    partitions: int
     left_attributes: tuple
     right_attributes: tuple
     on: tuple
@@ -311,6 +326,8 @@ class DataflowNodeSpec:
     right_name: str
     downstream: tuple
     producers: int
+    left_channels: tuple = ()
+    right_channels: tuple = ()
     early_emit: bool = False
     event_probabilities: Optional[dict] = None
 
@@ -335,23 +352,29 @@ class DataflowNodeSpec:
 
 
 def _graph_worker_main(
-    spec: DataflowNodeSpec, node_queues, out_queue, micro_batch_size: int, abort
+    spec: DataflowNodeSpec, worker_queues, out_queue, micro_batch_size: int, abort
 ) -> None:
-    """Dataflow node worker: drain revisions, publish downstream, report."""
+    """Dataflow partition worker: drain revisions, publish downstream, report."""
+    from ..dataflow.executor import ChannelWatermarks
     from .serialize import decode_revision_tagged, encode_revision_tagged
 
     try:
         join = spec.build_join()
-        in_queue = node_queues[spec.index]
+        trackers = {
+            LEFT: ChannelWatermarks(spec.left_channels),
+            RIGHT: ChannelWatermarks(spec.right_channels),
+        }
+        in_queue = worker_queues[spec.index]
         pending: dict[int, list] = {}
+        channel = ("node", spec.node_index, spec.partition)
 
         def guarded_put(target: int, item) -> None:
-            # A sibling node may have died with a full queue nobody drains;
+            # A sibling worker may have died with a full queue nobody drains;
             # the parent sets `abort` when it learns of the failure, which
             # is this worker's signal to stop instead of blocking forever.
             while True:
                 try:
-                    node_queues[target].put(item, timeout=_POLL_INTERVAL)
+                    worker_queues[target].put(item, timeout=_POLL_INTERVAL)
                     return
                 except queue_module.Full:
                     if abort.is_set():
@@ -359,14 +382,28 @@ def _graph_worker_main(
                             "run aborted while publishing downstream"
                         ) from None
 
+        def enqueue(target: int, entry) -> None:
+            pending.setdefault(target, []).append(entry)
+            if len(pending[target]) >= micro_batch_size:
+                guarded_put(target, pending.pop(target))
+
         def route(elements) -> None:
             for element in elements:
-                for target, side in spec.downstream:
-                    pending.setdefault(target, []).append(
-                        encode_revision_tagged(Tagged(side, element))
-                    )
-                    if len(pending[target]) >= micro_batch_size:
-                        guarded_put(target, pending.pop(target))
+                for first, consumer_parts, side, key_indices in spec.downstream:
+                    if isinstance(element, Watermark):
+                        code = encode_revision_tagged(Tagged(side, element))
+                        for offset in range(consumer_parts):
+                            enqueue(first + offset, (channel, code))
+                    else:
+                        code = encode_revision_tagged(Tagged(side, element))
+                        if consumer_parts > 1:
+                            key = tuple(
+                                element.tuple.fact[i] for i in key_indices
+                            )
+                            offset = _route(key, consumer_parts)
+                        else:
+                            offset = 0
+                        enqueue(first + offset, (None, code))
 
         def flush() -> None:
             for target in list(pending):
@@ -378,13 +415,24 @@ def _graph_worker_main(
             if message is None:
                 remaining -= 1
                 continue
-            for code in message:
-                route(join.process(decode_revision_tagged(code)))
+            for in_channel, code in message:
+                tagged = decode_revision_tagged(code)
+                element = tagged.element
+                if isinstance(element, Watermark):
+                    merged = trackers[tagged.side].update(in_channel, element.value)
+                    if merged is None:
+                        continue
+                    tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
+                route(join.process(tagged))
             flush()
         route(join.close())
         flush()
-        for target, _side in spec.downstream:
-            guarded_put(target, None)
+        # One done sentinel per (edge × consumer partition), matching the
+        # producer counts in graph_node_specs (duplicate edges to one
+        # consumer — a self-join shape — each carry their own sentinel).
+        for first, consumer_parts, _side, _key_indices in spec.downstream:
+            for offset in range(consumer_parts):
+                guarded_put(first + offset, None)
         stats = join.stats
         out_queue.put(
             (
@@ -408,75 +456,122 @@ def _graph_worker_main(
 
 
 def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
-    """Compile a :class:`~repro.dataflow.DataflowGraph` into worker specs."""
-    from ..dataflow.executor import downstream_table
+    """Compile a :class:`~repro.dataflow.DataflowGraph` into worker specs.
+
+    One spec per (node, partition); worker indices are contiguous per node
+    (``first_worker[i] .. first_worker[i] + partitions_i - 1``), so routing
+    entries only need the first index and the partition count.
+    """
+    from ..dataflow.executor import channel_topology, downstream_table
 
     node_index = {name: index for index, name in enumerate(graph.node_names)}
+    parts = graph.partition_counts
+    first_worker: List[int] = []
+    total = 0
+    for count in parts:
+        first_worker.append(total)
+        total += count
     event_probabilities = None
     if getattr(config, "materialize_probabilities", False):
         events = graph.merged_events()
         event_probabilities = {
             name: events.probability(name) for name in events.names()
         }
+    # Producer channels per node: one per incoming source edge, plus one per
+    # upstream partition worker per edge (every partition of the consumer
+    # receives broadcast watermarks from each of them).
     producers = [0] * len(graph.nodes)
     for source in graph.source_names:
         for consumer, _side in graph.consumers_of(source):
             producers[node_index[consumer]] += 1
-    downstream = [tuple(edges) for edges in downstream_table(graph, node_index)]
-    for edges in downstream:
+    downstream_nodes = [tuple(edges) for edges in downstream_table(graph, node_index)]
+    for index, edges in enumerate(downstream_nodes):
         for target, _side in edges:
-            producers[target] += 1
+            producers[target] += parts[index]
+    channels = channel_topology(graph, node_index)
     specs = []
     for index, spec in enumerate(graph.nodes):
-        specs.append(
-            DataflowNodeSpec(
-                index=index,
-                name=spec.name,
-                kind=spec.kind,
-                left_attributes=graph.schema_of(spec.left).attributes,
-                right_attributes=graph.schema_of(spec.right).attributes,
-                on=spec.on,
-                left_name=spec.left,
-                right_name=spec.right,
-                downstream=downstream[index],
-                producers=producers[index],
-                early_emit=getattr(config, "early_emit", False),
-                event_probabilities=event_probabilities,
+        routing = []
+        for target, side in downstream_nodes[index]:
+            consumer = graph.nodes[target]
+            consumer_side_schema = graph.schema_of(
+                consumer.left if side == LEFT else consumer.right
             )
-        )
+            key_indices = tuple(
+                consumer_side_schema.index(pair[0] if side == LEFT else pair[1])
+                for pair in consumer.on
+            )
+            routing.append((first_worker[target], parts[target], side, key_indices))
+        for partition in range(spec.partitions):
+            specs.append(
+                DataflowNodeSpec(
+                    index=first_worker[index] + partition,
+                    node_index=index,
+                    name=spec.name,
+                    kind=spec.kind,
+                    partition=partition,
+                    partitions=spec.partitions,
+                    left_attributes=graph.schema_of(spec.left).attributes,
+                    right_attributes=graph.schema_of(spec.right).attributes,
+                    on=spec.on,
+                    left_name=spec.left,
+                    right_name=spec.right,
+                    downstream=tuple(routing),
+                    producers=producers[index],
+                    left_channels=tuple(channels[index][LEFT]),
+                    right_channels=tuple(channels[index][RIGHT]),
+                    early_emit=getattr(config, "early_emit", False),
+                    event_probabilities=event_probabilities,
+                )
+            )
     return specs
 
 
 def run_graph_processes(graph, config, merge_seed=None):
-    """Run a dataflow graph with one OS process per node.
+    """Run a dataflow graph with one OS process per node partition.
 
-    The same pipeline topology as the thread backend — bounded queues
+    The same two-axis topology as the thread backend — bounded queues
     between stages provide backpressure, done sentinels implement the
-    multi-producer close protocol — with elements crossing process
-    boundaries through the compact revision codec.  Raises
-    :class:`WorkerStartError` (strictly before consuming any source
-    element) when processes cannot start, so callers can fall back.
+    multi-producer close protocol, revisions are key-routed to the
+    consumer's partitions and watermarks broadcast and min-merged per
+    channel — with elements crossing process boundaries through the compact
+    revision codec.  Raises :class:`WorkerStartError` (strictly before
+    consuming any source element) when processes cannot start, so callers
+    can fall back.
     """
     from ..dataflow.executor import GraphRunOutcome, merge_edges, source_edges
     from ..dataflow.operators import RevisionJoinStats
+    from ..stream.operators import theta_from_pairs
     from .serialize import decode_tuples as _decode_tuples
 
     specs = graph_node_specs(graph, config)
     node_index = {name: index for index, name in enumerate(graph.node_names)}
+    parts = graph.partition_counts
+    first_worker: List[int] = []
+    total = 0
+    for count in parts:
+        first_worker.append(total)
+        total += count
+    thetas = [
+        theta_from_pairs(
+            graph.schema_of(spec.left), graph.schema_of(spec.right), spec.on
+        )
+        for spec in graph.nodes
+    ]
     micro_batch_size = getattr(config, "micro_batch_size", 64)
     buffer_capacity = getattr(config, "buffer_capacity", 1024)
     queue_batches = max(2, buffer_capacity // max(1, micro_batch_size))
     context = preferred_context()
     workers: List = []
     try:
-        node_queues = [context.Queue(maxsize=queue_batches) for _ in specs]
+        worker_queues = [context.Queue(maxsize=queue_batches) for _ in specs]
         out_queue = context.Queue()
         abort = context.Event()
         workers = [
             context.Process(
                 target=_graph_worker_main,
-                args=(spec, node_queues, out_queue, micro_batch_size, abort),
-                name=f"dataflow-node-{spec.index}",
+                args=(spec, worker_queues, out_queue, micro_batch_size, abort),
+                name=f"dataflow-node-{spec.node_index}-p{spec.partition}",
                 daemon=True,
             )
             for spec in specs
@@ -500,7 +595,7 @@ def run_graph_processes(graph, config, merge_seed=None):
         """Record one worker message; a failure aborts the whole run."""
         if message[1] != "ok":
             abort.set()
-            raise RuntimeError(f"dataflow node {message[0]} failed:\n{message[2]}")
+            raise RuntimeError(f"dataflow worker {message[0]} failed:\n{message[2]}")
         results[message[0]] = message
 
     def drain_results() -> None:
@@ -513,22 +608,22 @@ def run_graph_processes(graph, config, merge_seed=None):
     def safe_put(index: int, item) -> None:
         nonlocal blocks
         try:
-            node_queues[index].put_nowait(item)
+            worker_queues[index].put_nowait(item)
             return
         except queue_module.Full:
             blocks += 1
         while True:
             try:
-                node_queues[index].put(item, timeout=_POLL_INTERVAL)
+                worker_queues[index].put(item, timeout=_POLL_INTERVAL)
                 return
             except queue_module.Full:
-                # A failed sibling node can make the whole pipeline stall
-                # while this node stays alive: surface marshalled errors
+                # A failed sibling worker can make the whole pipeline stall
+                # while this one stays alive: surface marshalled errors
                 # instead of spinning on liveness alone.
                 drain_results()
                 if not workers[index].is_alive():
                     raise RuntimeError(
-                        f"dataflow node {index} died with a full input queue"
+                        f"dataflow worker {index} died with a full input queue"
                     ) from None
 
     def flush(index: int) -> None:
@@ -537,18 +632,39 @@ def run_graph_processes(graph, config, merge_seed=None):
             pending[index] = []
             safe_put(index, batch)
 
+    def enqueue(index: int, entry) -> None:
+        pending[index].append(entry)
+        if len(pending[index]) >= micro_batch_size:
+            flush(index)
+
     try:
-        for target, side, element in merge_edges(edges, merge_seed):
-            clock = None
+        for edge, target, side, element in merge_edges(edges, merge_seed):
             if isinstance(element, StreamEvent):
                 events_processed += 1
                 clock = time.perf_counter()
-            pending[target].append(encode_tagged(Tagged(side, element, clock)))
-            if len(pending[target]) >= micro_batch_size:
-                flush(target)
+                theta = thetas[target]
+                if parts[target] > 1:
+                    key = (
+                        theta.left_key(element.tuple)
+                        if side == LEFT
+                        else theta.right_key(element.tuple)
+                    )
+                    partition = _route(key, parts[target])
+                else:
+                    partition = 0
+                enqueue(
+                    first_worker[target] + partition,
+                    (None, encode_tagged(Tagged(side, element, clock))),
+                )
+            else:
+                code = encode_tagged(Tagged(side, element))
+                for partition in range(parts[target]):
+                    enqueue(first_worker[target] + partition, (("src", edge), code))
         for target, _side, _iterator in edges:
-            flush(target)
-            safe_put(target, None)
+            for partition in range(parts[target]):
+                index = first_worker[target] + partition
+                flush(index)
+                safe_put(index, None)
         for index in range(len(specs)):
             flush(index)
 
@@ -563,7 +679,7 @@ def run_graph_processes(graph, config, merge_seed=None):
                 grace_polls -= 1
                 if grace_polls <= 0:
                     raise RuntimeError(
-                        f"dataflow nodes {missing} exited without a result"
+                        f"dataflow workers {missing} exited without a result"
                     ) from None
                 continue
             take_result(message)
@@ -582,12 +698,22 @@ def run_graph_processes(graph, config, merge_seed=None):
     stats = {}
     latencies = {}
     lags = {}
-    for spec in specs:
-        _index, _status, tuple_codes, stat_values, node_latencies, node_lags = results[
-            spec.index
-        ]
-        settled[spec.name] = _decode_tuples(tuple_codes)
-        stats[spec.name] = RevisionJoinStats(*stat_values)
+    for node, spec in enumerate(graph.nodes):
+        merged: List = []
+        node_stats: List[RevisionJoinStats] = []
+        node_latencies: List[float] = []
+        node_lags: List[float] = []
+        for partition in range(parts[node]):
+            message = results[first_worker[node] + partition]
+            _index, _status, tuple_codes, stat_values, part_latencies, part_lags = message
+            merged.extend(_decode_tuples(tuple_codes))
+            node_stats.append(RevisionJoinStats(*stat_values))
+            node_latencies.extend(part_latencies)
+            node_lags.extend(part_lags)
+        # Canonical order-stable merge: key-disjoint partition outputs sort
+        # into the same sequence any partition count (or backend) produces.
+        settled[spec.name] = canonical_order(merged)
+        stats[spec.name] = RevisionJoinStats.merged(node_stats)
         latencies[spec.name] = node_latencies
         lags[spec.name] = node_lags
     return GraphRunOutcome(

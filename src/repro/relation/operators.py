@@ -32,7 +32,6 @@ from typing import Callable, Iterable
 from ..lineage import disjunction_of
 from ..temporal import Interval, partition_by_validity
 from .relation import TPRelation
-from .schema import Schema
 from .tptuple import TPTuple
 
 

@@ -152,7 +152,7 @@ class EquiJoinCondition(ThetaCondition):
         return True
 
     def describe(self) -> str:
-        return " AND ".join(f"r.{l} = s.{r}" for l, r in self.pairs)
+        return " AND ".join(f"r.{left} = s.{right}" for left, right in self.pairs)
 
 
 @dataclass(frozen=True)

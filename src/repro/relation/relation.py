@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from ..lineage import EventSpace, ProbabilityComputer, Var
+from ..lineage import EventSpace, ProbabilityComputer
 from ..temporal import Interval
 from .errors import ConstraintViolation, SchemaError
 from .schema import Schema

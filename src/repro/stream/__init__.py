@@ -51,6 +51,7 @@ from .operators import (
 from .query import (
     WORKER_BACKENDS,
     StreamDef,
+    StreamStats,
     StreamQuery,
     StreamQueryConfig,
     StreamQueryResult,
@@ -83,6 +84,7 @@ __all__ = [
     "StreamQueryConfig",
     "StreamQueryResult",
     "StreamSource",
+    "StreamStats",
     "Tagged",
     "WORKER_BACKENDS",
     "Watermark",

@@ -46,17 +46,38 @@ from .source import SourceStats, merge_tagged
 
 
 @dataclass(frozen=True)
+class StreamStats:
+    """Planner-visible statistics of one registered stream.
+
+    A stream is unbounded in principle, so these are *expected* figures —
+    replay sources derived from a finite relation know them exactly; live
+    sources may estimate or omit them.  The shard/partition planners treat a
+    missing value as "unknown, do not parallelise".
+    """
+
+    cardinality: int
+    attribute_distinct_counts: dict
+
+    def distinct(self, attribute: str) -> int:
+        """Expected distinct-value count of one attribute (0 when unknown)."""
+        return self.attribute_distinct_counts.get(attribute, 0)
+
+
+@dataclass(frozen=True)
 class StreamDef:
     """A registered stream: schema, event space and a replayable element source.
 
     ``replay`` returns a *fresh* iterator of stream elements each time it is
     called, so the same registered stream can serve several queries.
+    ``stats`` optionally carries the expected cardinality / key selectivity
+    the partition planner consults when choosing per-stage worker counts.
     """
 
     schema: Schema
     events: EventSpace
     replay: Callable[[], Iterable[StreamElement]]
     name: str = ""
+    stats: Optional[StreamStats] = None
 
 
 #: Valid values of :attr:`StreamQueryConfig.workers`.
@@ -184,7 +205,7 @@ class StreamQuery:
         return self._config
 
     def describe(self) -> str:
-        condition = " AND ".join(f"{l} = {r}" for l, r in self._on) or "true"
+        condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         backend = ""
         if self.effective_partitions > 1 and self._config.workers == "processes":
             backend = ", workers=processes"

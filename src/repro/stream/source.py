@@ -24,7 +24,7 @@ require) while exercising arbitrary cross-source arrival interleavings.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from ..relation import TPTuple

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Schema, TPRelation, equi_join_on, ta_wuo, ta_wuon
+from repro import ta_wuo, ta_wuon
 from repro.baselines import (
     align,
     ta_anti_join,

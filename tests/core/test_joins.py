@@ -17,7 +17,7 @@ from repro import (
 from repro.core import nj_wn, nj_wuo, nj_wuon, swap_theta
 from repro.relation import TrueCondition
 from repro.temporal import Interval
-from tests.conftest import assert_same_result, canonical_rows, make_random_relations
+from tests.conftest import canonical_rows, make_random_relations
 
 
 class TestBasicBehaviour:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Schema, TPRelation, equi_join_on
 from repro.core import WindowClass, overlap_join, overlapping_windows

@@ -10,7 +10,6 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    WindowClass,
     compute_windows,
     tp_anti_join,
     tp_full_outer_join,

@@ -6,7 +6,7 @@ from repro import WindowClass, stream_anti_join, stream_left_outer_join, stream_
 from repro.core import compute_windows, stream_wuo, tp_anti_join, tp_left_outer_join
 from repro.core.streaming import output_schema
 from repro.lineage import canonical
-from tests.conftest import canonical_rows, make_random_relations
+from tests.conftest import make_random_relations
 
 
 def _window_keys(windows):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     WINDOW_SETS_BY_OPERATOR,
-    WindowClass,
     compute_windows,
     tp_anti_join,
     tp_full_outer_join,

@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
-    WindowClass,
     classify_window,
     compute_windows,
     is_negating_window,

@@ -9,6 +9,8 @@ tuple with bitwise-equal probabilities, once all retractions have settled.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from hypothesis import given, settings, strategies as st
 
 from repro.dataflow import DataflowQuery, NodeSpec, assert_converged
@@ -41,9 +43,12 @@ TREES = [
     watermark_every=st.integers(min_value=1, max_value=6),
     backend=st.sampled_from(["threads", "processes"]),
     merge_seed=st.integers(min_value=0, max_value=100),
+    partitions=st.tuples(
+        st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3)
+    ),
 )
 def test_random_replays_converge_on_every_node(
-    seed, tree, disorder, watermark_every, backend, merge_seed
+    seed, tree, disorder, watermark_every, backend, merge_seed, partitions
 ):
     catalog, *_ = make_stream_catalog(
         seed,
@@ -51,6 +56,11 @@ def test_random_replays_converge_on_every_node(
         disorder=disorder,
         watermark_every=watermark_every,
     )
+    # Partitioned stages must be invisible in the settled output: the same
+    # convergence property holds for any per-node partition degree.
+    tree = [
+        replace(spec, partitions=degree) for spec, degree in zip(tree, partitions)
+    ]
     query = DataflowQuery(
         catalog, tree, StreamQueryConfig(early_emit=True)
     )

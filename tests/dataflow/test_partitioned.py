@@ -1,0 +1,185 @@
+"""Partitioned dataflow stages: routing, watermarks, determinism.
+
+The partition axis must be *invisible* in the settled output: for any
+partition degree and backend, the same graph over the same replays settles
+to the identical canonical tuple sequence with bitwise-equal probabilities.
+These tests pin that, plus the two local rules the axis is built from —
+stable key routing and the min-over-partitions stage watermark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Schema
+from repro.dataflow import (
+    ChannelWatermarks,
+    DataflowGraph,
+    DataflowQuery,
+    GraphError,
+    NodeSpec,
+    RevisionJoin,
+    assert_converged,
+    identity_rows,
+    route_partition,
+    stage_watermark,
+)
+from repro.parallel.plan import stable_hash
+from repro.stream import LEFT, RIGHT, StreamQueryConfig, Tagged, Watermark
+from repro.stream.elements import StreamEvent
+
+from tests.dataflow.conftest import make_relation, make_stream_catalog
+
+PARTITIONED_TREE = [
+    NodeSpec("n1", "left_outer", "a", "b", (("Key", "Key"),), partitions=2),
+    NodeSpec("n2", "right_outer", "n1", "c", (("Key", "Key"),), partitions=3),
+]
+
+
+# --------------------------------------------------------------------------- #
+# graph validation
+# --------------------------------------------------------------------------- #
+def test_partition_degree_must_be_positive(stream_catalog_factory):
+    catalog, *_ = stream_catalog_factory(1)
+    with pytest.raises(GraphError, match="partitions must be at least 1"):
+        DataflowGraph(
+            catalog,
+            [NodeSpec("n1", "anti", "a", "b", (("Key", "Key"),), partitions=0)],
+        )
+
+
+def test_partitioning_requires_an_equi_key(stream_catalog_factory):
+    catalog, *_ = stream_catalog_factory(1)
+    with pytest.raises(GraphError, match="needs an equi-join condition"):
+        DataflowGraph(catalog, [NodeSpec("n1", "anti", "a", "b", (), partitions=2)])
+
+
+def test_partition_counts_accessors(stream_catalog_factory):
+    catalog, *_ = stream_catalog_factory(1)
+    graph = DataflowGraph(catalog, PARTITIONED_TREE)
+    assert graph.partition_counts == [2, 3]
+    assert graph.partitions_of("n1") == 2
+    assert graph.partitions_of("a") == 1  # sources are never partitioned
+    with pytest.raises(GraphError):
+        graph.partitions_of("nope")
+
+
+# --------------------------------------------------------------------------- #
+# key routing
+# --------------------------------------------------------------------------- #
+def test_routing_is_stable_and_key_consistent():
+    schema = Schema.of("Key", "Serial")
+    join = RevisionJoin("inner", schema, schema, (("Key", "Key"),))
+    relation = make_relation("x", 32, seed=5, num_keys=7)
+    for tp_tuple in relation:
+        event = StreamEvent(tp_tuple)
+        partition = route_partition(join, LEFT, event, 4)
+        # Emits and the retractions that must unwind them land together.
+        assert partition == route_partition(join, LEFT, event, 4)
+        assert partition == stable_hash((tp_tuple.fact[0],)) % 4
+    # A single partition never routes anywhere else.
+    assert route_partition(join, RIGHT, StreamEvent(next(iter(relation))), 1) == 0
+
+
+# --------------------------------------------------------------------------- #
+# stage watermark = min over partitions
+# --------------------------------------------------------------------------- #
+def test_stage_watermark_is_min_over_partition_watermarks():
+    schema = Schema.of("Key", "Serial")
+    partitions = [
+        RevisionJoin("inner", schema, schema, (("Key", "Key"),)) for _ in range(3)
+    ]
+    # No input yet: every derived watermark is -inf, so the stage's is too.
+    assert stage_watermark(partitions) == float("-inf")
+    for join, (left, right) in zip(partitions, ((10.0, 12.0), (5.0, 9.0), (7.0, 7.0))):
+        join.process(Tagged(LEFT, Watermark(left)))
+        join.process(Tagged(RIGHT, Watermark(right)))
+    assert [join.derived_watermark() for join in partitions] == [10.0, 5.0, 7.0]
+    assert stage_watermark(partitions) == 5.0
+    # Advancing the laggard partition advances the stage watermark.
+    partitions[1].process(Tagged(LEFT, Watermark(11.0)))
+    assert stage_watermark(partitions) == 7.0
+
+
+def test_channel_watermarks_merge_min_and_ignore_regressions():
+    tracker = ChannelWatermarks(["p0", "p1"])
+    assert tracker.update("p0", 10.0) is None  # p1 still at -inf
+    assert tracker.update("p1", 4.0) == 4.0
+    assert tracker.merged == 4.0
+    assert tracker.update("p1", 3.0) is None  # regressions are ignored
+    assert tracker.update("p1", 8.0) == 8.0
+    assert tracker.update("p0", math.inf) is None  # min still held by p1
+    assert tracker.update("p1", math.inf) == math.inf
+
+
+# --------------------------------------------------------------------------- #
+# settled-output determinism across degrees and backends
+# --------------------------------------------------------------------------- #
+def _settled_rows(catalog, tree, backend: str, merge_seed: int):
+    query = DataflowQuery(catalog, tree, StreamQueryConfig(early_emit=True))
+    result = query.run(merge_seed=merge_seed, backend=backend)
+    assert_converged(result, catalog, tree)
+    return {
+        spec.name: identity_rows(result.nodes[spec.name].relation.with_probabilities())
+        for spec in tree
+    }
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    disorder=st.integers(min_value=0, max_value=10),
+    merge_seed=st.integers(min_value=0, max_value=100),
+    backend=st.sampled_from(["threads", "processes"]),
+)
+def test_partitioned_routing_is_deterministic_across_degrees(
+    seed, disorder, merge_seed, backend
+):
+    """K ∈ {1, 2, 4} settle to the identical rows, probabilities bitwise."""
+    reference = None
+    for degree in (1, 2, 4):
+        catalog, *_ = make_stream_catalog(seed, sizes=(14, 14, 10), disorder=disorder)
+        tree = [
+            NodeSpec("n1", "left_outer", "a", "b", (("Key", "Key"),), partitions=degree),
+            NodeSpec(
+                "n2", "full_outer", "n1", "c", (("Key", "Key"),), partitions=degree
+            ),
+        ]
+        rows = _settled_rows(catalog, tree, backend, merge_seed)
+        if reference is None:
+            reference = rows
+        else:
+            assert rows == reference
+
+
+def test_inline_backend_supports_partitioned_graphs(stream_catalog_factory):
+    catalog, *_ = stream_catalog_factory(3, sizes=(25, 25, 15), disorder=6)
+    query = DataflowQuery(catalog, PARTITIONED_TREE, StreamQueryConfig(early_emit=True))
+    result = query.run(merge_seed=9, backend="inline")
+    assert result.backend == "inline"
+    assert_converged(result, catalog, PARTITIONED_TREE)
+
+
+def test_partitioned_stats_merge_across_partitions(stream_catalog_factory):
+    """Partitioned and serial runs agree on the aggregate emit counters."""
+    serial_tree = [
+        NodeSpec("n1", "left_outer", "a", "b", (("Key", "Key"),)),
+        NodeSpec("n2", "right_outer", "n1", "c", (("Key", "Key"),)),
+    ]
+    catalog, *_ = stream_catalog_factory(11, sizes=(20, 20, 12), disorder=4)
+    serial = DataflowQuery(catalog, serial_tree, StreamQueryConfig()).run(merge_seed=2)
+    catalog, *_ = stream_catalog_factory(11, sizes=(20, 20, 12), disorder=4)
+    partitioned = DataflowQuery(
+        catalog, PARTITIONED_TREE, StreamQueryConfig()
+    ).run(merge_seed=2)
+    for name in ("n1", "n2"):
+        assert (
+            partitioned.nodes[name].stats.emits == serial.nodes[name].stats.emits
+        )
+        assert (
+            partitioned.nodes[name].stats.groups_settled
+            == serial.nodes[name].stats.groups_settled
+        )

@@ -9,7 +9,6 @@ from repro.dataflow import NodeSpec
 from repro.datasets import ReplayConfig, stream_def
 from repro.engine import (
     CatalogError,
-    DataflowJoinOperator,
     Engine,
     PlanError,
     StreamScan,
@@ -86,6 +85,27 @@ def test_explain_marks_dataflow_node_count(dataflow_engine):
     assert "[dataflow 2-node]" in text
     assert "DataflowJoin [anti→right_outer]" in text
     assert "ContinuousScan sa" in text and "ContinuousScan sc" in text
+
+
+def test_explain_marks_partition_degrees(triple):
+    """With a ParallelConfig the planner fans hot stages out and EXPLAIN
+    renders the per-node degrees."""
+    from repro.parallel import ParallelConfig
+
+    a, b, c = triple
+    engine = Engine(
+        parallel_config=ParallelConfig(max_workers=4, state_per_worker=1.0, min_tuples=1)
+    )
+    for offset, (name, relation) in enumerate((("sa", a), ("sb", b), ("sc", c))):
+        engine.register_stream(
+            name, stream_def(relation, ReplayConfig(disorder=4, seed=offset))
+        )
+    text = engine.explain_sql(CHAIN_SQL)
+    assert "[dataflow 2-node, parts=" in text
+    # Three distinct keys cap the first stage at 3 workers.
+    assert "parts=3/3" in text
+    result = engine.execute_sql(CHAIN_SQL, compute_probabilities=False)
+    assert rows(result) == rows(chain_batch(a, b, c))
 
 
 def test_early_emit_config_routes_binary_join_through_dataflow(triple):

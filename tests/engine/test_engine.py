@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Schema, TPRelation, naive_left_outer_join, tp_left_outer_join, equi_join_on
+from repro import tp_left_outer_join
 from repro.engine import (
     Catalog,
     CatalogError,
@@ -26,7 +26,7 @@ from repro.engine import (
     explain_physical,
 )
 from repro.temporal import Interval
-from tests.conftest import assert_same_result, canonical_rows
+from tests.conftest import canonical_rows
 
 
 @pytest.fixture()

@@ -8,14 +8,12 @@ from repro.core import tp_anti_join, tp_left_outer_join
 from repro.datasets import ReplayConfig, stream_def
 from repro.engine import (
     CatalogError,
-    ContinuousJoinOperator,
     Engine,
     PlanError,
     StreamScan,
     parse_query,
 )
 from repro.lineage import canonical
-from repro.relation import equi_join_on
 
 
 def rows(relation):

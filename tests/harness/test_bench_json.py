@@ -32,6 +32,18 @@ def test_bench_payload_shape():
     assert "python" in payload["environment"]
 
 
+def test_bench_payload_follows_unified_schema():
+    """Every payload carries cpu_count / seed / skipped_reason / metrics —
+    the shared schema the CI perf-regression gate reads."""
+    spec = EXPERIMENTS["fig5a"]
+    payload = bench_payload(spec, _tiny_measurements(spec), seed=17)
+    assert payload["seed"] == 17
+    assert payload["cpu_count"] >= 1
+    assert payload["skipped_reason"] is None
+    assert payload["metrics"]["NJ_s100_output_count"] == 42
+    assert payload["metrics"]["TA_s100_seconds"] == 0.0456
+
+
 def test_write_bench_json_roundtrip(tmp_path):
     spec = EXPERIMENTS["fig5a"]
     path = write_bench_json(spec, _tiny_measurements(spec), tmp_path)

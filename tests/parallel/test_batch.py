@@ -63,7 +63,7 @@ def test_non_equi_theta_falls_back_to_serial():
     result = parallel_tp_join("left_outer", left, right, on=(), workers=4)
     assert result.workers == 1
     serial = tp_left_outer_join(
-        left, right, PredicateCondition(lambda l, r: True), compute_probabilities=True
+        left, right, PredicateCondition(lambda left, right: True), compute_probabilities=True
     )
     assert canonical_rows(result.relation) == canonical_rows(serial)
 

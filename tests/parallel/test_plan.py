@@ -100,7 +100,7 @@ def test_balanced_assignment_spreads_load_better_than_worst_case():
 
 def test_partition_pair_rejects_non_equi_theta():
     left, right, _theta = make_random_relations(seed=1)
-    predicate = PredicateCondition(lambda l, r: True)
+    predicate = PredicateCondition(lambda left, right: True)
     with pytest.raises(ValueError):
         partition_pair(left.tuples, right.tuples, predicate, 2)
 
@@ -109,7 +109,7 @@ def test_shardable_conditions():
     schema_l, schema_r = Schema.of("K", "V"), Schema.of("K", "W")
     assert shardable(EquiJoinCondition(schema_l, schema_r, (("K", "K"),)))
     assert not shardable(TrueCondition())
-    assert not shardable(PredicateCondition(lambda l, r: True))
+    assert not shardable(PredicateCondition(lambda left, right: True))
 
 
 def test_estimate_join_state_uses_key_selectivity():

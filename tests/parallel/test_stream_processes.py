@@ -9,7 +9,6 @@ from repro.datasets import ReplayConfig, stream_def
 from repro.engine import Catalog
 from repro.parallel import StreamShardSpec, run_process_partitions
 from repro.stream import StreamQuery, StreamQueryConfig
-from repro.stream.operators import theta_from_pairs
 from repro.stream.source import merge_tagged
 from tests.conftest import canonical_rows, make_random_relations
 

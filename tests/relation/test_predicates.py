@@ -96,4 +96,4 @@ class TestPredicateCondition:
         assert condition.right_key(right_tuple("h1", "ZAK")) is None
 
     def test_describe_uses_label(self):
-        assert PredicateCondition(lambda l, r: True, label="theta").describe() == "theta"
+        assert PredicateCondition(lambda left, right: True, label="theta").describe() == "theta"

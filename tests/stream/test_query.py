@@ -7,7 +7,6 @@ import pytest
 from repro.datasets import ReplayConfig, stream_def
 from repro.engine import Catalog, CatalogError
 from repro.lineage import canonical
-from repro.relation import PredicateCondition
 from repro.stream import StreamQuery, StreamQueryConfig
 
 
