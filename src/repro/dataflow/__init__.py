@@ -11,9 +11,9 @@ watermarks — the multi-way, correction-tolerant layer above
   included).
 * :mod:`repro.dataflow.graph` — :class:`NodeSpec` / :class:`DataflowGraph`:
   DAG description, validation, schema and watermark topology.
-* :mod:`repro.dataflow.executor` — inline and node-per-thread pipelined
-  execution reusing the bounded-buffer backpressure seam; the
-  node-per-process backend lives in :mod:`repro.parallel.stream_exec`.
+* :mod:`repro.dataflow.executor` — the one graph driver over the runtime
+  transports (:mod:`repro.runtime`): inline / threads / processes /
+  sockets, all sharing the bounded-channel backpressure seam.
 * :mod:`repro.dataflow.query` — :class:`DataflowQuery` /
   :class:`DataflowResult`, the registered executable form.
 * :mod:`repro.dataflow.convergence` — the batch re-run harness proving
@@ -33,6 +33,7 @@ from .executor import (
     ChannelWatermarks,
     GraphRunOutcome,
     route_partition,
+    run_graph,
     run_graph_inline,
     run_graph_threads,
     stage_watermark,
@@ -80,6 +81,7 @@ __all__ = [
     "identity_rows",
     "percentile",
     "route_partition",
+    "run_graph",
     "run_graph_inline",
     "run_graph_threads",
     "stage_watermark",

@@ -1,18 +1,22 @@
-"""Dataflow graph execution: inline and thread-pipelined backends.
+"""Dataflow graph execution over the unified runtime layer.
 
-Both backends drive the same :class:`~repro.dataflow.operators.RevisionJoin`
-per node and differ only in scheduling:
+One driver (:func:`run_graph`) compiles the graph into worker specs — one
+per *(node, partition)* — hands them to a runtime transport
+(:mod:`repro.runtime`), and routes the merged source edges into the live
+session.  The transport decides where the workers live:
 
-* **inline** — a single thread merges every source edge and pushes elements
-  through the graph depth-first: each output revision of a node is delivered
-  to its consumers before the next input element is read.  The fast path for
-  small streams and the engine's SQL entry point.
-* **threads** — one worker thread per *node partition*, connected by the
-  same :class:`~repro.stream.buffer.BoundedBuffer` seam the partitioned
-  :class:`~repro.stream.StreamQuery` uses: a router thread merges the source
-  edges and every edge hop goes through a bounded buffer, so a slow
-  downstream operator backpressures its producers (and, transitively, the
-  sources) instead of queueing without bound.
+* **inline** — every worker in the caller's thread, elements flowing
+  depth-first: each output revision of a node is delivered to its consumers
+  before the next input element is read.  The fast path for small streams
+  and the engine's SQL entry point.
+* **threads** — one worker thread per node partition over bounded channel
+  inboxes, so a slow downstream operator backpressures its producers (and,
+  transitively, the sources) instead of queueing without bound.
+* **processes** — one forked OS process per node partition over bounded
+  queues, elements crossing in the compact revision codec.
+* **sockets** — one TCP endpoint per node partition (driver-spawned local
+  processes, or remote ``python -m repro.runtime.worker`` hosts named in a
+  :class:`~repro.runtime.Placement`) — distributed execution.
 
 The graph parallelises along **two independent axes**:
 
@@ -25,28 +29,24 @@ The graph parallelises along **two independent axes**:
   watermark is the min over its partitions' derived watermarks.
 
 The min-over-partitions rule is enforced without cross-partition shared
-state: every consumer input side tracks the last watermark per *channel*
-(one channel per upstream partition or source edge) in a
-:class:`ChannelWatermarks` and feeds its join the merged minimum.  Channels
-are FIFO, so by the time a channel's watermark is applied, every revision
-that watermark covers has already been processed — the standard per-channel
-frontier argument.
-
-The process backend (worker-per-node-partition over multiprocessing queues)
-lives in :mod:`repro.parallel.stream_exec` next to the existing shard
-runtime, and degrades to the thread backend when processes cannot start.
+state: every worker input side tracks the last watermark per *channel* (one
+channel per upstream partition or source edge) in a
+:class:`~repro.runtime.ChannelWatermarks` and feeds its join the merged
+minimum.  Channels are FIFO, so by the time a channel's watermark is
+applied, every revision that watermark covers has already been processed —
+the standard per-channel frontier argument.
 
 Termination needs no out-of-band protocol: every source replay ends with a
 ``CLOSED`` watermark, each partition's derived watermark therefore reaches
 ``CLOSED`` once all its groups settle, and the cascade closes the whole
-graph.  The executors still call ``close()`` defensively so a malformed
-source cannot leave windows open.
+graph.  The driver still sends one done sentinel per source edge (and each
+worker one per downstream channel), so a malformed source cannot leave the
+close protocol hanging.
 """
 
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
@@ -54,11 +54,25 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 from ..parallel.batch import canonical_order
 from ..parallel.plan import stable_hash
 from ..relation import TPTuple
-from ..stream.buffer import BoundedBuffer, BufferClosed
-from ..stream.elements import LEFT, RIGHT, StreamElement, StreamEvent, Tagged, Watermark
+from ..runtime import ChannelClosed, ChannelWatermarks, RuntimeJob, get_transport
+from ..stream.elements import LEFT, RIGHT, StreamElement, StreamEvent, Tagged
 from .graph import DataflowGraph
 from .operators import RevisionJoin, RevisionJoinStats
 from .revision import Revision
+
+__all__ = [
+    "ChannelWatermarks",
+    "GraphRunOutcome",
+    "channel_topology",
+    "downstream_table",
+    "merge_edges",
+    "route_partition",
+    "run_graph",
+    "run_graph_inline",
+    "run_graph_threads",
+    "source_edges",
+    "stage_watermark",
+]
 
 
 @dataclass
@@ -78,44 +92,6 @@ class GraphRunOutcome:
     events_processed: int = 0
     backpressure_blocks: int = 0
     backend: str = "inline"
-
-
-class ChannelWatermarks:
-    """Min-merge of the per-channel watermarks feeding one input side.
-
-    A partitioned upstream stage reaches a consumer through one FIFO channel
-    per partition; a source edge is a single channel.  The side's effective
-    watermark — the stage *output* watermark, for a partitioned producer —
-    is the minimum over all channels, so it only advances once **every**
-    partition has advanced: exactly the ``min over partitions`` rule the
-    derived-watermark contract requires.  Channels start at ``-inf``, so the
-    merged value stays silent until every channel has reported.
-    """
-
-    __slots__ = ("_values", "_merged")
-
-    def __init__(self, channels: Sequence[Hashable]) -> None:
-        self._values: Dict[Hashable, float] = {
-            channel: float("-inf") for channel in channels
-        }
-        self._merged = float("-inf")
-
-    @property
-    def merged(self) -> float:
-        """The current min-over-channels watermark."""
-        return self._merged
-
-    def update(self, channel: Hashable, value: float) -> Optional[float]:
-        """Record one channel's watermark; returns the new merged minimum
-        when it advanced, ``None`` otherwise (per-channel regressions are
-        ignored — watermarks are monotone promises)."""
-        if value > self._values[channel]:
-            self._values[channel] = value
-            merged = min(self._values.values())
-            if merged > self._merged:
-                self._merged = merged
-                return merged
-        return None
 
 
 def stage_watermark(partition_joins: Sequence[RevisionJoin]) -> float:
@@ -142,69 +118,6 @@ def route_partition(join: RevisionJoin, side: str, element, partitions: int) -> 
     theta = join.theta
     key = theta.left_key(tp_tuple) if side == LEFT else theta.right_key(tp_tuple)
     return stable_hash(key) % partitions
-
-
-def build_joins(graph: DataflowGraph, config) -> List[List[RevisionJoin]]:
-    """One :class:`RevisionJoin` per (node, partition), in topo order."""
-    materialize = getattr(config, "materialize_probabilities", False)
-    events = graph.merged_events() if materialize else None
-    joins: List[List[RevisionJoin]] = []
-    for spec in graph.nodes:
-        joins.append(
-            [
-                RevisionJoin(
-                    spec.kind,
-                    graph.schema_of(spec.left),
-                    graph.schema_of(spec.right),
-                    spec.on,
-                    left_name=spec.left,
-                    right_name=spec.right,
-                    early_emit=getattr(config, "early_emit", False),
-                    events=events,
-                    materialize_probabilities=materialize,
-                )
-                for _partition in range(spec.partitions)
-            ]
-        )
-    return joins
-
-
-def _outcome_from_joins(
-    graph: DataflowGraph,
-    joins: Sequence[Sequence[RevisionJoin]],
-    events_processed: int,
-    blocks: int,
-    backend: str,
-) -> GraphRunOutcome:
-    settled: Dict[str, List[TPTuple]] = {}
-    stats: Dict[str, RevisionJoinStats] = {}
-    latencies: Dict[str, List[float]] = {}
-    lags: Dict[str, List[float]] = {}
-    for spec, partition_joins in zip(graph.nodes, joins):
-        # Key-disjoint partitions produce disjoint outputs; the canonical
-        # order makes the merged sequence identical for any partition count.
-        merged: List[TPTuple] = []
-        for join in partition_joins:
-            merged.extend(join.settled_outputs.values())
-        settled[spec.name] = canonical_order(merged)
-        stats[spec.name] = RevisionJoinStats.merged(
-            [join.stats for join in partition_joins]
-        )
-        latencies[spec.name] = [
-            sample for join in partition_joins for sample in join.emit_latencies
-        ]
-        lags[spec.name] = [
-            sample for join in partition_joins for sample in join.emit_event_lags
-        ]
-    return GraphRunOutcome(
-        settled=settled,
-        stats=stats,
-        emit_latencies=latencies,
-        emit_event_lags=lags,
-        events_processed=events_processed,
-        backpressure_blocks=blocks,
-        backend=backend,
-    )
 
 
 def source_edges(
@@ -290,225 +203,140 @@ def channel_topology(
     return channels
 
 
-def _make_trackers(
-    channels: Dict[str, List[Hashable]],
-) -> Dict[str, ChannelWatermarks]:
-    return {
-        LEFT: ChannelWatermarks(channels[LEFT]),
-        RIGHT: ChannelWatermarks(channels[RIGHT]),
-    }
+# --------------------------------------------------------------------------- #
+# the one graph driver
+# --------------------------------------------------------------------------- #
+def run_graph(
+    graph: DataflowGraph,
+    config,
+    merge_seed: Optional[int] = None,
+    transport: str = "inline",
+) -> GraphRunOutcome:
+    """Execute a dataflow graph on one runtime transport.
+
+    Compiles the graph into one worker spec per *(node, partition)*, starts
+    a transport session, and routes the merged source edges in: events are
+    key-routed to the owning partition of their target node, watermarks are
+    broadcast to every partition with their source-edge channel id.  After
+    the sources drain, one done sentinel per source edge closes the cascade
+    and the workers' reports are merged into a backend-independent
+    :class:`GraphRunOutcome` (canonical settled order, summed stats).
+
+    The process and socket transports raise
+    :class:`~repro.runtime.WorkerStartError` strictly before any source
+    element is consumed when their workers cannot start, so callers can
+    fall back to the thread transport over the same untouched replays.
+    """
+    # Imported lazily: repro.parallel imports this module's graph helpers,
+    # so a top-level import here would be circular during package init.
+    from ..parallel.stream_exec import graph_node_specs
+    from ..stream.operators import theta_from_pairs
+
+    specs = graph_node_specs(graph, config)
+    node_index = {name: index for index, name in enumerate(graph.node_names)}
+    parts = graph.partition_counts
+    first_worker: List[int] = []
+    total = 0
+    for count in parts:
+        first_worker.append(total)
+        total += count
+    thetas = [
+        theta_from_pairs(
+            graph.schema_of(spec.left), graph.schema_of(spec.right), spec.on
+        )
+        for spec in graph.nodes
+    ]
+    job = RuntimeJob(
+        tuple(specs),
+        micro_batch_size=getattr(config, "micro_batch_size", 64),
+        buffer_capacity=getattr(config, "buffer_capacity", 1024),
+    )
+    session = get_transport(transport).start(job, getattr(config, "placement", None))
+    edges = source_edges(graph, node_index)
+    events_processed = 0
+    with session:
+        stamp = session.stamps_ingest
+        try:
+            for edge, target, side, element in merge_edges(edges, merge_seed):
+                if isinstance(element, StreamEvent):
+                    events_processed += 1
+                    # Stamp ingestion before the element can sit in a
+                    # channel, so emit latency includes queueing time.
+                    clock = time.perf_counter() if stamp else None
+                    theta = thetas[target]
+                    if parts[target] > 1:
+                        key = (
+                            theta.left_key(element.tuple)
+                            if side == LEFT
+                            else theta.right_key(element.tuple)
+                        )
+                        partition = stable_hash(key) % parts[target]
+                    else:
+                        partition = 0
+                    session.send(
+                        first_worker[target] + partition,
+                        None,
+                        Tagged(side, element, clock),
+                    )
+                else:
+                    for partition in range(parts[target]):
+                        session.send(
+                            first_worker[target] + partition,
+                            ("src", edge),
+                            Tagged(side, element),
+                        )
+        except ChannelClosed:
+            # A worker died and closed its channel; stop routing — the
+            # failure is re-raised by finish() after every worker is joined.
+            pass
+        for target, _side, _iterator in edges:
+            for partition in range(parts[target]):
+                session.done(first_worker[target] + partition)
+        reports = session.finish()
+        blocks = session.backpressure_blocks
+        backend = session.name
+
+    settled: Dict[str, List[TPTuple]] = {}
+    stats: Dict[str, RevisionJoinStats] = {}
+    latencies: Dict[str, List[float]] = {}
+    lags: Dict[str, List[float]] = {}
+    for node, spec in enumerate(graph.nodes):
+        merged: List[TPTuple] = []
+        node_stats: List[RevisionJoinStats] = []
+        node_latencies: List[float] = []
+        node_lags: List[float] = []
+        for partition in range(parts[node]):
+            report = reports[first_worker[node] + partition]
+            merged.extend(report.outputs)
+            node_stats.append(RevisionJoinStats(*report.stats))
+            node_latencies.extend(report.emit_latencies)
+            node_lags.extend(report.emit_event_lags)
+        # Canonical order-stable merge: key-disjoint partition outputs sort
+        # into the same sequence any partition count (or backend) produces.
+        settled[spec.name] = canonical_order(merged)
+        stats[spec.name] = RevisionJoinStats.merged(node_stats)
+        latencies[spec.name] = node_latencies
+        lags[spec.name] = node_lags
+    return GraphRunOutcome(
+        settled=settled,
+        stats=stats,
+        emit_latencies=latencies,
+        emit_event_lags=lags,
+        events_processed=events_processed,
+        backpressure_blocks=blocks,
+        backend=backend,
+    )
 
 
-# --------------------------------------------------------------------------- #
-# inline backend
-# --------------------------------------------------------------------------- #
 def run_graph_inline(
     graph: DataflowGraph, config, merge_seed: Optional[int] = None
 ) -> GraphRunOutcome:
-    """Single-threaded depth-first execution of the whole graph.
-
-    Partitioned nodes run their K joins in the caller's thread — no
-    parallel speedup, but identical routing, watermark merging and settled
-    output as the parallel backends, which is what the determinism tests
-    exploit.
-    """
-    joins = build_joins(graph, config)
-    node_index = {name: index for index, name in enumerate(graph.node_names)}
-    downstream = downstream_table(graph, node_index)
-    parts = graph.partition_counts
-    channels = channel_topology(graph, node_index)
-    trackers = [
-        [_make_trackers(channels[index]) for _partition in range(parts[index])]
-        for index in range(len(joins))
-    ]
-
-    def deliver(index: int, partition: int, channel: Hashable, tagged: Tagged) -> None:
-        element = tagged.element
-        if isinstance(element, Watermark):
-            merged = trackers[index][partition][tagged.side].update(
-                channel, element.value
-            )
-            if merged is None:
-                return
-            tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
-        forward(index, partition, joins[index][partition].process(tagged))
-
-    def forward(index: int, partition: int, elements) -> None:
-        for element in elements:
-            for consumer, side in downstream[index]:
-                if isinstance(element, Watermark):
-                    for target_partition in range(parts[consumer]):
-                        deliver(
-                            consumer,
-                            target_partition,
-                            ("node", index, partition),
-                            Tagged(side, element),
-                        )
-                else:
-                    target_partition = route_partition(
-                        joins[consumer][0], side, element, parts[consumer]
-                    )
-                    deliver(consumer, target_partition, None, Tagged(side, element))
-
-    events_processed = 0
-    for edge, target, side, element in merge_edges(
-        source_edges(graph, node_index), merge_seed
-    ):
-        if isinstance(element, Watermark):
-            for partition in range(parts[target]):
-                deliver(target, partition, ("src", edge), Tagged(side, element))
-        else:
-            events_processed += 1
-            partition = route_partition(joins[target][0], side, element, parts[target])
-            deliver(target, partition, None, Tagged(side, element))
-    # Sources close with CLOSED watermarks, so this is normally a no-op.
-    for index in range(len(joins)):
-        for partition in range(parts[index]):
-            forward(index, partition, joins[index][partition].close())
-    return _outcome_from_joins(graph, joins, events_processed, 0, "inline")
-
-
-# --------------------------------------------------------------------------- #
-# thread-pipeline backend
-# --------------------------------------------------------------------------- #
-class _Inbox:
-    """A worker's input buffer with multi-producer close bookkeeping."""
-
-    def __init__(self, capacity: int, producers: int) -> None:
-        self.buffer: BoundedBuffer[Tuple[Hashable, Tagged]] = BoundedBuffer(capacity)
-        self._producers = producers
-        self._lock = threading.Lock()
-
-    def producer_done(self) -> None:
-        with self._lock:
-            self._producers -= 1
-            if self._producers <= 0:
-                self.buffer.close()
+    """Single-threaded depth-first execution (the inline transport)."""
+    return run_graph(graph, config, merge_seed, transport="inline")
 
 
 def run_graph_threads(
     graph: DataflowGraph, config, merge_seed: Optional[int] = None
 ) -> GraphRunOutcome:
-    """Pipelined execution with one worker thread per node partition.
-
-    Pipeline parallelism (across chained nodes) and partition parallelism
-    (K key-routed workers inside one node) compose: a graph of N nodes with
-    partition degrees K₁..K_N runs ΣKᵢ workers, all connected by the same
-    bounded-buffer backpressure seam.
-    """
-    joins = build_joins(graph, config)
-    node_index = {name: index for index, name in enumerate(graph.node_names)}
-    downstream = downstream_table(graph, node_index)
-    parts = graph.partition_counts
-    channels = channel_topology(graph, node_index)
-    capacity = getattr(config, "buffer_capacity", 1024)
-    micro_batch = getattr(config, "micro_batch_size", 64)
-    edges = source_edges(graph, node_index)
-    # Producers per partition inbox: each source edge feeding the node (the
-    # router broadcasts its watermarks to every partition) plus every
-    # partition worker of every upstream node.
-    producer_counts = [0] * len(joins)
-    for target, _side, _iterator in edges:
-        producer_counts[target] += 1
-    for index, consumers in enumerate(downstream):
-        for consumer, _side in consumers:
-            producer_counts[consumer] += parts[index]
-    inboxes = [
-        [_Inbox(capacity, producer_counts[index]) for _partition in range(parts[index])]
-        for index in range(len(joins))
-    ]
-    failures: List[BaseException] = []
-
-    def fan_out(index: int, partition: int, elements) -> None:
-        for element in elements:
-            for consumer, side in downstream[index]:
-                if isinstance(element, Watermark):
-                    channel = ("node", index, partition)
-                    for target_partition in range(parts[consumer]):
-                        inboxes[consumer][target_partition].buffer.put(
-                            (channel, Tagged(side, element))
-                        )
-                else:
-                    target_partition = route_partition(
-                        joins[consumer][0], side, element, parts[consumer]
-                    )
-                    inboxes[consumer][target_partition].buffer.put(
-                        (None, Tagged(side, element))
-                    )
-
-    def work(index: int, partition: int) -> None:
-        join = joins[index][partition]
-        tracker = _make_trackers(channels[index])
-        inbox = inboxes[index][partition]
-        try:
-            while True:
-                batch = inbox.buffer.take_batch(micro_batch)
-                if batch is None:
-                    break
-                for channel, tagged in batch:
-                    element = tagged.element
-                    if isinstance(element, Watermark):
-                        merged = tracker[tagged.side].update(channel, element.value)
-                        if merged is None:
-                            continue
-                        tagged = Tagged(
-                            tagged.side, Watermark(merged), tagged.ingest_clock
-                        )
-                    fan_out(index, partition, join.process(tagged))
-            fan_out(index, partition, join.close())
-        except BufferClosed:
-            # A consumer died; the failure that closed its buffer is reported.
-            pass
-        except BaseException as error:  # noqa: BLE001 - reported to caller
-            failures.append(error)
-            inbox.buffer.close()
-        finally:
-            for consumer, _side in downstream[index]:
-                for target_partition in range(parts[consumer]):
-                    inboxes[consumer][target_partition].producer_done()
-
-    workers = [
-        threading.Thread(
-            target=work,
-            args=(index, partition),
-            name=f"dataflow-node-{index}-p{partition}",
-        )
-        for index in range(len(joins))
-        for partition in range(parts[index])
-    ]
-    for worker in workers:
-        worker.start()
-
-    events_processed = 0
-    try:
-        for edge, target, side, element in merge_edges(edges, merge_seed):
-            if isinstance(element, Watermark):
-                for partition in range(parts[target]):
-                    inboxes[target][partition].buffer.put(
-                        (("src", edge), Tagged(side, element))
-                    )
-            else:
-                events_processed += 1
-                # Stamp ingestion before the element can sit in a buffer, so
-                # emit latency includes cross-stage queueing time.
-                ingest_clock = time.perf_counter()
-                partition = route_partition(
-                    joins[target][0], side, element, parts[target]
-                )
-                inboxes[target][partition].buffer.put(
-                    (None, Tagged(side, element, ingest_clock))
-                )
-    except BufferClosed:
-        pass
-    finally:
-        for target, _side, _iterator in edges:
-            for partition in range(parts[target]):
-                inboxes[target][partition].producer_done()
-        for worker in workers:
-            worker.join()
-    if failures:
-        raise failures[0]
-    blocks = sum(
-        inbox.buffer.put_blocks for node_inboxes in inboxes for inbox in node_inboxes
-    )
-    return _outcome_from_joins(graph, joins, events_processed, blocks, "threads")
+    """Pipelined execution with one worker thread per node partition."""
+    return run_graph(graph, config, merge_seed, transport="threads")

@@ -3,9 +3,9 @@
 Mirrors :class:`repro.stream.StreamQuery` one level up: where a stream query
 binds one continuous join to two registered streams, a dataflow query binds
 a whole operator *graph* to the catalog and executes it to settlement on a
-chosen backend — inline, node-per-thread pipeline, or node-per-process
-pipeline (:mod:`repro.parallel.stream_exec`), the latter degrading to
-threads when processes cannot start.  It reuses
+chosen runtime transport — ``inline``, ``threads``, ``processes`` or
+``sockets`` (:mod:`repro.runtime`), the out-of-process ones degrading to
+threads with a warning when their workers cannot start.  It reuses
 :class:`~repro.stream.StreamQueryConfig` for its knobs: ``workers`` picks
 the backend, ``buffer_capacity``/``micro_batch_size`` shape the
 backpressure seam, ``early_emit`` switches provisional publication on and
@@ -16,17 +16,19 @@ the maintainer-owned per-key computers.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..relation import TPRelation, TPTuple
+from ..runtime import WorkerStartError
 from ..stream.query import StreamQueryConfig, summarize_latency_ms as summarize_ms
-from .executor import GraphRunOutcome, run_graph_inline, run_graph_threads
+from .executor import GraphRunOutcome, run_graph
 from .graph import DataflowGraph, NodeSpec
 from .operators import RevisionJoinStats
 
-#: Valid executor backends of a dataflow query.
-GRAPH_BACKENDS = ("inline", "threads", "processes")
+#: Valid executor backends of a dataflow query — the runtime transports.
+GRAPH_BACKENDS = ("inline", "threads", "processes", "sockets")
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -132,26 +134,21 @@ class DataflowQuery:
         if chosen not in GRAPH_BACKENDS:
             raise ValueError(f"backend must be one of {GRAPH_BACKENDS}, got {chosen!r}")
         started = time.perf_counter()
-        if chosen == "inline":
-            outcome = run_graph_inline(self._graph, self._config, merge_seed)
-        elif chosen == "threads":
-            outcome = run_graph_threads(self._graph, self._config, merge_seed)
-        else:
-            outcome = self._run_processes(merge_seed)
+        try:
+            outcome = run_graph(self._graph, self._config, merge_seed, transport=chosen)
+        except WorkerStartError as error:
+            # Workers unavailable (sandbox without fork, unreachable host):
+            # degrade to the thread transport — safe, no source element was
+            # consumed yet.  The result's ``backend`` records what ran.
+            warnings.warn(
+                f"{chosen!r} workers could not start "
+                f"({error}); falling back to the thread transport",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            outcome = run_graph(self._graph, self._config, merge_seed, transport="threads")
         elapsed = time.perf_counter() - started
         return self._build_result(outcome, elapsed)
-
-    def _run_processes(self, merge_seed: Optional[int]) -> GraphRunOutcome:
-        # Imported lazily: repro.parallel depends on stream submodules, so a
-        # top-level import here would be circular during package init.
-        from ..parallel.stream_exec import WorkerStartError, run_graph_processes
-
-        try:
-            return run_graph_processes(self._graph, self._config, merge_seed)
-        except WorkerStartError:
-            # Processes unavailable (sandbox): degrade to the thread
-            # pipeline — safe, no source element was consumed yet.
-            return run_graph_threads(self._graph, self._config, merge_seed)
 
     def _build_result(self, outcome: GraphRunOutcome, elapsed: float) -> DataflowResult:
         events = self._graph.merged_events()

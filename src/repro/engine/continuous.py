@@ -114,6 +114,9 @@ class ContinuousJoinOperator(PhysicalOperator):
         self._right_label = right.stream_def().name or right_name
         #: Read by EXPLAIN to render the ``[parallel n=K]`` annotation.
         self.parallel_workers = self._query.effective_partitions
+        #: Runtime transport the partitions run on; EXPLAIN appends
+        #: ``transport=...`` when it is not the default thread transport.
+        self.parallel_transport = self._query.config.workers
         self.last_result: Optional[StreamQueryResult] = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -173,6 +176,9 @@ class DataflowJoinOperator(PhysicalOperator):
         #: Per-node partition degrees; EXPLAIN appends ``parts=K1/K2/...``
         #: when any stage fans out.
         self.dataflow_partitions = tuple(self._query.graph.partition_counts)
+        #: Runtime transport the graph workers run on; EXPLAIN appends
+        #: ``transport=...`` when it is not the default thread transport.
+        self.dataflow_transport = self._query.config.workers
         self.last_result = None
 
     @property

@@ -12,6 +12,11 @@ A compiled dataflow graph (multi-way or early-emitting stream join tree)
 carries ``[dataflow k-node]``, read from ``dataflow_nodes``; when the
 partition planner fanned stages out, the marker grows the per-node degrees
 as ``[dataflow k-node, parts=K1/K2/...]`` from ``dataflow_partitions``.
+Plans pinned to a non-default runtime transport (``processes`` or
+``sockets``, via ``ParallelConfig(transport=...)`` or a stream config)
+render it too: ``[dataflow k-node, parts=..., transport=sockets]`` and
+``[parallel n=K, transport=sockets]``, read from ``dataflow_transport`` /
+``parallel_transport``.
 """
 
 from __future__ import annotations
@@ -47,15 +52,19 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
         annotation = f"(cost≈{operator.estimated_cost():.0f})"
     workers = getattr(operator, "parallel_workers", 1)
     if workers > 1:
-        annotation += f" [parallel n={workers}]"
+        transport = getattr(operator, "parallel_transport", "threads")
+        detail = f", transport={transport}" if transport != "threads" else ""
+        annotation += f" [parallel n={workers}{detail}]"
     dataflow_nodes = getattr(operator, "dataflow_nodes", 0)
     if dataflow_nodes:
+        details = [f"dataflow {dataflow_nodes}-node"]
         partitions = getattr(operator, "dataflow_partitions", ())
         if any(count > 1 for count in partitions):
-            parts = "/".join(str(count) for count in partitions)
-            annotation += f" [dataflow {dataflow_nodes}-node, parts={parts}]"
-        else:
-            annotation += f" [dataflow {dataflow_nodes}-node]"
+            details.append("parts=" + "/".join(str(count) for count in partitions))
+        transport = getattr(operator, "dataflow_transport", "threads")
+        if transport != "threads":
+            details.append(f"transport={transport}")
+        annotation += f" [{', '.join(details)}]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

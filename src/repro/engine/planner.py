@@ -312,6 +312,28 @@ class Planner:
             for left_attribute, right_attribute in on
         )
 
+    def _stream_exec_config(self) -> Optional[StreamQueryConfig]:
+        """The stream config continuous/dataflow plans execute under.
+
+        A :class:`~repro.parallel.plan.ParallelConfig` that pins a runtime
+        ``transport`` (and optionally a ``placement``) overrides the stream
+        config's ``workers`` choice — ``Engine(parallel_config=
+        ParallelConfig(transport="sockets", placement=...))`` is the one-stop
+        switch to distributed execution.
+        """
+        config = self._config.stream_config
+        parallel = self._config.parallel
+        if parallel is None or parallel.transport is None:
+            return config
+        from dataclasses import replace
+
+        base = config or StreamQueryConfig()
+        return replace(
+            base,
+            workers=parallel.transport,
+            placement=parallel.placement or base.placement,
+        )
+
     def _streamness(self, plan: LogicalPlan) -> str:
         """Classify a join input subtree: ``stream``, ``relation`` or ``mixed``.
 
@@ -379,7 +401,7 @@ class Planner:
 
         build(plan)
         return DataflowJoinOperator(
-            self._catalog, tuple(scans), nodes, config=self._config.stream_config
+            self._catalog, tuple(scans), nodes, config=self._stream_exec_config()
         )
 
     def _dataflow_partitions(
@@ -427,7 +449,7 @@ class Planner:
             plan.right.stream_name,
             plan.kind,
             plan.on,
-            config=self._config.stream_config,
+            config=self._stream_exec_config(),
         )
 
     def _merged_events(self, plan: LogicalPlan):

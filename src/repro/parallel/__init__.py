@@ -31,8 +31,10 @@ from .batch import (
     parallel_tp_join,
     plan_workers,
 )
+from ..runtime import Placement
 from .plan import (
     DEFAULT_MAX_WORKERS,
+    PLANNER_TRANSPORTS,
     ParallelConfig,
     balanced_key_assignment,
     choose_partitions,
@@ -64,7 +66,9 @@ from .stream_exec import (
 __all__ = [
     "BATCH_JOINS",
     "DEFAULT_MAX_WORKERS",
+    "PLANNER_TRANSPORTS",
     "ParallelConfig",
+    "Placement",
     "ParallelJoinResult",
     "ProcessRunOutcome",
     "StreamShardSpec",

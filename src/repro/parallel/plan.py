@@ -23,7 +23,7 @@ the router and any re-run that checks it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Sequence, TypeVar
+from typing import Callable, Hashable, List, Optional, Sequence, TypeVar
 
 from ..relation import (
     EquiJoinCondition,
@@ -32,11 +32,15 @@ from ..relation import (
     TrueCondition,
     stable_key_hash,
 )
+from ..runtime.placement import Placement
 
 T = TypeVar("T")
 
 #: Partition-count ceiling applied when a config does not set its own.
 DEFAULT_MAX_WORKERS = 4
+
+#: Transports a :class:`ParallelConfig` may pin for stream/dataflow plans.
+PLANNER_TRANSPORTS = ("threads", "processes", "sockets")
 
 
 @dataclass(frozen=True)
@@ -49,17 +53,29 @@ class ParallelConfig:
             per worker; the planner adds workers until shards fall under it.
         min_tuples: inputs smaller than this (left side) always run serially
             — process start-up and shard serialization would dominate.
+        transport: runtime transport continuous/dataflow plans execute on
+            (``threads`` / ``processes`` / ``sockets``); ``None`` (the
+            default) leaves the stream config's own ``workers`` choice
+            untouched.
+        placement: worker index → ``host:port`` map for the socket
+            transport; ``None`` spawns every socket worker locally.
     """
 
     max_workers: int = DEFAULT_MAX_WORKERS
     state_per_worker: float = 20_000.0
     min_tuples: int = 512
+    transport: Optional[str] = None
+    placement: Optional[Placement] = None
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if self.state_per_worker <= 0:
             raise ValueError("state_per_worker must be positive")
+        if self.transport is not None and self.transport not in PLANNER_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {PLANNER_TRANSPORTS}, got {self.transport!r}"
+            )
 
 
 #: The shared stable key hash (see :func:`repro.relation.stable_key_hash`);

@@ -18,27 +18,17 @@ shard execution:
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Callable, Iterator, List, Sequence, TypeVar
+
+# The context/CPU helpers moved to the runtime layer with the rest of the
+# process plumbing; re-exported here because shard callers import them from
+# this module.
+from ..runtime.transport import available_cpus, preferred_context
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
-
-def preferred_context() -> multiprocessing.context.BaseContext:
-    """The cheapest usable multiprocessing context (fork, else spawn)."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - fork missing on this platform
-        return multiprocessing.get_context("spawn")
-
-
-def available_cpus() -> int:
-    """Best-effort CPU count (1 when undeterminable)."""
-    try:
-        return multiprocessing.cpu_count()
-    except NotImplementedError:  # pragma: no cover - exotic platforms
-        return 1
+__all__ = ["available_cpus", "imap_tasks", "preferred_context", "run_tasks"]
 
 
 def run_tasks(

@@ -1,73 +1,66 @@
-"""Process-sharded execution of continuous TP queries.
+"""Worker specs for transport-parallel continuous and dataflow execution.
 
-The thread-based parallel path of :class:`repro.stream.StreamQuery` shares
-one interpreter, so the GIL caps CPU-bound lineage work at one core.  This
-module ports the identical topology — a router hash-partitioning events by
-join key, watermarks broadcast to every partition, bounded buffers providing
-backpressure — onto ``multiprocessing`` workers:
+Historically this module owned the whole process backend — router, queue
+plumbing, worker loops.  That machinery is now the unified runtime layer
+(:mod:`repro.runtime`): one worker loop, one channel/watermark
+implementation, pluggable transports (``inline`` / ``threads`` /
+``processes`` / ``sockets``).  What remains here is the *spec* layer — the
+plain picklable dataclasses every transport rebuilds its workers from — and
+thin compatibility wrappers over the runtime entry points:
 
-* each partition is a separate OS process running its own
-  :class:`~repro.stream.operators.ContinuousJoinBase` over its own shard of
-  the key space (shared-nothing: no state crosses partitions, ever);
-* the router ships compactly serialized micro-batches through a bounded
-  ``multiprocessing.Queue`` per worker, so a slow worker backpressures the
-  router exactly like the in-process :class:`BoundedBuffer` does;
-* when all inputs are drained the router sends a close sentinel, workers
-  finalize their remaining windows and return their serialized outputs,
-  per-tuple emit latencies and late-drop counters in one result message.
+* :class:`StreamShardSpec` — one shard of a continuous TP join: the worker
+  collects its settled outputs and reports them with emit latencies and
+  late-drop counters;
+* :class:`DataflowNodeSpec` — one *(node, partition)* worker of a dataflow
+  graph: watermark channels to min-merge, downstream routing entries, and
+  the producer count of the done-sentinel close protocol;
+* :func:`graph_node_specs` — compile a
+  :class:`~repro.dataflow.DataflowGraph` into worker specs with contiguous
+  per-node worker indices;
+* :func:`run_process_partitions` / :func:`run_graph_processes` — the
+  historical process-backend entry points, now one-liners over the runtime.
 
 Emit latencies remain comparable across the process boundary because
 ``time.perf_counter`` reads ``CLOCK_MONOTONIC``, which is system-wide on the
-platforms with ``fork``; the router stamps ingestion before an element can
+platforms with ``fork``; the routers stamp ingestion before an element can
 sit in a queue, so latencies include cross-process queueing time.
 """
 
 from __future__ import annotations
 
-import queue as queue_module
-import time
-import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional
 
 from ..relation import Schema, ThetaCondition, TPTuple
-from ..stream.elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
+from ..runtime import SOURCE_CHANNEL, WorkerReport, WorkerStartError  # noqa: F401
+from ..stream.elements import LEFT, RIGHT, Tagged
 from ..stream.operators import continuous_join
-from .batch import canonical_order
-from .plan import stable_hash
-from .pool import preferred_context
-from .serialize import (
-    decode_tagged,
-    decode_tuples,
-    encode_tagged,
-    encode_tuples,
-    events_from_probabilities,
-)
+from .serialize import events_from_probabilities
 
-#: Poll interval (seconds) for queue operations that must watch worker
-#: liveness.  Slow-but-alive workers are waited on indefinitely; only a dead
-#: worker aborts the run.
-_POLL_INTERVAL = 1.0
-
-
-class WorkerStartError(RuntimeError):
-    """Worker processes could not be started (sandbox without fork/spawn).
-
-    Raised strictly *before* any input element is consumed, so callers can
-    fall back to another backend over the same untouched element iterator —
-    :class:`repro.stream.StreamQuery` degrades to the thread backend.
-    """
+__all__ = [
+    "DataflowNodeSpec",
+    "ProcessRunOutcome",
+    "StreamShardSpec",
+    "WorkerStartError",
+    "graph_node_specs",
+    "run_graph_processes",
+    "run_process_partitions",
+]
 
 
 @dataclass(frozen=True)
 class StreamShardSpec:
-    """Everything a worker process needs to rebuild its continuous join.
+    """Everything a worker needs to rebuild one continuous-join shard.
 
     ``event_probabilities`` ships the marginal probabilities of the base
     events when the query materializes probabilities inline: workers rebuild
     an event space from it and compute output probabilities with their
     maintainer-owned per-key computers.  ``None`` leaves probabilities unset
     (the caller computes them later, the default).
+
+    The runtime-protocol fields have single-shard defaults: a shard has one
+    producer (the router), one watermark channel per side (the merged source
+    sequence), no downstream — it collects outputs and reports them.
     """
 
     kind: str
@@ -77,6 +70,17 @@ class StreamShardSpec:
     left_name: str = "r"
     right_name: str = "s"
     event_probabilities: Optional[dict] = None
+    index: int = 0
+    producers: int = 1
+    left_channels: tuple = (SOURCE_CHANNEL,)
+    right_channels: tuple = (SOURCE_CHANNEL,)
+    downstream: tuple = ()
+
+    #: Stream shards have no downstream: settled outputs are collected by
+    #: the worker loop and shipped back in the report.
+    collect_outputs = True
+    #: Shards emit nothing downstream, so they need no watermark channel id.
+    channel_id = None
 
     def build_join(self):
         """Instantiate the continuous join this spec describes."""
@@ -94,6 +98,16 @@ class StreamShardSpec:
             materialize_probabilities=materialize,
         )
 
+    def report(self, join, outputs: Optional[List[TPTuple]]) -> WorkerReport:
+        """Package this shard's settled outputs and counters."""
+        stats = join.maintainer.stats
+        return WorkerReport(
+            index=self.index,
+            outputs=list(outputs or []),
+            emit_latencies=list(join.emit_latencies),
+            late_dropped=stats.late_positives_dropped + stats.late_negatives_dropped,
+        )
+
 
 @dataclass
 class ProcessRunOutcome:
@@ -106,29 +120,6 @@ class ProcessRunOutcome:
     backpressure_blocks: int
 
 
-def _stream_worker_main(index: int, spec: StreamShardSpec, in_queue, out_queue) -> None:
-    """Worker process entry point: drain micro-batches, finalize, report."""
-    try:
-        join = spec.build_join()
-        outputs: List[TPTuple] = []
-        while True:
-            batch = in_queue.get()
-            if batch is None:
-                break
-            for code in batch:
-                outputs.extend(join.process(decode_tagged(code)))
-        outputs.extend(join.close())
-        late = (
-            join.maintainer.stats.late_positives_dropped
-            + join.maintainer.stats.late_negatives_dropped
-        )
-        out_queue.put(
-            (index, "ok", encode_tuples(outputs), list(join.emit_latencies), late)
-        )
-    except BaseException:  # noqa: BLE001 - marshalled to the router
-        out_queue.put((index, "error", traceback.format_exc(), None, None))
-
-
 def run_process_partitions(
     spec: StreamShardSpec,
     merged: Iterable[Tagged],
@@ -139,143 +130,40 @@ def run_process_partitions(
 ) -> ProcessRunOutcome:
     """Route a merged element sequence through ``partitions`` worker processes.
 
-    Mirrors the thread runtime's contract: events are hash-routed by join
-    key, watermarks are broadcast, per-partition element order is preserved,
-    and bounded queues backpressure the router.  Outputs are concatenated in
+    The historical process-backend entry point, now a wrapper over the
+    runtime's process transport: events are hash-routed by join key,
+    watermarks are broadcast, per-partition element order is preserved, and
+    bounded queues backpressure the router.  Outputs are concatenated in
     partition-index order — deterministic for a fixed partition count.
+    Raises :class:`~repro.runtime.WorkerStartError` strictly before any
+    input element is consumed when processes cannot start.
     """
     if partitions <= 1:
         raise ValueError("run_process_partitions requires at least two partitions")
-    context = preferred_context()
-    # Queue capacity is measured in micro-batches; keep the same element
-    # budget the thread path's BoundedBuffer(capacity) provides.
-    queue_batches = max(2, buffer_capacity // max(1, micro_batch_size))
-    workers: List = []
-    try:
-        # Queue construction can itself fail in sandboxes (sem_open denied),
-        # so it sits under the same fallback guard as process start-up.
-        in_queues = [context.Queue(maxsize=queue_batches) for _ in range(partitions)]
-        out_queue = context.Queue()
-        workers = [
-            context.Process(
-                target=_stream_worker_main,
-                args=(index, spec, in_queues[index], out_queue),
-                name=f"stream-shard-{index}",
-                daemon=True,
-            )
-            for index in range(partitions)
-        ]
-        for worker in workers:
-            worker.start()
-    except (OSError, PermissionError) as error:
-        for worker in workers:
-            if worker.is_alive():
-                worker.terminate()
-                worker.join(timeout=5.0)
-        raise WorkerStartError(f"cannot start shard processes: {error}") from error
+    # Imported lazily: repro.stream.query is this package's consumer, so a
+    # top-level import here would be circular during package init.
+    from ..stream.query import run_stream_shards
 
-    pending: List[List[tuple]] = [[] for _ in range(partitions)]
-    blocks = 0
-    events_processed = 0
+    specs = tuple(replace(spec, index=index) for index in range(partitions))
     # Right/full outer joins treat right events as positives too (mirrored
     # maintainer), so both sides get an ingestion stamp for emit latency.
     stamp_right = spec.kind in ("right_outer", "full_outer")
-
-    def safe_put(index: int, item) -> None:
-        """Blocking put that cannot hang on a dead worker's full queue."""
-        nonlocal blocks
-        try:
-            in_queues[index].put_nowait(item)
-            return
-        except queue_module.Full:
-            blocks += 1
-        while True:
-            try:
-                in_queues[index].put(item, timeout=_POLL_INTERVAL)
-                return
-            except queue_module.Full:
-                if not workers[index].is_alive():
-                    raise RuntimeError(
-                        f"stream shard {index} died with a full input queue"
-                    ) from None
-
-    def flush(index: int) -> None:
-        if not pending[index]:
-            return
-        batch = pending[index]
-        pending[index] = []
-        safe_put(index, batch)
-
-    try:
-        for tagged in merged:
-            element = tagged.element
-            if isinstance(element, StreamEvent):
-                events_processed += 1
-                if tagged.side == LEFT:
-                    key = theta.left_key(element.tuple)
-                    # Stamp ingestion before the element can queue anywhere,
-                    # so emit latency includes serialization + queueing.
-                    tagged = Tagged(tagged.side, element, time.perf_counter())
-                else:
-                    key = theta.right_key(element.tuple)
-                    if stamp_right:
-                        tagged = Tagged(tagged.side, element, time.perf_counter())
-                index = _route(key, partitions)
-                pending[index].append(encode_tagged(tagged))
-                if len(pending[index]) >= micro_batch_size:
-                    flush(index)
-            elif isinstance(element, Watermark):
-                code = encode_tagged(tagged)
-                for index in range(partitions):
-                    pending[index].append(code)
-                    # Watermarks count toward the micro-batch budget too:
-                    # a partition receiving few events must still ship its
-                    # broadcast watermarks (bounding pending growth and
-                    # letting an otherwise-idle worker finalize windows).
-                    if len(pending[index]) >= micro_batch_size:
-                        flush(index)
-        for index in range(partitions):
-            flush(index)
-            safe_put(index, None)
-
-        results: dict[int, tuple] = {}
-        grace_polls = 5
-        while len(results) < partitions:
-            try:
-                message = out_queue.get(timeout=_POLL_INTERVAL)
-            except queue_module.Empty:
-                missing = sorted(set(range(partitions)) - set(results))
-                if any(workers[index].is_alive() for index in missing):
-                    # Slow workers (large final window drains) are waited on
-                    # for as long as they live — no arbitrary deadline.
-                    continue
-                # Every missing worker has exited; its result may still be in
-                # flight through the queue's feeder pipe, so poll a few more
-                # times before declaring it lost.
-                grace_polls -= 1
-                if grace_polls <= 0:
-                    raise RuntimeError(
-                        f"stream shards {missing} exited without a result"
-                    ) from None
-                continue
-            results[message[0]] = message
-    finally:
-        for worker in workers:
-            worker.join(timeout=5.0)
-        for worker in workers:
-            if worker.is_alive():  # pragma: no cover - defensive cleanup
-                worker.terminate()
-
+    reports, events_processed, blocks, _backend = run_stream_shards(
+        "processes",
+        specs,
+        merged,
+        theta,
+        stamp_right,
+        micro_batch_size=micro_batch_size,
+        buffer_capacity=buffer_capacity,
+    )
     outputs: List[TPTuple] = []
     latencies: List[float] = []
     late_dropped = 0
-    for index in range(partitions):
-        _index, status, payload, shard_latencies, late = results[index]
-        if status != "ok":
-            raise RuntimeError(f"stream shard {index} failed:\n{payload}")
-        outputs.extend(decode_tuples(payload))
-        latencies.extend(shard_latencies)
-        late_dropped += late
+    for report in reports:
+        outputs.extend(report.outputs)
+        latencies.extend(report.emit_latencies)
+        late_dropped += report.late_dropped
     return ProcessRunOutcome(
         outputs=outputs,
         emit_latencies=latencies,
@@ -285,21 +173,17 @@ def run_process_partitions(
     )
 
 
-def _route(key, partitions: int) -> int:
-    return stable_hash(key) % partitions
-
-
 # --------------------------------------------------------------------------- #
-# dataflow graphs: worker-per-(node, partition) pipelined execution
+# dataflow graphs: worker-per-(node, partition) specs
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class DataflowNodeSpec:
-    """Everything a worker process needs to run one dataflow node partition.
+    """Everything a worker needs to run one dataflow node partition.
 
-    One spec — and one OS process — exists per *(node, partition)*: a node
-    with ``NodeSpec.partitions = K`` fans out into K shared-nothing workers
-    over disjoint slices of its key space, multiplying the pipeline axis
-    (worker per chained node) by the partition axis.
+    One spec — and one runtime worker — exists per *(node, partition)*: a
+    node with ``NodeSpec.partitions = K`` fans out into K shared-nothing
+    workers over disjoint slices of its key space, multiplying the pipeline
+    axis (worker per chained node) by the partition axis.
 
     ``downstream`` lists ``(first worker index, consumer partitions, side,
     key indices)`` routing entries: revisions go to ``first +
@@ -307,10 +191,10 @@ class DataflowNodeSpec:
     ``key indices`` — the consumer θ's attributes for that side), watermarks
     are broadcast to all of the consumer's partitions.  ``producers`` is the
     number of incoming FIFO channels (parent source edges plus upstream
-    partition workers) — the count of ``None`` done sentinels to await
-    before closing.  ``left_channels`` / ``right_channels`` name those
-    channels so the worker can min-merge per-channel watermarks (the stage
-    output watermark = min over the upstream partitions).
+    partition workers) — the count of done sentinels to await before
+    closing.  ``left_channels`` / ``right_channels`` name those channels so
+    the worker can min-merge per-channel watermarks (the stage output
+    watermark = min over the upstream partitions).
     """
 
     index: int
@@ -331,6 +215,15 @@ class DataflowNodeSpec:
     early_emit: bool = False
     event_probabilities: Optional[dict] = None
 
+    #: Dataflow workers route downstream; settled outputs are harvested from
+    #: the join itself at report time.
+    collect_outputs = False
+
+    @property
+    def channel_id(self) -> tuple:
+        """The watermark channel this worker's outputs arrive on downstream."""
+        return ("node", self.node_index, self.partition)
+
     def build_join(self):
         """Instantiate the retractable join this spec describes."""
         from ..dataflow.operators import RevisionJoin
@@ -350,109 +243,23 @@ class DataflowNodeSpec:
             materialize_probabilities=materialize,
         )
 
-
-def _graph_worker_main(
-    spec: DataflowNodeSpec, worker_queues, out_queue, micro_batch_size: int, abort
-) -> None:
-    """Dataflow partition worker: drain revisions, publish downstream, report."""
-    from ..dataflow.executor import ChannelWatermarks
-    from .serialize import decode_revision_tagged, encode_revision_tagged
-
-    try:
-        join = spec.build_join()
-        trackers = {
-            LEFT: ChannelWatermarks(spec.left_channels),
-            RIGHT: ChannelWatermarks(spec.right_channels),
-        }
-        in_queue = worker_queues[spec.index]
-        pending: dict[int, list] = {}
-        channel = ("node", spec.node_index, spec.partition)
-
-        def guarded_put(target: int, item) -> None:
-            # A sibling worker may have died with a full queue nobody drains;
-            # the parent sets `abort` when it learns of the failure, which
-            # is this worker's signal to stop instead of blocking forever.
-            while True:
-                try:
-                    worker_queues[target].put(item, timeout=_POLL_INTERVAL)
-                    return
-                except queue_module.Full:
-                    if abort.is_set():
-                        raise RuntimeError(
-                            "run aborted while publishing downstream"
-                        ) from None
-
-        def enqueue(target: int, entry) -> None:
-            pending.setdefault(target, []).append(entry)
-            if len(pending[target]) >= micro_batch_size:
-                guarded_put(target, pending.pop(target))
-
-        def route(elements) -> None:
-            for element in elements:
-                for first, consumer_parts, side, key_indices in spec.downstream:
-                    if isinstance(element, Watermark):
-                        code = encode_revision_tagged(Tagged(side, element))
-                        for offset in range(consumer_parts):
-                            enqueue(first + offset, (channel, code))
-                    else:
-                        code = encode_revision_tagged(Tagged(side, element))
-                        if consumer_parts > 1:
-                            key = tuple(
-                                element.tuple.fact[i] for i in key_indices
-                            )
-                            offset = _route(key, consumer_parts)
-                        else:
-                            offset = 0
-                        enqueue(first + offset, (None, code))
-
-        def flush() -> None:
-            for target in list(pending):
-                guarded_put(target, pending.pop(target))
-
-        remaining = spec.producers
-        while remaining > 0:
-            message = in_queue.get()
-            if message is None:
-                remaining -= 1
-                continue
-            for in_channel, code in message:
-                tagged = decode_revision_tagged(code)
-                element = tagged.element
-                if isinstance(element, Watermark):
-                    merged = trackers[tagged.side].update(in_channel, element.value)
-                    if merged is None:
-                        continue
-                    tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
-                route(join.process(tagged))
-            flush()
-        route(join.close())
-        flush()
-        # One done sentinel per (edge × consumer partition), matching the
-        # producer counts in graph_node_specs (duplicate edges to one
-        # consumer — a self-join shape — each carry their own sentinel).
-        for first, consumer_parts, _side, _key_indices in spec.downstream:
-            for offset in range(consumer_parts):
-                guarded_put(first + offset, None)
+    def report(self, join, outputs: Optional[List[TPTuple]]) -> WorkerReport:
+        """Package this partition's settled windows and revision counters."""
         stats = join.stats
-        out_queue.put(
-            (
-                spec.index,
-                "ok",
-                encode_tuples(join.settled_outputs.values()),
-                (
-                    stats.emits,
-                    stats.retracts,
-                    stats.refines,
-                    stats.groups_published_early,
-                    stats.groups_settled,
-                    stats.inputs_retracted,
-                ),
-                list(join.emit_latencies),
-                list(join.emit_event_lags),
-            )
+        return WorkerReport(
+            index=self.index,
+            outputs=list(join.settled_outputs.values()),
+            emit_latencies=list(join.emit_latencies),
+            emit_event_lags=list(join.emit_event_lags),
+            stats=(
+                stats.emits,
+                stats.retracts,
+                stats.refines,
+                stats.groups_published_early,
+                stats.groups_settled,
+                stats.inputs_retracted,
+            ),
         )
-    except BaseException:  # noqa: BLE001 - marshalled to the parent
-        out_queue.put((spec.index, "error", traceback.format_exc(), None, None, None))
 
 
 def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
@@ -530,198 +337,12 @@ def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
 def run_graph_processes(graph, config, merge_seed=None):
     """Run a dataflow graph with one OS process per node partition.
 
-    The same two-axis topology as the thread backend — bounded queues
-    between stages provide backpressure, done sentinels implement the
-    multi-producer close protocol, revisions are key-routed to the
-    consumer's partitions and watermarks broadcast and min-merged per
-    channel — with elements crossing process boundaries through the compact
-    revision codec.  Raises :class:`WorkerStartError` (strictly before
-    consuming any source element) when processes cannot start, so callers
-    can fall back.
+    The historical process-backend entry point, now a wrapper over the
+    runtime's process transport (see
+    :func:`repro.dataflow.executor.run_graph`).  Raises
+    :class:`~repro.runtime.WorkerStartError` (strictly before consuming any
+    source element) when processes cannot start, so callers can fall back.
     """
-    from ..dataflow.executor import GraphRunOutcome, merge_edges, source_edges
-    from ..dataflow.operators import RevisionJoinStats
-    from ..stream.operators import theta_from_pairs
-    from .serialize import decode_tuples as _decode_tuples
+    from ..dataflow.executor import run_graph
 
-    specs = graph_node_specs(graph, config)
-    node_index = {name: index for index, name in enumerate(graph.node_names)}
-    parts = graph.partition_counts
-    first_worker: List[int] = []
-    total = 0
-    for count in parts:
-        first_worker.append(total)
-        total += count
-    thetas = [
-        theta_from_pairs(
-            graph.schema_of(spec.left), graph.schema_of(spec.right), spec.on
-        )
-        for spec in graph.nodes
-    ]
-    micro_batch_size = getattr(config, "micro_batch_size", 64)
-    buffer_capacity = getattr(config, "buffer_capacity", 1024)
-    queue_batches = max(2, buffer_capacity // max(1, micro_batch_size))
-    context = preferred_context()
-    workers: List = []
-    try:
-        worker_queues = [context.Queue(maxsize=queue_batches) for _ in specs]
-        out_queue = context.Queue()
-        abort = context.Event()
-        workers = [
-            context.Process(
-                target=_graph_worker_main,
-                args=(spec, worker_queues, out_queue, micro_batch_size, abort),
-                name=f"dataflow-node-{spec.node_index}-p{spec.partition}",
-                daemon=True,
-            )
-            for spec in specs
-        ]
-        for worker in workers:
-            worker.start()
-    except (OSError, PermissionError) as error:
-        for worker in workers:
-            if worker.is_alive():
-                worker.terminate()
-                worker.join(timeout=5.0)
-        raise WorkerStartError(f"cannot start dataflow processes: {error}") from error
-
-    edges = list(source_edges(graph, node_index))
-    pending: List[List[tuple]] = [[] for _ in specs]
-    events_processed = 0
-    blocks = 0
-    results: dict[int, tuple] = {}
-
-    def take_result(message) -> None:
-        """Record one worker message; a failure aborts the whole run."""
-        if message[1] != "ok":
-            abort.set()
-            raise RuntimeError(f"dataflow worker {message[0]} failed:\n{message[2]}")
-        results[message[0]] = message
-
-    def drain_results() -> None:
-        while True:
-            try:
-                take_result(out_queue.get_nowait())
-            except queue_module.Empty:
-                return
-
-    def safe_put(index: int, item) -> None:
-        nonlocal blocks
-        try:
-            worker_queues[index].put_nowait(item)
-            return
-        except queue_module.Full:
-            blocks += 1
-        while True:
-            try:
-                worker_queues[index].put(item, timeout=_POLL_INTERVAL)
-                return
-            except queue_module.Full:
-                # A failed sibling worker can make the whole pipeline stall
-                # while this one stays alive: surface marshalled errors
-                # instead of spinning on liveness alone.
-                drain_results()
-                if not workers[index].is_alive():
-                    raise RuntimeError(
-                        f"dataflow worker {index} died with a full input queue"
-                    ) from None
-
-    def flush(index: int) -> None:
-        if pending[index]:
-            batch = pending[index]
-            pending[index] = []
-            safe_put(index, batch)
-
-    def enqueue(index: int, entry) -> None:
-        pending[index].append(entry)
-        if len(pending[index]) >= micro_batch_size:
-            flush(index)
-
-    try:
-        for edge, target, side, element in merge_edges(edges, merge_seed):
-            if isinstance(element, StreamEvent):
-                events_processed += 1
-                clock = time.perf_counter()
-                theta = thetas[target]
-                if parts[target] > 1:
-                    key = (
-                        theta.left_key(element.tuple)
-                        if side == LEFT
-                        else theta.right_key(element.tuple)
-                    )
-                    partition = _route(key, parts[target])
-                else:
-                    partition = 0
-                enqueue(
-                    first_worker[target] + partition,
-                    (None, encode_tagged(Tagged(side, element, clock))),
-                )
-            else:
-                code = encode_tagged(Tagged(side, element))
-                for partition in range(parts[target]):
-                    enqueue(first_worker[target] + partition, (("src", edge), code))
-        for target, _side, _iterator in edges:
-            for partition in range(parts[target]):
-                index = first_worker[target] + partition
-                flush(index)
-                safe_put(index, None)
-        for index in range(len(specs)):
-            flush(index)
-
-        grace_polls = 5
-        while len(results) < len(specs):
-            try:
-                message = out_queue.get(timeout=_POLL_INTERVAL)
-            except queue_module.Empty:
-                missing = sorted(set(range(len(specs))) - set(results))
-                if any(workers[index].is_alive() for index in missing):
-                    continue
-                grace_polls -= 1
-                if grace_polls <= 0:
-                    raise RuntimeError(
-                        f"dataflow workers {missing} exited without a result"
-                    ) from None
-                continue
-            take_result(message)
-    except BaseException:
-        # Unblock any worker parked on a full queue of a dead consumer.
-        abort.set()
-        raise
-    finally:
-        for worker in workers:
-            worker.join(timeout=5.0)
-        for worker in workers:
-            if worker.is_alive():  # pragma: no cover - defensive cleanup
-                worker.terminate()
-
-    settled = {}
-    stats = {}
-    latencies = {}
-    lags = {}
-    for node, spec in enumerate(graph.nodes):
-        merged: List = []
-        node_stats: List[RevisionJoinStats] = []
-        node_latencies: List[float] = []
-        node_lags: List[float] = []
-        for partition in range(parts[node]):
-            message = results[first_worker[node] + partition]
-            _index, _status, tuple_codes, stat_values, part_latencies, part_lags = message
-            merged.extend(_decode_tuples(tuple_codes))
-            node_stats.append(RevisionJoinStats(*stat_values))
-            node_latencies.extend(part_latencies)
-            node_lags.extend(part_lags)
-        # Canonical order-stable merge: key-disjoint partition outputs sort
-        # into the same sequence any partition count (or backend) produces.
-        settled[spec.name] = canonical_order(merged)
-        stats[spec.name] = RevisionJoinStats.merged(node_stats)
-        latencies[spec.name] = node_latencies
-        lags[spec.name] = node_lags
-    return GraphRunOutcome(
-        settled=settled,
-        stats=stats,
-        emit_latencies=latencies,
-        emit_event_lags=lags,
-        events_processed=events_processed,
-        backpressure_blocks=blocks,
-        backend="processes",
-    )
+    return run_graph(graph, config, merge_seed, transport="processes")

@@ -1,0 +1,88 @@
+"""The transport-agnostic runtime: one worker/channel/watermark substrate.
+
+Every execution backend in this codebase — the partitioned continuous
+:class:`~repro.stream.StreamQuery`, the shared-nothing process shards of
+:mod:`repro.parallel`, and the pipelined/partitioned dataflow graphs of
+:mod:`repro.dataflow` — runs on the same four primitives:
+
+* :class:`Channel` — bounded backpressuring FIFO with micro-batch draining
+  and the multi-producer done-sentinel close protocol
+  (:mod:`repro.runtime.channel`), plus :class:`ChannelWatermarks`, the
+  per-channel min-merge that enforces the ``min over partitions`` stage
+  watermark without shared state;
+* :class:`Worker` — the one spec-driven operator loop (route → operate →
+  emit → close-sentinel) every backend executes
+  (:mod:`repro.runtime.worker`);
+* :class:`Transport` — pluggable worker placement and wiring: ``inline`` /
+  ``threads`` / ``processes`` / ``sockets``
+  (:mod:`repro.runtime.transport`, :mod:`repro.runtime.sockets`);
+* :class:`Placement` — worker index → ``host:port`` map for the socket
+  transport; unplaced indices spawn locally
+  (:mod:`repro.runtime.placement`).
+
+``python -m repro.runtime.worker --listen HOST:PORT`` starts a standalone
+worker a remote driver can place shards on — the entry point of
+distributed execution.
+"""
+
+from .channel import Channel, ChannelClosed, ChannelWatermarks
+from .placement import Placement, parse_host_port, parse_placement
+
+# Worker/transport exports resolve lazily (PEP 562) so that
+# ``python -m repro.runtime.worker`` can execute the worker module as
+# ``__main__`` without this package having already imported it.
+_LAZY_EXPORTS = {
+    "SOURCE_CHANNEL": "worker",
+    "Worker": "worker",
+    "WorkerReport": "worker",
+    "decode_report": "worker",
+    "encode_report": "worker",
+    "run_worker": "worker",
+    "ALL_TRANSPORTS": "transport",
+    "PARALLEL_TRANSPORTS": "transport",
+    "RuntimeJob": "transport",
+    "Transport": "transport",
+    "TransportSession": "transport",
+    "WorkerStartError": "transport",
+    "available_cpus": "transport",
+    "get_transport": "transport",
+    "preferred_context": "transport",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+__all__ = [
+    "ALL_TRANSPORTS",
+    "Channel",
+    "ChannelClosed",
+    "ChannelWatermarks",
+    "PARALLEL_TRANSPORTS",
+    "Placement",
+    "RuntimeJob",
+    "SOURCE_CHANNEL",
+    "Transport",
+    "TransportSession",
+    "Worker",
+    "WorkerReport",
+    "WorkerStartError",
+    "available_cpus",
+    "decode_report",
+    "encode_report",
+    "get_transport",
+    "parse_host_port",
+    "parse_placement",
+    "preferred_context",
+    "run_worker",
+]

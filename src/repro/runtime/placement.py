@@ -1,0 +1,69 @@
+"""Placement maps: which host runs which worker index.
+
+The socket transport addresses workers by integer index, exactly like the
+in-process transports; a :class:`Placement` tells it where each index lives.
+An index without an address (the default) is *spawned locally* by the driver
+— so the empty placement runs every worker on localhost, and a partial
+placement mixes remote hosts with local processes.
+
+Remote entries name a ``host:port`` where a worker process is already
+listening (started with ``python -m repro.runtime.worker --listen
+HOST:PORT``); the driver ships each worker its spec plus the full resolved
+address map at job start, so peers can open direct worker→worker
+connections without routing through the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Worker index → ``host:port`` map for the socket transport.
+
+    ``addresses[i]`` is the listen address of worker ``i``; ``None`` (or an
+    index beyond the tuple) means "spawn a local worker process".  The
+    default empty placement therefore keeps every worker on this machine —
+    distribution is opt-in per index.
+    """
+
+    addresses: Tuple[Optional[str], ...] = ()
+
+    def address_of(self, index: int) -> Optional[str]:
+        """The configured address of one worker index (``None`` = local)."""
+        if 0 <= index < len(self.addresses):
+            return self.addresses[index]
+        return None
+
+    def describe(self) -> str:
+        if not self.addresses:
+            return "local"
+        return ",".join(address or "local" for address in self.addresses)
+
+
+def parse_host_port(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string (IPv4/hostname) into its parts."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def parse_placement(text: str) -> Placement:
+    """Parse a comma-separated placement list.
+
+    ``"host1:9101,host2:9102"`` places workers 0 and 1; an empty entry (or
+    the literal ``local``) leaves that index local:
+    ``"local,host2:9102"`` spawns worker 0 here and sends worker 1 away.
+    """
+    addresses: list[Optional[str]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part or part == "local":
+            addresses.append(None)
+        else:
+            parse_host_port(part)  # validate eagerly
+            addresses.append(part)
+    return Placement(tuple(addresses))

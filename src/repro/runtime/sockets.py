@@ -1,0 +1,446 @@
+"""The socket transport: runtime workers behind TCP endpoints.
+
+The first distributed backend.  Topologically it is the process transport
+with the ``multiprocessing`` queues swapped for TCP connections:
+
+* every worker is a server (driver-spawned local process by default, or a
+  remote ``python -m repro.runtime.worker --listen HOST:PORT`` named in the
+  :class:`~repro.runtime.placement.Placement`);
+* the driver connects to each worker and ships a *job* frame — the worker's
+  picklable spec, the fully resolved worker-index → address map, and the
+  channel knobs — then streams micro-batches of codec-encoded elements
+  (:mod:`repro.parallel.serialize`) as length-prefixed pickle frames;
+* workers open direct worker→worker connections for downstream routing (the
+  address map makes peers addressable without relaying through the driver);
+* done sentinels are ``("done", job)`` frames counted against the spec's
+  producer count, exactly like the queue backend's ``None`` messages;
+* each worker answers its driver connection with one result (or marshalled
+  traceback) frame after settling.
+
+Backpressure survives the boundary: a server connection feeds a bounded
+:class:`~repro.runtime.channel.Channel`; when it fills, the reader stops
+reading, the kernel's TCP window closes, and the sender's ``sendall``
+blocks — the socket edition of a full queue.
+
+Emit latencies stay comparable across *local* socket workers because
+``time.perf_counter`` reads the system-wide monotonic clock; across real
+hosts they include clock skew and should be read as indicative only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import traceback
+import uuid
+from typing import Dict, Hashable, List, Optional
+
+from ..stream.elements import Tagged
+from .channel import Channel, ChannelClosed
+from .placement import Placement, parse_host_port
+from .transport import (
+    BatchingEmitter,
+    RuntimeJob,
+    Transport,
+    TransportSession,
+    WorkerStartError,
+    preferred_context,
+)
+from .worker import WorkerReport, decode_report, encode_report, run_worker
+
+_HEADER = struct.Struct("!I")
+#: How long a peer connection waits for its job frame to arrive before
+#: giving up (the driver sends every job frame before routing any element,
+#: so in practice this only trips on abandoned runs).
+_JOB_WAIT_SECONDS = 60.0
+#: How long the driver waits for spawned local workers to report their port.
+_SPAWN_WAIT_SECONDS = 30.0
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Ship one length-prefixed pickled frame."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(file) -> Optional[object]:
+    """Read one frame from a buffered socket file; ``None`` on EOF."""
+    header = file.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        return None
+    (length,) = _HEADER.unpack(header)
+    data = file.read(length)
+    if len(data) < length:
+        return None
+    return pickle.loads(data)
+
+
+# --------------------------------------------------------------------------- #
+# worker server
+# --------------------------------------------------------------------------- #
+class _EncodedChannelInbox:
+    """Decode codec entries drained from the connection-fed channel."""
+
+    def __init__(self, channel: Channel) -> None:
+        from ..parallel.serialize import decode_revision_tagged
+
+        self._decode = decode_revision_tagged
+        self._channel = channel
+
+    def take_batch(self, max_size: int) -> Optional[List[tuple]]:
+        batch = self._channel.take_batch(max_size)
+        if batch is None:
+            return None
+        return [(channel, self._decode(code)) for channel, code in batch]
+
+
+class _PeerPutter:
+    """Worker-side delivery to downstream peers over cached connections."""
+
+    def __init__(self, addresses, job_key: str) -> None:
+        self._addresses = addresses
+        self._job_key = job_key
+        self._connections: Dict[int, socket.socket] = {}
+
+    def _connection(self, target: int) -> socket.socket:
+        connection = self._connections.get(target)
+        if connection is None:
+            connection = socket.create_connection(
+                parse_host_port(self._addresses[target]), timeout=_JOB_WAIT_SECONDS
+            )
+            self._connections[target] = connection
+        return connection
+
+    def put(self, target: int, batch) -> None:
+        send_frame(self._connection(target), ("batch", self._job_key, batch))
+
+    def put_done(self, target: int) -> None:
+        send_frame(self._connection(target), ("done", self._job_key))
+
+    def close(self) -> None:
+        for connection in self._connections.values():
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+class _ServerJob:
+    """One job's state on a worker server: inbox, worker thread, result."""
+
+    def __init__(self, key: str, spec, addresses, micro_batch_size: int, capacity: int) -> None:
+        self.key = key
+        self.spec = spec
+        self.inbox: Channel = Channel(capacity, producers=spec.producers)
+        self.done_event = threading.Event()
+        self.result: tuple = ("error", key, spec.index, "worker never ran")
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(addresses, micro_batch_size),
+            name=f"runtime-socket-worker-{spec.index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self, addresses, micro_batch_size: int) -> None:
+        putter = _PeerPutter(addresses, self.key)
+        try:
+            emitter = BatchingEmitter(putter, micro_batch_size)
+            report = run_worker(
+                self.spec, _EncodedChannelInbox(self.inbox), emitter, micro_batch_size
+            )
+            self.result = ("result", self.key, self.spec.index, encode_report(report))
+        except BaseException:  # noqa: BLE001 - marshalled to the driver
+            self.result = ("error", self.key, self.spec.index, traceback.format_exc())
+        finally:
+            putter.close()
+            self.done_event.set()
+
+    def feed(self, frame) -> None:
+        if frame[0] == "batch":
+            for entry in frame[2]:
+                self.inbox.put(entry)
+        elif frame[0] == "done":
+            self.inbox.producer_done()
+
+    def abort(self) -> None:
+        """The driver vanished mid-run: unblock the worker thread."""
+        self.inbox.close()
+
+
+class _JobRegistry:
+    """Jobs live on a server keyed by the driver-chosen job id."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, _ServerJob] = {}
+        self._condition = threading.Condition()
+
+    def create(self, key: str, spec, addresses, micro_batch_size: int, capacity: int) -> _ServerJob:
+        job = _ServerJob(key, spec, addresses, micro_batch_size, capacity)
+        with self._condition:
+            self._jobs[key] = job
+            self._condition.notify_all()
+        return job
+
+    def wait_for(self, key: str) -> _ServerJob:
+        with self._condition:
+            found = self._condition.wait_for(
+                lambda: key in self._jobs, timeout=_JOB_WAIT_SECONDS
+            )
+            if not found:
+                raise RuntimeError(f"no job {key!r} arrived within {_JOB_WAIT_SECONDS}s")
+            return self._jobs[key]
+
+    def remove(self, key: str) -> None:
+        with self._condition:
+            self._jobs.pop(key, None)
+
+
+def _read_into_job(file, job: _ServerJob, abort_on_eof: bool) -> None:
+    """Pump frames from one connection into a job until EOF.
+
+    A *peer* connection closing mid-job is normal — peers disconnect right
+    after their done sentinel.  Only the driver connection's EOF means the
+    run was abandoned, in which case the inbox is closed so the worker
+    thread cannot wait forever on sentinels that will never come.
+    """
+    while True:
+        frame = recv_frame(file)
+        if frame is None:
+            if abort_on_eof and not job.done_event.is_set():
+                job.abort()
+            return
+        try:
+            job.feed(frame)
+        except ChannelClosed:
+            # The job was aborted (driver vanished) while this producer was
+            # still sending; drain and discard the rest of the connection.
+            return
+
+
+def _handle_connection(connection: socket.socket, registry: _JobRegistry, served) -> None:
+    file = connection.makefile("rb")
+    try:
+        first = recv_frame(file)
+        if first is None:
+            return
+        if first[0] == "job":
+            _kind, key, spec, addresses, micro_batch_size, capacity = first
+            job = registry.create(key, spec, addresses, micro_batch_size, capacity)
+            reader = threading.Thread(
+                target=_read_into_job, args=(file, job, True), daemon=True
+            )
+            reader.start()
+            job.done_event.wait()
+            try:
+                send_frame(connection, job.result)
+            except OSError:  # pragma: no cover - driver gone; nothing to tell
+                pass
+            registry.remove(key)
+            served.set()
+        else:
+            job = registry.wait_for(first[1])
+            try:
+                job.feed(first)
+            except ChannelClosed:
+                # The job was aborted before this peer connected; discard.
+                return
+            _read_into_job(file, job, False)
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def serve_listener(listener: socket.socket, once: bool = False) -> None:
+    """Accept and serve connections on an already-bound listener socket."""
+    registry = _JobRegistry()
+    served = threading.Event()
+    listener.settimeout(0.5)
+    handlers: List[threading.Thread] = []
+    try:
+        while True:
+            if once and served.is_set():
+                break
+            try:
+                connection, _address = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - listener closed underneath
+                break
+            handler = threading.Thread(
+                target=_handle_connection,
+                args=(connection, registry, served),
+                daemon=True,
+            )
+            handler.start()
+            handlers.append(handler)
+    finally:
+        listener.close()
+    for handler in handlers:
+        handler.join(timeout=5.0)
+
+
+def serve(host: str, port: int, once: bool = False) -> None:
+    """Listen on ``host:port`` and run shipped worker specs until killed.
+
+    The entry point behind ``python -m repro.runtime.worker --listen``.
+    Prints one ``listening on HOST:PORT`` line once the socket is bound so
+    launch scripts can wait for readiness.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(128)
+    bound_host, bound_port = listener.getsockname()[:2]
+    print(f"repro runtime worker listening on {bound_host}:{bound_port}", flush=True)
+    serve_listener(listener, once=once)
+
+
+def _local_worker_main(ready_queue, seat: int) -> None:
+    """Driver-spawned local worker: bind an ephemeral port, report, serve one job."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(128)
+    ready_queue.put((seat, listener.getsockname()[1]))
+    serve_listener(listener, once=True)
+
+
+# --------------------------------------------------------------------------- #
+# driver session
+# --------------------------------------------------------------------------- #
+class _DriverSocketPutter:
+    """Driver-side frame delivery, surfacing worker tracebacks on breakage."""
+
+    def __init__(self, session: "SocketSession") -> None:
+        self._session = session
+
+    def _put(self, target: int, frame) -> None:
+        try:
+            send_frame(self._session.connections[target], frame)
+        except OSError as error:
+            raise self._session.connection_failure(target, error) from error
+
+    def put(self, target: int, batch) -> None:
+        self._put(target, ("batch", self._session.job_key, batch))
+
+    def put_done(self, target: int) -> None:
+        self._put(target, ("done", self._session.job_key))
+
+
+class SocketSession(TransportSession):
+    """One distributed run: local spawns + placement workers over TCP."""
+
+    name = "sockets"
+
+    def __init__(self, job: RuntimeJob, placement: Optional[Placement] = None) -> None:
+        self._job = job
+        self.job_key = uuid.uuid4().hex
+        count = len(job.specs)
+        addresses: List[Optional[str]] = [
+            placement.address_of(index) if placement is not None else None
+            for index in range(count)
+        ]
+        self._processes: List = []
+        self.connections: List[socket.socket] = []
+        self._files: List = []
+        try:
+            context = preferred_context()
+            ready_queue = context.Queue()
+            seats = [index for index, address in enumerate(addresses) if address is None]
+            for seat in seats:
+                process = context.Process(
+                    target=_local_worker_main,
+                    args=(ready_queue, seat),
+                    name=f"runtime-socket-worker-{seat}",
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+            for _ in seats:
+                seat, port = ready_queue.get(timeout=_SPAWN_WAIT_SECONDS)
+                addresses[seat] = f"127.0.0.1:{port}"
+            self.addresses = tuple(addresses)
+            for index, address in enumerate(self.addresses):
+                connection = socket.create_connection(
+                    parse_host_port(address), timeout=_SPAWN_WAIT_SECONDS
+                )
+                connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self.connections.append(connection)
+                self._files.append(connection.makefile("rb"))
+            for index, spec in enumerate(job.specs):
+                send_frame(
+                    self.connections[index],
+                    (
+                        "job",
+                        self.job_key,
+                        spec,
+                        self.addresses,
+                        job.micro_batch_size,
+                        job.buffer_capacity,
+                    ),
+                )
+        except Exception as error:
+            self._release()
+            raise WorkerStartError(f"cannot start socket workers: {error}") from error
+        self._emitter = BatchingEmitter(_DriverSocketPutter(self), job.micro_batch_size)
+
+    def connection_failure(self, target: int, error: OSError) -> RuntimeError:
+        """A send broke: try to read the worker's marshalled failure."""
+        try:
+            self.connections[target].settimeout(2.0)
+            frame = recv_frame(self._files[target])
+            if frame is not None and frame[0] == "error":
+                return RuntimeError(f"worker {target} failed:\n{frame[3]}")
+        except OSError:  # pragma: no cover - connection fully gone
+            pass
+        return RuntimeError(f"worker {target} connection failed: {error}")
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._emitter.send(target, channel, tagged)
+
+    def done(self, target: int) -> None:
+        self._emitter.done(target)
+
+    def finish(self) -> List[WorkerReport]:
+        self._emitter.flush()
+        reports: List[Optional[WorkerReport]] = [None] * len(self._job.specs)
+        for index in range(len(self._job.specs)):
+            frame = recv_frame(self._files[index])
+            if frame is None:
+                raise RuntimeError(f"worker {index} closed its connection without a result")
+            if frame[0] == "error":
+                raise RuntimeError(f"worker {frame[2]} failed:\n{frame[3]}")
+            reports[index] = decode_report(frame[3])
+        self._release()
+        return [report for report in reports]
+
+    def _release(self) -> None:
+        for connection in self.connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+        self.connections = []
+        self._processes = []
+
+    def _cleanup(self, failed: bool) -> None:
+        self._release()
+
+
+class SocketTransport(Transport):
+    name = "sockets"
+
+    def start(self, job: RuntimeJob, placement: Optional[Placement] = None) -> SocketSession:
+        return SocketSession(job, placement)

@@ -1,0 +1,566 @@
+"""Transports: how runtime workers are placed and wired together.
+
+A *transport* turns a :class:`RuntimeJob` — worker specs plus channel
+capacity / micro-batch knobs — into a live :class:`TransportSession` the
+driver routes source elements into.  Four transports share the one worker
+loop of :mod:`repro.runtime.worker`:
+
+* ``inline`` — every worker lives in the caller's thread; delivery is a
+  synchronous call, so elements flow depth-first through the topology (the
+  fast path for small inputs, and the reference for determinism tests);
+* ``threads`` — one thread per worker, connected by bounded
+  :class:`~repro.runtime.channel.Channel` inboxes (cheap, but the GIL caps
+  CPU-bound lineage work at one core);
+* ``processes`` — one forked OS process per worker over bounded
+  ``multiprocessing`` queues, elements crossing in the compact codecs of
+  :mod:`repro.parallel.serialize` (true multi-core speedup);
+* ``sockets`` — one worker per TCP endpoint (driver-spawned locally, or a
+  remote ``python -m repro.runtime.worker --listen`` joined through a
+  :class:`~repro.runtime.placement.Placement`): the same codecs in
+  length-prefixed frames, the first distributed backend
+  (:mod:`repro.runtime.sockets`).
+
+Every session exposes the identical driver contract — ``send(worker,
+channel, element)``, ``done(worker)`` once per producer edge, ``finish()``
+for the ordered :class:`~repro.runtime.worker.WorkerReport` list — so the
+stream, parallel and dataflow subsystems each keep exactly one router loop
+and inherit all four backends from it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..stream.elements import Tagged
+from .channel import Channel, ChannelClosed
+from .placement import Placement
+from .worker import Worker, WorkerReport, decode_report, encode_report, run_worker
+
+#: Poll interval (seconds) for queue operations that must watch worker
+#: liveness.  Slow-but-alive workers are waited on indefinitely; only a dead
+#: worker aborts the run.
+_POLL_INTERVAL = 1.0
+
+
+class WorkerStartError(RuntimeError):
+    """Transport workers could not be started (sandbox, unreachable host).
+
+    Raised strictly *before* any input element is consumed, so callers can
+    fall back to another transport over the same untouched element iterator
+    — queries degrade to the thread transport with a warning.
+    """
+
+
+def preferred_context() -> multiprocessing.context.BaseContext:
+    """The cheapest usable multiprocessing context (fork, else spawn)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork missing on this platform
+        return multiprocessing.get_context("spawn")
+
+
+def available_cpus() -> int:
+    """Best-effort CPU count (1 when undeterminable)."""
+    try:
+        return multiprocessing.cpu_count()
+    except NotImplementedError:  # pragma: no cover - exotic platforms
+        return 1
+
+
+@dataclass(frozen=True)
+class RuntimeJob:
+    """Everything a transport needs to wire one topology of workers."""
+
+    specs: tuple
+    micro_batch_size: int = 64
+    buffer_capacity: int = 1024
+
+    @property
+    def queue_batches(self) -> int:
+        """Queue capacity in micro-batches: the element budget a bounded
+        in-process :class:`Channel` of ``buffer_capacity`` provides."""
+        return max(2, self.buffer_capacity // max(1, self.micro_batch_size))
+
+
+class TransportSession:
+    """One live run: drivers route in, workers report back.
+
+    Context manager: ``__exit__`` releases every resource (threads joined,
+    processes terminated, sockets closed) even when routing failed midway.
+    """
+
+    #: Transport name recorded in results (the backend that actually ran).
+    name: str = ""
+    #: Whether the driver should stamp ingest clocks (queued transports
+    #: include queueing time in emit latency; inline stamps at processing).
+    stamps_ingest: bool = True
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        raise NotImplementedError
+
+    def done(self, target: int) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> List[WorkerReport]:
+        raise NotImplementedError
+
+    @property
+    def backpressure_blocks(self) -> int:
+        return 0
+
+    def __enter__(self) -> "TransportSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._cleanup(exc is not None)
+
+    def _cleanup(self, failed: bool) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class Transport:
+    """Factory of sessions for one backend."""
+
+    name: str = ""
+
+    def start(self, job: RuntimeJob, placement: Optional[Placement] = None) -> TransportSession:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# inline
+# --------------------------------------------------------------------------- #
+class _InlineEmitter:
+    def __init__(self, session: "InlineSession") -> None:
+        self._session = session
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._session.send(target, channel, tagged)
+
+    def done(self, target: int) -> None:
+        self._session.done(target)
+
+    def flush(self) -> None:
+        pass
+
+
+class InlineSession(TransportSession):
+    """Synchronous depth-first delivery in the caller's thread.
+
+    Each element pushed with :meth:`send` is fully processed — including
+    every transitive downstream output — before the call returns, which is
+    exactly the depth-first order the original inline executors used.
+    """
+
+    name = "inline"
+    stamps_ingest = False
+
+    def __init__(self, job: RuntimeJob) -> None:
+        emitter = _InlineEmitter(self)
+        self._workers = [Worker(spec, emitter) for spec in job.specs]
+        self._remaining = [spec.producers for spec in job.specs]
+        self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._workers[target].accept(channel, tagged)
+
+    def done(self, target: int) -> None:
+        self._remaining[target] -= 1
+        if self._remaining[target] == 0 and self._reports[target] is None:
+            self._reports[target] = self._workers[target].finish()
+
+    def finish(self) -> List[WorkerReport]:
+        # Sources close with CLOSED watermarks and the driver sends one done
+        # per producer edge, so by now every worker has settled; close any
+        # straggler defensively, in topological (index) order.
+        for index, report in enumerate(self._reports):
+            if report is None:
+                self._reports[index] = self._workers[index].finish()
+        return list(self._reports)
+
+
+class InlineTransport(Transport):
+    name = "inline"
+
+    def start(self, job: RuntimeJob, placement: Optional[Placement] = None) -> InlineSession:
+        return InlineSession(job)
+
+
+# --------------------------------------------------------------------------- #
+# threads
+# --------------------------------------------------------------------------- #
+class _ThreadEmitter:
+    def __init__(self, inboxes: List[Channel]) -> None:
+        self._inboxes = inboxes
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._inboxes[target].put((channel, tagged))
+
+    def done(self, target: int) -> None:
+        self._inboxes[target].producer_done()
+
+    def flush(self) -> None:
+        pass
+
+
+class ThreadSession(TransportSession):
+    """One worker thread per spec over bounded channel inboxes."""
+
+    name = "threads"
+
+    def __init__(self, job: RuntimeJob) -> None:
+        self._job = job
+        self._inboxes: List[Channel] = [
+            Channel(job.buffer_capacity, producers=spec.producers) for spec in job.specs
+        ]
+        self._emitter = _ThreadEmitter(self._inboxes)
+        self._failures: List[BaseException] = []
+        self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
+        self._threads = [
+            threading.Thread(
+                target=self._work,
+                args=(index,),
+                name=f"runtime-worker-{spec.index}",
+            )
+            for index, spec in enumerate(job.specs)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _work(self, index: int) -> None:
+        spec = self._job.specs[index]
+        dones_sent = False
+        try:
+            report = run_worker(
+                spec, self._inboxes[index], self._emitter, self._job.micro_batch_size
+            )
+            dones_sent = True
+            self._reports[index] = report
+        except ChannelClosed:
+            # A consumer died; the failure that closed its channel is the
+            # one reported.
+            pass
+        except BaseException as error:  # noqa: BLE001 - reported to caller
+            self._failures.append(error)
+            self._inboxes[index].close()
+        finally:
+            if not dones_sent:
+                # Downstream consumers must still learn this producer ended,
+                # or the close cascade (and finish's joins) would hang.
+                for first, parts, _side, _keys in spec.downstream:
+                    for offset in range(parts):
+                        self._inboxes[first + offset].producer_done()
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._inboxes[target].put((channel, tagged))
+
+    def done(self, target: int) -> None:
+        self._inboxes[target].producer_done()
+
+    def finish(self) -> List[WorkerReport]:
+        for thread in self._threads:
+            thread.join()
+        if self._failures:
+            raise self._failures[0]
+        return [report for report in self._reports]  # all set once joined
+
+    @property
+    def backpressure_blocks(self) -> int:
+        return sum(inbox.put_blocks for inbox in self._inboxes)
+
+    def _cleanup(self, failed: bool) -> None:
+        if failed:
+            for inbox in self._inboxes:
+                inbox.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+class ThreadTransport(Transport):
+    name = "threads"
+
+    def start(self, job: RuntimeJob, placement: Optional[Placement] = None) -> ThreadSession:
+        return ThreadSession(job)
+
+
+# --------------------------------------------------------------------------- #
+# processes
+# --------------------------------------------------------------------------- #
+class BatchingEmitter:
+    """Encode + micro-batch downstream sends for a serialized boundary.
+
+    ``putter`` is the transport-specific delivery half: ``put(target,
+    batch)`` ships one encoded micro-batch, ``put_done(target)`` one done
+    sentinel.  Watermarks count toward the micro-batch budget too: a
+    partition receiving few events must still ship its broadcast watermarks
+    (bounding pending growth and letting an otherwise-idle worker finalize
+    windows).
+    """
+
+    def __init__(self, putter, micro_batch_size: int) -> None:
+        from ..parallel.serialize import encode_revision_tagged
+
+        self._encode = encode_revision_tagged
+        self._putter = putter
+        self._micro = micro_batch_size
+        self._pending: Dict[int, list] = {}
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        entries = self._pending.setdefault(target, [])
+        entries.append((channel, self._encode(tagged)))
+        if len(entries) >= self._micro:
+            self._putter.put(target, self._pending.pop(target))
+
+    def done(self, target: int) -> None:
+        self.flush_target(target)
+        self._putter.put_done(target)
+
+    def flush_target(self, target: int) -> None:
+        entries = self._pending.pop(target, None)
+        if entries:
+            self._putter.put(target, entries)
+
+    def flush(self) -> None:
+        for target in list(self._pending):
+            self.flush_target(target)
+
+
+class _QueueInbox:
+    """Worker-side inbox over one multiprocessing queue.
+
+    Messages are encoded micro-batches; ``None`` is one producer's done
+    sentinel.  Batch size is set by the producer, so ``max_size`` is
+    advisory here.
+    """
+
+    def __init__(self, queue, producers: int) -> None:
+        from ..parallel.serialize import decode_revision_tagged
+
+        self._decode = decode_revision_tagged
+        self._queue = queue
+        self._remaining = producers
+
+    def take_batch(self, max_size: int) -> Optional[List[tuple]]:
+        while self._remaining > 0:
+            message = self._queue.get()
+            if message is None:
+                self._remaining -= 1
+                continue
+            return [(channel, self._decode(code)) for channel, code in message]
+        return None
+
+
+class _WorkerQueuePutter:
+    """Worker-side puts into sibling queues, abortable on run failure."""
+
+    def __init__(self, queues, abort) -> None:
+        self._queues = queues
+        self._abort = abort
+
+    def _put(self, target: int, item) -> None:
+        # A sibling worker may have died with a full queue nobody drains;
+        # the parent sets `abort` when it learns of the failure, which is
+        # this worker's signal to stop instead of blocking forever.
+        while True:
+            try:
+                self._queues[target].put(item, timeout=_POLL_INTERVAL)
+                return
+            except queue_module.Full:
+                if self._abort.is_set():
+                    raise RuntimeError("run aborted while publishing downstream") from None
+
+    def put(self, target: int, batch) -> None:
+        self._put(target, batch)
+
+    def put_done(self, target: int) -> None:
+        self._put(target, None)
+
+
+def _process_worker_main(spec, worker_queues, out_queue, micro_batch_size: int, abort) -> None:
+    """Process-transport worker entry point: run the loop, report once."""
+    try:
+        inbox = _QueueInbox(worker_queues[spec.index], spec.producers)
+        emitter = BatchingEmitter(_WorkerQueuePutter(worker_queues, abort), micro_batch_size)
+        report = run_worker(spec, inbox, emitter, micro_batch_size)
+        out_queue.put((spec.index, "ok", encode_report(report)))
+    except BaseException:  # noqa: BLE001 - marshalled to the driver
+        out_queue.put((spec.index, "error", traceback.format_exc()))
+
+
+class _DriverQueuePutter:
+    """Driver-side puts that cannot hang on a dead worker's full queue."""
+
+    def __init__(self, session: "ProcessSession") -> None:
+        self._session = session
+
+    def _put(self, target: int, item) -> None:
+        session = self._session
+        try:
+            session.queues[target].put_nowait(item)
+            return
+        except queue_module.Full:
+            session.blocks += 1
+        while True:
+            try:
+                session.queues[target].put(item, timeout=_POLL_INTERVAL)
+                return
+            except queue_module.Full:
+                # A failed sibling worker can make the whole pipeline stall
+                # while this one stays alive: surface marshalled errors
+                # instead of spinning on liveness alone.
+                session.drain_results()
+                if not session.workers[target].is_alive():
+                    raise RuntimeError(
+                        f"worker {target} died with a full input queue"
+                    ) from None
+
+    def put(self, target: int, batch) -> None:
+        self._put(target, batch)
+
+    def put_done(self, target: int) -> None:
+        self._put(target, None)
+
+
+class ProcessSession(TransportSession):
+    """One forked OS process per worker over bounded queues."""
+
+    name = "processes"
+
+    def __init__(self, job: RuntimeJob) -> None:
+        self._job = job
+        self.blocks = 0
+        self._results: Dict[int, tuple] = {}
+        context = preferred_context()
+        self.workers: List = []
+        try:
+            # Queue construction can itself fail in sandboxes (sem_open
+            # denied), so it sits under the same fallback guard as process
+            # start-up.
+            self.queues = [context.Queue(maxsize=job.queue_batches) for _ in job.specs]
+            self._out_queue = context.Queue()
+            self._abort = context.Event()
+            self.workers = [
+                context.Process(
+                    target=_process_worker_main,
+                    args=(spec, self.queues, self._out_queue, job.micro_batch_size, self._abort),
+                    name=f"runtime-worker-{spec.index}",
+                    daemon=True,
+                )
+                for spec in job.specs
+            ]
+            for worker in self.workers:
+                worker.start()
+        except (OSError, PermissionError) as error:
+            for worker in self.workers:
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+            raise WorkerStartError(f"cannot start worker processes: {error}") from error
+        self._emitter = BatchingEmitter(_DriverQueuePutter(self), job.micro_batch_size)
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._emitter.send(target, channel, tagged)
+
+    def done(self, target: int) -> None:
+        self._emitter.done(target)
+
+    def _take_result(self, message) -> None:
+        """Record one worker message; a failure aborts the whole run."""
+        if message[1] != "ok":
+            self._abort.set()
+            raise RuntimeError(f"worker {message[0]} failed:\n{message[2]}")
+        self._results[message[0]] = message
+
+    def drain_results(self) -> None:
+        while True:
+            try:
+                self._take_result(self._out_queue.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def finish(self) -> List[WorkerReport]:
+        self._emitter.flush()
+        count = len(self._job.specs)
+        try:
+            grace_polls = 5
+            while len(self._results) < count:
+                try:
+                    message = self._out_queue.get(timeout=_POLL_INTERVAL)
+                except queue_module.Empty:
+                    missing = sorted(set(range(count)) - set(self._results))
+                    if any(self.workers[index].is_alive() for index in missing):
+                        # Slow workers (large final window drains) are waited
+                        # on for as long as they live — no arbitrary deadline.
+                        continue
+                    # Every missing worker has exited; its result may still
+                    # be in flight through the queue's feeder pipe, so poll a
+                    # few more times before declaring it lost.
+                    grace_polls -= 1
+                    if grace_polls <= 0:
+                        raise RuntimeError(
+                            f"workers {missing} exited without a result"
+                        ) from None
+                    continue
+                self._take_result(message)
+        except BaseException:
+            # Unblock any worker parked on a full queue of a dead consumer.
+            self._abort.set()
+            raise
+        finally:
+            self._join_workers()
+        return [decode_report(self._results[index][2]) for index in range(count)]
+
+    def _join_workers(self) -> None:
+        for worker in self.workers:
+            worker.join(timeout=5.0)
+        for worker in self.workers:
+            if worker.is_alive():  # pragma: no cover - defensive cleanup
+                worker.terminate()
+
+    @property
+    def backpressure_blocks(self) -> int:
+        return self.blocks
+
+    def _cleanup(self, failed: bool) -> None:
+        if failed:
+            self._abort.set()
+        self._join_workers()
+
+
+class ProcessTransport(Transport):
+    name = "processes"
+
+    def start(self, job: RuntimeJob, placement: Optional[Placement] = None) -> ProcessSession:
+        return ProcessSession(job)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def get_transport(name: str) -> Transport:
+    """Look one transport up by name (``inline``/``threads``/``processes``/``sockets``)."""
+    if name == "inline":
+        return InlineTransport()
+    if name == "threads":
+        return ThreadTransport()
+    if name == "processes":
+        return ProcessTransport()
+    if name == "sockets":
+        from .sockets import SocketTransport
+
+        return SocketTransport()
+    raise ValueError(
+        f"unknown transport {name!r}; expected one of "
+        "('inline', 'threads', 'processes', 'sockets')"
+    )
+
+
+#: Transport names usable for parallel (multi-worker) execution.
+PARALLEL_TRANSPORTS = ("threads", "processes", "sockets")
+#: Every transport name, including the single-threaded inline one.
+ALL_TRANSPORTS = ("inline",) + PARALLEL_TRANSPORTS

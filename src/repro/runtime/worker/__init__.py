@@ -1,0 +1,247 @@
+"""The one worker loop every execution backend runs.
+
+A *worker* owns one operator instance (a continuous join or a retractable
+revision join) over one shard of the key space, and drives it through the
+same four steps no matter which transport delivers its input:
+
+1. **route** — incoming watermarks are min-merged per channel
+   (:class:`~repro.runtime.channel.ChannelWatermarks`: the stage output
+   watermark is the min over upstream partitions), events and revisions pass
+   through;
+2. **operate** — the element is fed to the operator (``join.process``);
+3. **emit** — operator outputs are key-routed to downstream workers (one
+   stable-hash partition per revision, watermarks broadcast) or collected
+   locally when the spec has no downstream;
+4. **close-sentinel** — when every producer has signalled done, the operator
+   is closed, remaining outputs flushed, and one done sentinel sent per
+   downstream (edge × partition) channel.
+
+Worker *specs* describe everything the loop needs — operator construction,
+watermark channels, producer counts, downstream routing entries — as plain
+picklable dataclasses (:class:`repro.parallel.StreamShardSpec`,
+:class:`repro.parallel.stream_exec.DataflowNodeSpec`), so the identical loop
+runs in the caller's thread, in a thread pool, in a forked process, or on a
+remote host behind the socket transport.
+
+``python -m repro.runtime.worker --listen HOST:PORT`` starts a standalone
+worker server that joins a placement map (see
+:mod:`repro.runtime.sockets`) — the entry point of distributed execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Protocol, Sequence
+
+from ...relation import TPTuple, stable_key_hash
+from ...stream.elements import LEFT, RIGHT, Tagged, Watermark
+from ..channel import ChannelWatermarks
+
+#: The channel id the driver uses for source-edge watermarks of single-stage
+#: (stream shard) jobs.
+SOURCE_CHANNEL = "src"
+
+
+class Emitter(Protocol):
+    """Where a worker's outputs go; each transport provides one."""
+
+    def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        """Deliver one element to worker ``target`` (``channel`` names the
+        watermark channel; ``None`` for key-routed events/revisions)."""
+
+    def done(self, target: int) -> None:
+        """Signal worker ``target`` that one of its producers finished."""
+
+    def flush(self) -> None:
+        """Push out any buffered micro-batches (no-op for unbuffered emitters)."""
+
+
+class WorkerSpec(Protocol):
+    """What the loop needs to know about one worker (structural typing)."""
+
+    index: int
+    producers: int
+    left_channels: Sequence[Hashable]
+    right_channels: Sequence[Hashable]
+    downstream: Sequence[tuple]
+
+    def build_join(self): ...
+
+    @property
+    def collect_outputs(self) -> bool: ...
+
+    @property
+    def channel_id(self) -> Hashable: ...
+
+    def report(self, join, outputs: Optional[List[TPTuple]]) -> "WorkerReport": ...
+
+
+@dataclass
+class WorkerReport:
+    """What one worker hands back to the driver after settling.
+
+    ``outputs`` is the worker's contribution to the settled result (collected
+    stream outputs, or a dataflow node's settled window tuples); ``stats`` is
+    the revision-counter tuple of a dataflow node (``None`` for stream
+    shards, which report ``late_dropped`` instead).
+    """
+
+    index: int
+    outputs: List[TPTuple] = field(default_factory=list)
+    emit_latencies: List[float] = field(default_factory=list)
+    emit_event_lags: List[float] = field(default_factory=list)
+    late_dropped: int = 0
+    stats: Optional[tuple] = None
+
+
+def encode_report(report: WorkerReport) -> tuple:
+    """Flatten a report into primitives for the process/socket boundary."""
+    from ...parallel.serialize import encode_tuples
+
+    return (
+        report.index,
+        encode_tuples(report.outputs),
+        list(report.emit_latencies),
+        list(report.emit_event_lags),
+        report.late_dropped,
+        report.stats,
+    )
+
+
+def decode_report(code: tuple) -> WorkerReport:
+    """Rebuild a report from its encoding."""
+    from ...parallel.serialize import decode_tuples
+
+    index, outputs, latencies, lags, late, stats = code
+    return WorkerReport(
+        index=index,
+        outputs=decode_tuples(outputs),
+        emit_latencies=list(latencies),
+        emit_event_lags=list(lags),
+        late_dropped=late,
+        stats=tuple(stats) if stats is not None else None,
+    )
+
+
+class Worker:
+    """Spec-driven operator state machine: route → operate → emit → close."""
+
+    def __init__(self, spec: WorkerSpec, emitter: Emitter) -> None:
+        self.spec = spec
+        self.emitter = emitter
+        self.join = spec.build_join()
+        self._trackers = {
+            LEFT: ChannelWatermarks(spec.left_channels),
+            RIGHT: ChannelWatermarks(spec.right_channels),
+        }
+        self._outputs: Optional[List[TPTuple]] = [] if spec.collect_outputs else None
+        self._finished = False
+
+    def accept(self, channel: Hashable, tagged: Tagged) -> None:
+        """Process one delivered element (step 1 + 2 + 3)."""
+        element = tagged.element
+        if isinstance(element, Watermark):
+            merged = self._trackers[tagged.side].update(channel, element.value)
+            if merged is None:
+                return
+            tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
+        self._dispatch(self.join.process(tagged))
+
+    def finish(self) -> WorkerReport:
+        """Close the operator, flush, send done sentinels, build the report."""
+        self._dispatch(self.join.close())
+        self._finished = True
+        # One done sentinel per (edge × consumer partition), matching the
+        # producer counts compiled into the specs (duplicate edges to one
+        # consumer — a self-join shape — each carry their own sentinel).
+        for first, consumer_parts, _side, _key_indices in self.spec.downstream:
+            for offset in range(consumer_parts):
+                self.emitter.done(first + offset)
+        return self.spec.report(self.join, self._outputs)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _dispatch(self, elements) -> None:
+        if self._outputs is not None:
+            self._outputs.extend(elements)
+            return
+        channel = self.spec.channel_id
+        for element in elements:
+            for first, consumer_parts, side, key_indices in self.spec.downstream:
+                if isinstance(element, Watermark):
+                    for offset in range(consumer_parts):
+                        self.emitter.send(first + offset, channel, Tagged(side, element))
+                else:
+                    if consumer_parts > 1:
+                        key = tuple(element.tuple.fact[i] for i in key_indices)
+                        offset = stable_key_hash(key) % consumer_parts
+                    else:
+                        offset = 0
+                    self.emitter.send(first + offset, None, Tagged(side, element))
+
+
+class Inbox(Protocol):
+    """A worker's input: batches of ``(channel, tagged)`` until producers end."""
+
+    def take_batch(self, max_size: int) -> Optional[List[tuple]]: ...
+
+
+def run_worker(spec: WorkerSpec, inbox: Inbox, emitter: Emitter, micro_batch_size: int) -> WorkerReport:
+    """Drive one worker to settlement over a pull-based inbox.
+
+    The loop every pull transport (threads, processes, sockets) runs: drain
+    micro-batches until the inbox reports all producers done (``None``),
+    flushing buffered downstream sends after each batch, then close.
+    """
+    worker = Worker(spec, emitter)
+    while True:
+        batch = inbox.take_batch(micro_batch_size)
+        if batch is None:
+            break
+        for channel, tagged in batch:
+            worker.accept(channel, tagged)
+        emitter.flush()
+    report = worker.finish()
+    emitter.flush()
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# standalone worker entry point
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.runtime.worker --listen HOST:PORT``.
+
+    Starts a socket-transport worker server on this host.  A driver whose
+    :class:`~repro.runtime.placement.Placement` names this address ships the
+    worker its spec and the full address map per job; the server runs any
+    number of jobs, sequentially or concurrently, until killed.
+    """
+    import argparse
+
+    from ..placement import parse_host_port
+    from ..sockets import serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.worker",
+        description="Socket-transport worker: joins a placement map and runs "
+        "shipped worker specs until killed.",
+    )
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on (use the same value in the driver's placement)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first job completes (used by spawned local workers)",
+    )
+    arguments = parser.parse_args(argv)
+    host, port = parse_host_port(arguments.listen)
+    serve(host, port, once=arguments.once)
+    return 0
+

@@ -1,0 +1,7 @@
+"""``python -m repro.runtime.worker`` — start a standalone socket worker."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

@@ -5,13 +5,15 @@ Layers, bottom to top:
 * :mod:`repro.stream.elements` — events, watermarks, tagged merges.
 * :mod:`repro.stream.source` — ingestion with per-source watermarks and
   bounded-lateness eviction.
-* :mod:`repro.stream.buffer` — bounded micro-batch buffers (backpressure).
+* :mod:`repro.stream.buffer` — historical aliases of the runtime's bounded
+  backpressuring :class:`~repro.runtime.Channel`.
 * :mod:`repro.stream.incremental` — per-key overlap state with
   watermark-driven, retraction-free window finalization.
 * :mod:`repro.stream.operators` — :class:`ContinuousAntiJoin` and
   :class:`ContinuousLeftOuterJoin`.
-* :mod:`repro.stream.query` — the :class:`StreamQuery` API with
-  hash-partitioned parallel execution across worker threads.
+* :mod:`repro.stream.query` — the :class:`StreamQuery` API: one
+  hash-partitioning router over the runtime transports
+  (threads / processes / sockets).
 """
 
 from .buffer import BoundedBuffer, BufferClosed

@@ -1,98 +1,18 @@
-"""Bounded micro-batch buffers: the backpressure seam between threads.
+"""Bounded micro-batch buffers — now the runtime's :class:`Channel`.
 
-The parallel stream executor connects its router thread to each worker
-through a :class:`BoundedBuffer` — a small thread-safe FIFO with a hard
-capacity.  ``put`` blocks once the buffer is full, so a slow worker
-transparently backpressures the router (and, through it, the sources) instead
-of letting queues grow without bound; ``take_batch`` drains up to a
-micro-batch of elements in one lock acquisition, amortising synchronisation
-over many elements the way micro-batching stream engines do.
-
-The buffer is deliberately not :class:`queue.Queue`: the batch drain, the
-close protocol (producers signal completion; consumers drain the remainder
-and then see ``None``) and the high-watermark statistic are all part of the
-executor's contract and easier to state explicitly than to bolt on.
+The backpressure seam this module introduced (hard-capacity FIFO, blocking
+``put``, micro-batch ``take_batch`` draining, producer-side close protocol)
+became the substrate of *every* execution backend and moved to
+:mod:`repro.runtime.channel`.  These aliases keep the original stream-facing
+names working; new code should import from :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Deque, Generic, List, Optional, TypeVar
+from ..runtime.channel import Channel, ChannelClosed
 
-T = TypeVar("T")
+#: The historical stream-layer names for the runtime channel primitives.
+BoundedBuffer = Channel
+BufferClosed = ChannelClosed
 
-
-class BufferClosed(RuntimeError):
-    """Raised when putting into a buffer that has been closed."""
-
-
-class BoundedBuffer(Generic[T]):
-    """A bounded, closable, thread-safe FIFO with micro-batch draining."""
-
-    def __init__(self, capacity: int = 1024) -> None:
-        if capacity <= 0:
-            raise ValueError("buffer capacity must be positive")
-        self._capacity = capacity
-        self._items: Deque[T] = deque()
-        self._lock = threading.Lock()
-        self._not_full = threading.Condition(self._lock)
-        self._not_empty = threading.Condition(self._lock)
-        self._closed = False
-        self.high_watermark = 0
-        self.total_put = 0
-        self.put_blocks = 0
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._items)
-
-    def put(self, item: T) -> None:
-        """Append one element; blocks while the buffer is full (backpressure)."""
-        with self._not_full:
-            if self._closed:
-                raise BufferClosed("cannot put into a closed buffer")
-            if len(self._items) >= self._capacity:
-                self.put_blocks += 1
-                while len(self._items) >= self._capacity and not self._closed:
-                    self._not_full.wait()
-                if self._closed:
-                    raise BufferClosed("buffer closed while waiting for space")
-            self._items.append(item)
-            self.total_put += 1
-            if len(self._items) > self.high_watermark:
-                self.high_watermark = len(self._items)
-            self._not_empty.notify()
-
-    def close(self) -> None:
-        """Signal that no further elements will be put.
-
-        Consumers continue draining buffered elements; once the buffer is
-        empty, :meth:`take_batch` returns ``None``.
-        """
-        with self._lock:
-            self._closed = True
-            self._not_empty.notify_all()
-            self._not_full.notify_all()
-
-    def take_batch(self, max_size: int) -> Optional[List[T]]:
-        """Remove and return up to ``max_size`` elements, in FIFO order.
-
-        Blocks while the buffer is empty and open.  Returns ``None`` exactly
-        when the buffer is closed *and* fully drained — the consumer's signal
-        to finish up.
-        """
-        if max_size <= 0:
-            raise ValueError("micro-batch size must be positive")
-        with self._not_empty:
-            while not self._items and not self._closed:
-                self._not_empty.wait()
-            if not self._items:
-                return None
-            batch = [self._items.popleft() for _ in range(min(max_size, len(self._items)))]
-            self._not_full.notify_all()
-            return batch
+__all__ = ["BoundedBuffer", "BufferClosed"]

@@ -1,24 +1,30 @@
-"""Continuous queries: registration, parallel execution, backpressure.
+"""Continuous queries: registration, transport-parallel execution.
 
 A :class:`StreamQuery` binds a continuous TP join to two *registered streams*
 (:class:`StreamDef` entries held by the engine catalog) and executes it to
 finalization.  Execution is hash-partitioned: with an equi-join θ, every
-event is routed to a worker by the hash of its join key — all events that can
-ever form a window together share a key, so partitions are independent — and
-watermarks are broadcast to every worker.  Each worker thread pulls
-micro-batches from a :class:`~repro.stream.buffer.BoundedBuffer`, whose hard
-capacity backpressures the router (and the sources behind it) when a worker
-falls behind.
+event is routed to a worker by the stable hash of its join key — all events
+that can ever form a window together share a key, so partitions are
+independent — and watermarks are broadcast to every worker.
 
-Two worker backends share that topology: ``workers="threads"`` (default)
-runs partitions as threads in this interpreter, ``workers="processes"``
-runs each partition in its own OS process via
-:mod:`repro.parallel.stream_exec` for true multi-core speedup on CPU-bound
-lineage work (the GIL caps the thread backend at one core).
+The workers themselves run on the unified runtime layer
+(:mod:`repro.runtime`): this module contributes exactly one router —
+:func:`run_stream_shards` — that feeds a transport session, and the
+transport decides where the workers live:
+
+* ``workers="threads"`` (default) — worker threads in this interpreter,
+  connected by bounded :class:`~repro.runtime.Channel` inboxes whose hard
+  capacity backpressures the router (and the sources behind it);
+* ``workers="processes"`` — one OS process per partition for true
+  multi-core speedup on CPU-bound lineage work (the GIL caps the thread
+  backend at one core);
+* ``workers="sockets"`` — one TCP endpoint per partition: driver-spawned
+  local processes by default, or remote hosts named in
+  :class:`~repro.runtime.Placement` — the distributed backend.
 
 With ``partitions=1`` (or a non-equi θ, which cannot be key-partitioned) the
-query runs inline on the calling thread — the fast path for small streams
-and the engine's SQL entry point.
+query runs on the inline transport in the calling thread — the fast path for
+small streams and the engine's SQL entry point.
 
 The module avoids importing :mod:`repro.engine`; the catalog is used through
 its ``lookup_stream`` method only, so the engine can depend on this package
@@ -27,17 +33,24 @@ without a cycle.
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..lineage import EventSpace
 from ..relation import Schema, TPRelation, TPTuple, stable_key_hash
-from .buffer import BoundedBuffer, BufferClosed
+from ..runtime import (
+    SOURCE_CHANNEL,
+    ChannelClosed,
+    Placement,
+    RuntimeJob,
+    WorkerReport,
+    WorkerStartError,
+    get_transport,
+)
 from .elements import LEFT, StreamElement, StreamEvent, Tagged, Watermark
 from .operators import (
-    ContinuousJoinBase,
     continuous_join,
     continuous_output_schema,
     theta_from_pairs,
@@ -81,18 +94,22 @@ class StreamDef:
 
 
 #: Valid values of :attr:`StreamQueryConfig.workers`.
-WORKER_BACKENDS = ("threads", "processes")
+WORKER_BACKENDS = ("threads", "processes", "sockets")
 
 
 @dataclass(frozen=True)
 class StreamQueryConfig:
     """Execution knobs of a continuous query.
 
-    ``workers`` picks the parallel backend for ``partitions > 1``:
-    ``"threads"`` shares one interpreter (cheap, but the GIL caps CPU-bound
-    lineage work at one core), ``"processes"`` runs each partition in its
-    own OS process via :mod:`repro.parallel.stream_exec` (true multi-core
-    speedup, paid for with per-element serialization).
+    ``workers`` picks the transport for ``partitions > 1``: ``"threads"``
+    shares one interpreter (cheap, but the GIL caps CPU-bound lineage work
+    at one core), ``"processes"`` runs each partition in its own OS process
+    (true multi-core speedup, paid for with per-element serialization), and
+    ``"sockets"`` runs each partition behind a TCP endpoint — locally
+    spawned by default, or on the hosts a ``placement`` names (start them
+    with ``python -m repro.runtime.worker --listen HOST:PORT``).  The
+    process and socket transports degrade to threads with a warning when
+    their workers cannot start.
 
     ``materialize_probabilities`` computes output probabilities inline with
     the maintainer-owned per-key hash-consed computers (carried across all
@@ -111,6 +128,7 @@ class StreamQueryConfig:
     workers: str = "threads"
     materialize_probabilities: bool = False
     early_emit: bool = False
+    placement: Optional[Placement] = None
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
@@ -152,6 +170,8 @@ class StreamQueryResult:
     partitions: int = 1
     late_dropped: int = 0
     backpressure_blocks: int = 0
+    #: The transport that actually ran (``inline`` for single-partition
+    #: runs; the fallback transport when workers could not start).
     workers: str = "threads"
 
     @property
@@ -164,6 +184,71 @@ class StreamQueryResult:
     def latency_summary(self) -> dict:
         """Mean / p50 / p95 / max emit latency in milliseconds."""
         return summarize_latency_ms(self.emit_latencies)
+
+
+def run_stream_shards(
+    transport_name: str,
+    specs: Sequence,
+    merged: Iterable[Tagged],
+    theta,
+    stamp_right: bool,
+    micro_batch_size: int = 64,
+    buffer_capacity: int = 1024,
+    placement: Optional[Placement] = None,
+) -> tuple[List[WorkerReport], int, int, str]:
+    """The one stream router: feed a merged element sequence into a session.
+
+    Events are hash-routed to the shard worker owning their join key (the
+    stable, ``PYTHONHASHSEED``-independent hash shared with the batch shard
+    planner), watermarks are broadcast to every worker, per-shard element
+    order is preserved by the transport's FIFO channels, and the bounded
+    channels backpressure this router.  Ingest clocks are stamped before an
+    element can sit in any queue, so emit latency includes queueing (and, on
+    the serialized transports, encoding) time; the inline transport stamps
+    at processing time instead, where the two coincide.
+
+    Returns ``(reports, events_processed, backpressure_blocks, transport)``
+    with reports in worker-index order — deterministic for a fixed partition
+    count.
+    """
+    partitions = len(specs)
+    job = RuntimeJob(tuple(specs), micro_batch_size, buffer_capacity)
+    session = get_transport(transport_name).start(job, placement)
+    events_processed = 0
+    with session:
+        stamp = session.stamps_ingest
+        try:
+            for tagged in merged:
+                element = tagged.element
+                if isinstance(element, StreamEvent):
+                    events_processed += 1
+                    # Right/full outer joins treat right events as positives
+                    # too (mirrored maintainer), so both sides get an
+                    # ingestion stamp for emit latency.
+                    if stamp and (tagged.side == LEFT or stamp_right):
+                        tagged = Tagged(tagged.side, element, time.perf_counter())
+                    if partitions > 1:
+                        key = (
+                            theta.left_key(element.tuple)
+                            if tagged.side == LEFT
+                            else theta.right_key(element.tuple)
+                        )
+                        index = stable_key_hash(key) % partitions
+                    else:
+                        index = 0
+                    session.send(index, None, tagged)
+                elif isinstance(element, Watermark):
+                    for index in range(partitions):
+                        session.send(index, SOURCE_CHANNEL, tagged)
+        except ChannelClosed:
+            # A worker died and closed its channel; stop routing — the
+            # failure is re-raised by finish() after every worker is joined.
+            pass
+        for index in range(partitions):
+            session.done(index)
+        reports = session.finish()
+        blocks = session.backpressure_blocks
+    return reports, events_processed, blocks, session.name
 
 
 class StreamQuery:
@@ -207,8 +292,8 @@ class StreamQuery:
     def describe(self) -> str:
         condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         backend = ""
-        if self.effective_partitions > 1 and self._config.workers == "processes":
-            backend = ", workers=processes"
+        if self.effective_partitions > 1 and self._config.workers != "threads":
+            backend = f", workers={self._config.workers}"
         return (
             f"StreamQuery[{self._kind}] {self._left_name} × {self._right_name} "
             f"on {condition} (partitions={self.effective_partitions}{backend})"
@@ -225,19 +310,28 @@ class StreamQuery:
             return 1
         return self._config.partitions
 
-    def _build_join(self) -> ContinuousJoinBase:
+    def _shard_spec(self):
+        """The picklable worker spec every transport rebuilds the join from."""
+        # Imported lazily: repro.parallel depends on stream submodules, so a
+        # top-level import here would be circular during package init.
+        from ..parallel.stream_exec import StreamShardSpec
+
         left_def = self._catalog.lookup_stream(self._left_name)
         right_def = self._catalog.lookup_stream(self._right_name)
-        materialize = self._config.materialize_probabilities
-        return continuous_join(
-            self._kind,
-            left_def.schema,
-            right_def.schema,
-            self._on,
+        event_probabilities = None
+        if self._config.materialize_probabilities:
+            merged_events = left_def.events.merge(right_def.events)
+            event_probabilities = {
+                name: merged_events.probability(name) for name in merged_events.names()
+            }
+        return StreamShardSpec(
+            kind=self._kind,
+            left_attributes=left_def.schema.attributes,
+            right_attributes=right_def.schema.attributes,
+            on=self._on,
             left_name=left_def.name or self._left_name,
             right_name=right_def.name or self._right_name,
-            events=left_def.events.merge(right_def.events) if materialize else None,
-            materialize_probabilities=materialize,
+            event_probabilities=event_probabilities,
         )
 
     # ------------------------------------------------------------------ #
@@ -251,30 +345,50 @@ class StreamQuery:
         right_elements = right_def.replay()
         merged = merge_tagged(left_elements, right_elements, seed=merge_seed)
         partitions = self.effective_partitions
-        backend = self._config.workers if partitions > 1 else "threads"
+        transport = self._config.workers if partitions > 1 else "inline"
+        spec = self._shard_spec()
+        specs = tuple(replace(spec, index=index) for index in range(partitions))
+        stamp_right = self._kind in ("right_outer", "full_outer")
         started = time.perf_counter()
-        if partitions == 1:
-            outputs, latencies, late, events_processed, blocks = self._run_inline(merged)
-        elif backend == "processes":
-            from ..parallel.stream_exec import WorkerStartError
-
-            try:
-                outputs, latencies, late, events_processed, blocks = self._run_processes(
-                    merged, partitions
-                )
-            except WorkerStartError:
-                # Processes unavailable (sandbox): degrade to the thread
-                # backend — safe, no element was consumed yet — and report
-                # the backend that actually ran.
-                backend = "threads"
-                outputs, latencies, late, events_processed, blocks = self._run_parallel(
-                    merged, partitions
-                )
-        else:
-            outputs, latencies, late, events_processed, blocks = self._run_parallel(
-                merged, partitions
+        try:
+            reports, events_processed, blocks, backend = run_stream_shards(
+                transport,
+                specs,
+                merged,
+                self._theta,
+                stamp_right,
+                micro_batch_size=self._config.micro_batch_size,
+                buffer_capacity=self._config.buffer_capacity,
+                placement=self._config.placement,
+            )
+        except WorkerStartError as error:
+            # Workers unavailable (sandbox without fork, unreachable host):
+            # degrade to the thread transport — safe, no element was
+            # consumed yet — and record the backend that actually ran.
+            warnings.warn(
+                f"{transport!r} workers could not start "
+                f"({error}); falling back to the thread transport",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            reports, events_processed, blocks, backend = run_stream_shards(
+                "threads",
+                specs,
+                merged,
+                self._theta,
+                stamp_right,
+                micro_batch_size=self._config.micro_batch_size,
+                buffer_capacity=self._config.buffer_capacity,
             )
         elapsed = time.perf_counter() - started
+
+        outputs: List[TPTuple] = []
+        latencies: List[float] = []
+        late = 0
+        for report in reports:
+            outputs.extend(report.outputs)
+            latencies.extend(report.emit_latencies)
+            late += report.late_dropped
 
         events = left_def.events.merge(right_def.events)
         schema = continuous_output_schema(
@@ -303,143 +417,3 @@ class StreamQuery:
             backpressure_blocks=blocks,
             workers=backend,
         )
-
-    @staticmethod
-    def _operator_stats(joins: Sequence[ContinuousJoinBase]):
-        latencies: List[float] = []
-        late = 0
-        for join in joins:
-            latencies.extend(join.emit_latencies)
-            late += (
-                join.maintainer.stats.late_positives_dropped
-                + join.maintainer.stats.late_negatives_dropped
-            )
-        return latencies, late
-
-    def _run_inline(self, merged: Iterable[Tagged]):
-        join = self._build_join()
-        outputs: List[TPTuple] = []
-        events_processed = 0
-        for tagged in merged:
-            if isinstance(tagged.element, StreamEvent):
-                events_processed += 1
-            outputs.extend(join.process(tagged))
-        outputs.extend(join.close())
-        latencies, late = self._operator_stats([join])
-        return outputs, latencies, late, events_processed, 0
-
-    def _run_processes(self, merged: Iterable[Tagged], partitions: int):
-        """Shard the run across worker processes (shared-nothing backend)."""
-        # Imported lazily: repro.parallel depends on stream submodules, so a
-        # top-level import here would be circular during package init.
-        from ..parallel.stream_exec import StreamShardSpec, run_process_partitions
-
-        left_def = self._catalog.lookup_stream(self._left_name)
-        right_def = self._catalog.lookup_stream(self._right_name)
-        event_probabilities = None
-        if self._config.materialize_probabilities:
-            merged_events = left_def.events.merge(right_def.events)
-            event_probabilities = {
-                name: merged_events.probability(name) for name in merged_events.names()
-            }
-        spec = StreamShardSpec(
-            kind=self._kind,
-            left_attributes=left_def.schema.attributes,
-            right_attributes=right_def.schema.attributes,
-            on=self._on,
-            left_name=left_def.name or self._left_name,
-            right_name=right_def.name or self._right_name,
-            event_probabilities=event_probabilities,
-        )
-        outcome = run_process_partitions(
-            spec,
-            merged,
-            self._theta,
-            partitions,
-            micro_batch_size=self._config.micro_batch_size,
-            buffer_capacity=self._config.buffer_capacity,
-        )
-        return (
-            outcome.outputs,
-            outcome.emit_latencies,
-            outcome.late_dropped,
-            outcome.events_processed,
-            outcome.backpressure_blocks,
-        )
-
-    def _run_parallel(self, merged: Iterable[Tagged], partitions: int):
-        joins = [self._build_join() for _ in range(partitions)]
-        buffers: List[BoundedBuffer[Tagged]] = [
-            BoundedBuffer(self._config.buffer_capacity) for _ in range(partitions)
-        ]
-        outputs_per_worker: List[List[TPTuple]] = [[] for _ in range(partitions)]
-        failures: List[BaseException] = []
-
-        def work(index: int) -> None:
-            join = joins[index]
-            sink = outputs_per_worker[index]
-            try:
-                while True:
-                    batch = buffers[index].take_batch(self._config.micro_batch_size)
-                    if batch is None:
-                        break
-                    for tagged in batch:
-                        sink.extend(join.process(tagged))
-                sink.extend(join.close())
-            except BaseException as error:  # noqa: BLE001 - reported to caller
-                failures.append(error)
-                # Close our buffer so the router cannot block forever on a
-                # full buffer nobody drains; it sees BufferClosed and stops.
-                buffers[index].close()
-
-        workers = [
-            threading.Thread(target=work, args=(index,), name=f"stream-worker-{index}")
-            for index in range(partitions)
-        ]
-        for worker in workers:
-            worker.start()
-
-        events_processed = 0
-        theta = self._theta
-        # Right/full outer joins also treat right events as positives (in the
-        # mirrored maintainer), so their ingestion must be stamped too.
-        stamp_right = self._kind in ("right_outer", "full_outer")
-        try:
-            for tagged in merged:
-                element = tagged.element
-                if isinstance(element, StreamEvent):
-                    events_processed += 1
-                    if tagged.side == LEFT:
-                        key = theta.left_key(element.tuple)
-                        # Stamp ingestion here, before the element can sit in
-                        # a worker's buffer: emit latency includes queueing.
-                        tagged = Tagged(tagged.side, element, time.perf_counter())
-                    else:
-                        key = theta.right_key(element.tuple)
-                        if stamp_right:
-                            tagged = Tagged(tagged.side, element, time.perf_counter())
-                    # Stable hash, not builtin hash(): shard assignment must
-                    # be reproducible across runs and identical to the
-                    # process router's.
-                    buffers[stable_key_hash(key) % partitions].put(tagged)
-                elif isinstance(element, Watermark):
-                    for buffer in buffers:
-                        buffer.put(tagged)
-        except BufferClosed:
-            # A worker died and closed its buffer; stop routing — the
-            # failure is re-raised after every worker is joined.
-            pass
-        finally:
-            for buffer in buffers:
-                buffer.close()
-            for worker in workers:
-                worker.join()
-        if failures:
-            raise failures[0]
-
-        outputs: List[TPTuple] = []
-        for worker_outputs in outputs_per_worker:
-            outputs.extend(worker_outputs)
-        blocks = sum(buffer.put_blocks for buffer in buffers)
-        latencies, late = self._operator_stats(joins)
-        return outputs, latencies, late, events_processed, blocks

@@ -1,7 +1,8 @@
 """Property-based convergence: random out-of-order replays settle exactly.
 
 The subsystem's acceptance property: for *any* random workload, disorder
-bound, watermark cadence, interleaving seed and worker backend, running a
+bound, watermark cadence, interleaving seed and **runtime transport**
+(inline / threads / processes / sockets — drawn by hypothesis), running a
 3-way join tree (including a reverse-window node) with early emission on,
 the settled output of **every** node equals the batch re-run tuple for
 tuple with bitwise-equal probabilities, once all retractions have settled.
@@ -41,7 +42,7 @@ TREES = [
     tree=st.sampled_from(TREES),
     disorder=st.integers(min_value=0, max_value=12),
     watermark_every=st.integers(min_value=1, max_value=6),
-    backend=st.sampled_from(["threads", "processes"]),
+    backend=st.sampled_from(["inline", "threads", "processes", "sockets"]),
     merge_seed=st.integers(min_value=0, max_value=100),
     partitions=st.tuples(
         st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3)

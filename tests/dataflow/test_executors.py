@@ -19,7 +19,7 @@ TREE = [
 ]
 
 
-@pytest.mark.parametrize("backend", ["inline", "threads", "processes"])
+@pytest.mark.parametrize("backend", ["inline", "threads", "processes", "sockets"])
 @pytest.mark.parametrize("early", [False, True])
 def test_every_backend_converges_to_batch(stream_catalog_factory, backend, early):
     catalog, *_ = stream_catalog_factory(21)
@@ -33,7 +33,7 @@ def test_every_backend_converges_to_batch(stream_catalog_factory, backend, early
 def test_backends_agree_tuple_for_tuple(stream_catalog_factory):
     catalog, *_ = stream_catalog_factory(22)
     rows = {}
-    for backend in ("inline", "threads", "processes"):
+    for backend in ("inline", "threads", "processes", "sockets"):
         query = DataflowQuery(
             catalog, TREE, StreamQueryConfig(early_emit=True)
         )
@@ -42,7 +42,9 @@ def test_backends_agree_tuple_for_tuple(stream_catalog_factory):
             name: identity_rows(node.relation, with_probability=False)
             for name, node in result.nodes.items()
         }
-    assert rows["inline"] == rows["threads"] == rows["processes"]
+    assert (
+        rows["inline"] == rows["threads"] == rows["processes"] == rows["sockets"]
+    )
 
 
 def test_early_emission_retracts_and_still_converges(stream_catalog_factory):

@@ -133,7 +133,7 @@ def _settled_rows(catalog, tree, backend: str, merge_seed: int):
     seed=st.integers(min_value=0, max_value=10_000),
     disorder=st.integers(min_value=0, max_value=10),
     merge_seed=st.integers(min_value=0, max_value=100),
-    backend=st.sampled_from(["threads", "processes"]),
+    backend=st.sampled_from(["inline", "threads", "processes", "sockets"]),
 )
 def test_partitioned_routing_is_deterministic_across_degrees(
     seed, disorder, merge_seed, backend

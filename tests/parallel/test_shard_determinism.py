@@ -87,11 +87,16 @@ def test_stream_thread_partitions_equal_inline_run(workload, disorder):
             assert rows == expected, f"partitions={partitions} diverged"
 
 
-# The process backend pays a fork per partition per example, so it gets a
-# smaller example budget than the in-process properties above.
+# The out-of-process transports pay a fork (and, for sockets, a TCP
+# handshake) per partition per example, so they get a smaller example budget
+# than the in-process properties above.  The drawn transport must be
+# invisible in the settled output for every partition count.
 @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(st.integers(min_value=0, max_value=10_000))
-def test_stream_process_partitions_equal_inline_run(seed):
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["processes", "sockets"]),
+)
+def test_stream_worker_transports_equal_inline_run(seed, transport):
     left, right, _theta = make_random_relations(seed=seed, left_size=20, right_size=20)
     catalog = Catalog()
     catalog.register_stream("l", stream_def(left, ReplayConfig(disorder=3, seed=seed)))
@@ -107,7 +112,7 @@ def test_stream_process_partitions_equal_inline_run(seed):
             "r",
             [("Key", "Key")],
             config=StreamQueryConfig(
-                partitions=partitions, workers="processes", micro_batch_size=4
+                partitions=partitions, workers=transport, micro_batch_size=4
             ),
         )
         rows = identity_rows(query.run(merge_seed=seed).relation, with_probability=False)

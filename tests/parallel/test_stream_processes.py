@@ -110,13 +110,13 @@ def test_worker_failure_is_reported_to_the_router():
 
 
 def test_worker_start_failure_falls_back_to_threads(monkeypatch):
-    """Environments without fork/spawn degrade to the thread backend."""
-    from repro.parallel import stream_exec
+    """Environments without fork/spawn degrade to the thread transport — loudly."""
+    from repro.runtime import WorkerStartError, transport as transport_module
 
-    def refuse_start(*_args, **_kwargs):
-        raise stream_exec.WorkerStartError("cannot start shard processes: denied")
+    def refuse_start(self, job, placement=None):
+        raise WorkerStartError("cannot start worker processes: denied")
 
-    monkeypatch.setattr(stream_exec, "run_process_partitions", refuse_start)
+    monkeypatch.setattr(transport_module.ProcessTransport, "start", refuse_start)
     catalog, left, right, theta = _register_pair(seed=5)
     query = StreamQuery(
         catalog,
@@ -126,7 +126,8 @@ def test_worker_start_failure_falls_back_to_threads(monkeypatch):
         [("Key", "Key")],
         config=StreamQueryConfig(partitions=2, workers="processes"),
     )
-    result = query.run(merge_seed=5)
+    with pytest.warns(RuntimeWarning, match="falling back to the thread transport"):
+        result = query.run(merge_seed=5)
     assert result.workers == "threads"  # the backend that actually ran
     batch = tp_anti_join(left, right, theta, compute_probabilities=False)
     assert canonical_rows(result.relation, with_probability=False) == canonical_rows(

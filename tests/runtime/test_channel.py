@@ -1,0 +1,59 @@
+"""Runtime channel: producer bookkeeping on top of the bounded FIFO.
+
+The base FIFO semantics (capacity, blocking put, micro-batch drain, close)
+are pinned by ``tests/stream/test_buffer.py`` through the historical
+``BoundedBuffer`` alias; these tests cover what the runtime layer added —
+the multi-producer done-sentinel close protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import Channel, ChannelClosed
+
+
+def test_channel_closes_after_every_producer_reports_done():
+    channel: Channel[int] = Channel(capacity=8, producers=3)
+    channel.put(1)
+    channel.producer_done()
+    channel.producer_done()
+    assert channel.take_batch(8) == [1]
+    # Two of three producers done: the channel is still open for the third.
+    channel.put(2)
+    channel.producer_done()
+    with pytest.raises(ChannelClosed):
+        channel.put(3)
+    # Remaining elements drain before the close is observed.
+    assert channel.take_batch(8) == [2]
+    assert channel.take_batch(8) is None
+
+
+def test_producer_count_must_be_positive():
+    with pytest.raises(ValueError):
+        Channel(capacity=8, producers=0)
+
+
+def test_immediate_close_overrides_outstanding_producers():
+    channel: Channel[int] = Channel(capacity=2, producers=5)
+    channel.close()
+    with pytest.raises(ChannelClosed):
+        channel.put(1)
+    assert channel.take_batch(4) is None
+
+
+def test_producer_done_unblocks_a_waiting_consumer():
+    channel: Channel[int] = Channel(capacity=4, producers=1)
+    seen = []
+
+    def consume():
+        seen.append(channel.take_batch(4))
+
+    consumer = threading.Thread(target=consume)
+    consumer.start()
+    channel.producer_done()
+    consumer.join(timeout=5)
+    assert not consumer.is_alive()
+    assert seen == [None]

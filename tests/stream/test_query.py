@@ -123,7 +123,9 @@ def test_worker_failure_raises_instead_of_deadlocking(
     random_relation_factory, monkeypatch
 ):
     """A crashing worker must not leave the router blocked on a full buffer."""
-    import repro.stream.query as query_module
+    # Workers build their joins from the shard spec (repro.parallel.stream_exec),
+    # so the failure is injected at that seam.
+    import repro.parallel.stream_exec as spec_module
 
     catalog, *_ = _catalog(random_relation_factory, seed=6, left_size=80, right_size=80)
     query = StreamQuery(
@@ -135,7 +137,7 @@ def test_worker_failure_raises_instead_of_deadlocking(
         config=StreamQueryConfig(partitions=2, micro_batch_size=1, buffer_capacity=2),
     )
 
-    real_factory = query_module.continuous_join
+    real_factory = spec_module.continuous_join
 
     def failing_factory(*args, **kwargs):
         join = real_factory(*args, **kwargs)
@@ -151,7 +153,7 @@ def test_worker_failure_raises_instead_of_deadlocking(
         join.process = process
         return join
 
-    monkeypatch.setattr(query_module, "continuous_join", failing_factory)
+    monkeypatch.setattr(spec_module, "continuous_join", failing_factory)
 
     import threading
 
