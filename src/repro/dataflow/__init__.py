@@ -42,7 +42,9 @@ from .graph import DataflowGraph, GraphError, NodeSpec
 from .operators import RevisionJoin, RevisionJoinStats
 from .query import (
     GRAPH_BACKENDS,
+    IN_PROCESS_BACKENDS,
     DataflowQuery,
+    MultipleConsumerError,
     DataflowResult,
     NodeResult,
     percentile,
@@ -66,6 +68,8 @@ __all__ = [
     "GRAPH_BACKENDS",
     "GraphError",
     "GraphRunOutcome",
+    "IN_PROCESS_BACKENDS",
+    "MultipleConsumerError",
     "NodeResult",
     "NodeSpec",
     "Revision",

@@ -211,6 +211,9 @@ def run_graph(
     config,
     merge_seed: Optional[int] = None,
     transport: str = "inline",
+    taps: Optional[Dict[str, object]] = None,
+    probes: Optional[Dict[str, object]] = None,
+    cancel: Optional[object] = None,
 ) -> GraphRunOutcome:
     """Execute a dataflow graph on one runtime transport.
 
@@ -222,6 +225,18 @@ def run_graph(
     and the workers' reports are merged into a backend-independent
     :class:`GraphRunOutcome` (canonical settled order, summed stats).
 
+    ``taps`` / ``probes`` map node names to observation callables — the
+    serving layer's seam: a tap sees every output element of the node's
+    partitions live (``tap(channel_id, element)``), a probe sees each
+    operator instance at worker start-up (``probe(channel_id, join)``).
+    Callables cannot cross a process/socket boundary, so both require an
+    in-process transport (``inline`` / ``threads``).
+
+    ``cancel`` is an optional :class:`threading.Event`-like object; once set,
+    the driver stops routing further source elements and sends the done
+    sentinels, so the graph settles early over what was already ingested —
+    the cooperative stop used by standing-query lifecycle management.
+
     The process and socket transports raise
     :class:`~repro.runtime.WorkerStartError` strictly before any source
     element is consumed when their workers cannot start, so callers can
@@ -232,7 +247,21 @@ def run_graph(
     from ..parallel.stream_exec import graph_node_specs
     from ..stream.operators import theta_from_pairs
 
-    specs = graph_node_specs(graph, config)
+    if (taps or probes) and transport not in ("inline", "threads"):
+        raise ValueError(
+            f"taps/probes are in-process callables and cannot cross the "
+            f"{transport!r} transport's serialization boundary; use the "
+            "'inline' or 'threads' transport"
+        )
+    if taps:
+        unknown = sorted(set(taps) - set(graph.node_names))
+        if unknown:
+            raise ValueError(f"taps name unknown graph nodes: {unknown}")
+    if probes:
+        unknown = sorted(set(probes) - set(graph.node_names))
+        if unknown:
+            raise ValueError(f"probes name unknown graph nodes: {unknown}")
+    specs = graph_node_specs(graph, config, taps=taps, probes=probes)
     node_index = {name: index for index, name in enumerate(graph.node_names)}
     parts = graph.partition_counts
     first_worker: List[int] = []
@@ -258,6 +287,8 @@ def run_graph(
         stamp = session.stamps_ingest
         try:
             for edge, target, side, element in merge_edges(edges, merge_seed):
+                if cancel is not None and cancel.is_set():
+                    break
                 if isinstance(element, StreamEvent):
                     events_processed += 1
                     # Stamp ingestion before the element can sit in a

@@ -15,20 +15,40 @@ the maintainer-owned per-key computers.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..relation import TPRelation, TPTuple
-from ..runtime import WorkerStartError
+from ..runtime import Channel, ChannelClosed, ChannelWatermarks, WorkerStartError
+from ..stream.elements import Watermark
 from ..stream.query import StreamQueryConfig, summarize_latency_ms as summarize_ms
 from .executor import GraphRunOutcome, run_graph
 from .graph import DataflowGraph, NodeSpec
 from .operators import RevisionJoinStats
+from .revision import RevisionElement
 
 #: Valid executor backends of a dataflow query — the runtime transports.
 GRAPH_BACKENDS = ("inline", "threads", "processes", "sockets")
+
+#: In-process backends — the only ones whose workers can call back into the
+#: driver's address space (taps), which live revision iteration requires.
+IN_PROCESS_BACKENDS = ("inline", "threads")
+
+
+class MultipleConsumerError(RuntimeError):
+    """A second consumer attached to a single-consumer revision stream.
+
+    A :meth:`DataflowQuery.iter_revisions` stream is owned by exactly one
+    consumer: elements are *taken*, not copied, so a second iterator would
+    silently steal revisions from the first and both would observe a
+    corrupted (interleaved, gap-ridden) view of the output.  Multi-subscriber
+    delivery is the serving layer's job — register the query as a standing
+    query with :class:`repro.serve.StandingQueryService`, whose fan-out hub
+    gives every subscriber its own cursor over one shared execution.
+    """
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -106,6 +126,8 @@ class DataflowQuery:
         self._catalog = catalog
         self._graph = DataflowGraph(catalog, nodes)
         self._config = config or StreamQueryConfig()
+        self._consumer_lock = threading.Lock()
+        self._live_consumer = False
 
     @property
     def graph(self) -> DataflowGraph:
@@ -149,6 +171,108 @@ class DataflowQuery:
             outcome = run_graph(self._graph, self._config, merge_seed, transport="threads")
         elapsed = time.perf_counter() - started
         return self._build_result(outcome, elapsed)
+
+    def iter_revisions(
+        self, merge_seed: Optional[int] = None, backend: Optional[str] = None
+    ) -> Iterator[RevisionElement]:
+        """Live, single-consumer iteration over the sink's revision stream.
+
+        Runs the graph on an in-process transport in a background thread and
+        yields the sink node's output elements —
+        :class:`~repro.dataflow.Revision` and
+        :class:`~repro.stream.elements.Watermark` — as they are produced.
+        Per-partition sink watermarks are min-merged before they are
+        yielded, so the watermark sequence carries the stage's true output
+        frontier.  Abandoning the iterator (``close()`` or garbage
+        collection) cancels the run cooperatively: routing stops and the
+        graph settles over what was already ingested.
+
+        The stream is **single-consumer**: elements are taken, not copied.
+        A second call while an iteration is live raises
+        :class:`MultipleConsumerError` — fan-out to many subscribers is the
+        serving layer's job (:class:`repro.serve.StandingQueryService`).
+        """
+        chosen = backend or self._config.workers
+        if backend is not None and backend not in IN_PROCESS_BACKENDS:
+            raise ValueError(
+                f"iter_revisions taps the sink in-process; backend must be "
+                f"one of {IN_PROCESS_BACKENDS}, got {backend!r}"
+            )
+        if chosen not in IN_PROCESS_BACKENDS:
+            chosen = "threads"
+        with self._consumer_lock:
+            if self._live_consumer:
+                raise MultipleConsumerError(
+                    f"{self.describe()} already has a live revision consumer; "
+                    "a dataflow revision stream is single-consumer (a second "
+                    "iterator would silently steal elements from the first). "
+                    "Register the query as a standing query with "
+                    "repro.serve.StandingQueryService to fan one execution "
+                    "out to many subscribers."
+                )
+            self._live_consumer = True
+
+        sink = self._graph.sink
+        sink_index = self._graph.node_names.index(sink)
+        partitions = self._graph.partitions_of(sink)
+        channel: Channel = Channel(self._config.buffer_capacity, producers=1)
+        cancel = threading.Event()
+        failures: List[BaseException] = []
+
+        def tap(channel_id, element) -> None:
+            try:
+                channel.put((channel_id, element))
+            except ChannelClosed:
+                # The consumer abandoned the iterator; stop the run instead
+                # of failing the worker.
+                cancel.set()
+
+        def drive() -> None:
+            try:
+                run_graph(
+                    self._graph,
+                    self._config,
+                    merge_seed,
+                    transport=chosen,
+                    taps={sink: tap},
+                    cancel=cancel,
+                )
+            except BaseException as error:  # noqa: BLE001 - re-raised to consumer
+                failures.append(error)
+            finally:
+                channel.producer_done()
+
+        thread = threading.Thread(
+            target=drive, name=f"dataflow-revisions-{sink}", daemon=True
+        )
+
+        def iterate() -> Iterator[RevisionElement]:
+            tracker = ChannelWatermarks(
+                [("node", sink_index, partition) for partition in range(partitions)]
+            )
+            thread.start()
+            try:
+                while True:
+                    batch = channel.take_batch(self._config.micro_batch_size)
+                    if batch is None:
+                        break
+                    for channel_id, element in batch:
+                        if isinstance(element, Watermark):
+                            merged = tracker.update(channel_id, element.value)
+                            if merged is not None:
+                                yield Watermark(merged)
+                        else:
+                            yield element
+                if failures:
+                    raise failures[0]
+            finally:
+                cancel.set()
+                channel.close()
+                thread.join()
+                with self._consumer_lock:
+                    self._live_consumer = False
+
+        return iterate()
 
     def _build_result(self, outcome: GraphRunOutcome, elapsed: float) -> DataflowResult:
         events = self._graph.merged_events()

@@ -39,7 +39,14 @@ class RelationStats:
 class Catalog:
     """A named collection of TP relations and streams, with statistics."""
 
-    __slots__ = ("_relations", "_stats", "_streams", "_continuous_queries", "_dataflows")
+    __slots__ = (
+        "_relations",
+        "_stats",
+        "_streams",
+        "_continuous_queries",
+        "_dataflows",
+        "_standing_queries",
+    )
 
     def __init__(self) -> None:
         self._relations: Dict[str, TPRelation] = {}
@@ -47,6 +54,7 @@ class Catalog:
         self._streams: Dict[str, "StreamDef"] = {}
         self._continuous_queries: Dict[str, "StreamQuery"] = {}
         self._dataflows: Dict[str, "DataflowQuery"] = {}
+        self._standing_queries: Dict[str, "DataflowQuery"] = {}
 
     def register(self, name: str, relation: TPRelation, replace: bool = False) -> None:
         """Register a relation under ``name``.
@@ -245,6 +253,38 @@ class Catalog:
     def dataflow_names(self) -> list[str]:
         """All registered dataflow names, sorted."""
         return sorted(self._dataflows)
+
+    def register_standing_query(
+        self, name: str, query: "DataflowQuery", replace: bool = False
+    ) -> None:
+        """Register a served standing query under ``name``.
+
+        Standing queries are the serving layer's namespace
+        (:class:`repro.serve.StandingQueryService`): dataflow queries that
+        clients subscribe to by name, with lifecycle and fan-out managed by
+        the service rather than run once by the engine.
+        """
+        if name in self._standing_queries and not replace:
+            raise CatalogError(f"standing query {name!r} already registered")
+        self._standing_queries[name] = query
+
+    def lookup_standing_query(self, name: str) -> "DataflowQuery":
+        """Return the standing query registered under ``name``."""
+        try:
+            return self._standing_queries[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown standing query {name!r}; registered: "
+                f"{sorted(self._standing_queries)}"
+            ) from exc
+
+    def unregister_standing_query(self, name: str) -> None:
+        """Drop a standing query's catalog entry (missing names are ignored)."""
+        self._standing_queries.pop(name, None)
+
+    def standing_query_names(self) -> list[str]:
+        """All registered standing-query names, sorted."""
+        return sorted(self._standing_queries)
 
 
 def _compute_stats(relation: TPRelation) -> RelationStats:

@@ -16,7 +16,10 @@ Plans pinned to a non-default runtime transport (``processes`` or
 ``sockets``, via ``ParallelConfig(transport=...)`` or a stream config)
 render it too: ``[dataflow k-node, parts=..., transport=sockets]`` and
 ``[parallel n=K, transport=sockets]``, read from ``dataflow_transport`` /
-``parallel_transport``.
+``parallel_transport``.  Standing queries served through
+:class:`repro.serve.StandingQueryService` mark subplans shared with other
+standing queries as ``shared=n1/n2`` (read from ``dataflow_shared``): those
+nodes execute once per plan group, not once per query.
 """
 
 from __future__ import annotations
@@ -64,6 +67,9 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
         transport = getattr(operator, "dataflow_transport", "threads")
         if transport != "threads":
             details.append(f"transport={transport}")
+        shared = getattr(operator, "dataflow_shared", ())
+        if shared:
+            details.append("shared=" + "/".join(shared))
         annotation += f" [{', '.join(details)}]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():

@@ -29,7 +29,8 @@ sit in a queue, so latencies include cross-process queueing time.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional
+from dataclasses import field as dataclass_field
+from typing import Callable, Iterable, List, Optional
 
 from ..relation import Schema, ThetaCondition, TPTuple
 from ..runtime import SOURCE_CHANNEL, WorkerReport, WorkerStartError  # noqa: F401
@@ -195,6 +196,13 @@ class DataflowNodeSpec:
     closing.  ``left_channels`` / ``right_channels`` name those channels so
     the worker can min-merge per-channel watermarks (the stage output
     watermark = min over the upstream partitions).
+
+    ``tap`` / ``probe`` are optional in-process observation hooks (the
+    serving layer's seam): ``tap(channel_id, element)`` is called with every
+    output element the worker dispatches, ``probe(channel_id, join)`` with
+    the operator instance right after construction.  Both are callables, so
+    a spec carrying them cannot cross a process/socket boundary — the graph
+    driver rejects that combination before starting any worker.
     """
 
     index: int
@@ -214,6 +222,8 @@ class DataflowNodeSpec:
     right_channels: tuple = ()
     early_emit: bool = False
     event_probabilities: Optional[dict] = None
+    tap: Optional[Callable] = dataclass_field(default=None, repr=False, compare=False)
+    probe: Optional[Callable] = dataclass_field(default=None, repr=False, compare=False)
 
     #: Dataflow workers route downstream; settled outputs are harvested from
     #: the join itself at report time.
@@ -262,12 +272,16 @@ class DataflowNodeSpec:
         )
 
 
-def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
+def graph_node_specs(graph, config, taps=None, probes=None) -> List[DataflowNodeSpec]:
     """Compile a :class:`~repro.dataflow.DataflowGraph` into worker specs.
 
     One spec per (node, partition); worker indices are contiguous per node
     (``first_worker[i] .. first_worker[i] + partitions_i - 1``), so routing
     entries only need the first index and the partition count.
+
+    ``taps`` / ``probes`` optionally map node names to observation callables
+    attached to every partition spec of that node (see
+    :class:`DataflowNodeSpec`); in-process transports only.
     """
     from ..dataflow.executor import channel_topology, downstream_table
 
@@ -329,6 +343,8 @@ def graph_node_specs(graph, config) -> List[DataflowNodeSpec]:
                     right_channels=tuple(channels[index][RIGHT]),
                     early_emit=getattr(config, "early_emit", False),
                     event_probabilities=event_probabilities,
+                    tap=(taps or {}).get(spec.name),
+                    probe=(probes or {}).get(spec.name),
                 )
             )
     return specs

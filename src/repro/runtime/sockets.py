@@ -258,15 +258,41 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
             pass
 
 
-def serve_listener(listener: socket.socket, once: bool = False) -> None:
-    """Accept and serve connections on an already-bound listener socket."""
+def serve_listener(
+    listener: socket.socket,
+    once: bool = False,
+    shutdown: Optional[threading.Event] = None,
+    idle_timeout: Optional[float] = None,
+) -> None:
+    """Accept and serve connections on an already-bound listener socket.
+
+    ``shutdown`` requests a graceful stop: the accept loop exits, the
+    listener closes (no new jobs), and every in-flight job is drained to
+    completion before the function returns — the SIGTERM/SIGINT path of
+    ``python -m repro.runtime.worker``.  ``idle_timeout`` exits the same
+    way once no connection has been active for that many seconds, so a
+    launch script's spare workers reap themselves instead of lingering.
+    """
+    import time
+
     registry = _JobRegistry()
     served = threading.Event()
     listener.settimeout(0.5)
     handlers: List[threading.Thread] = []
+    last_activity = time.monotonic()
     try:
         while True:
             if once and served.is_set():
+                break
+            if shutdown is not None and shutdown.is_set():
+                break
+            handlers = [handler for handler in handlers if handler.is_alive()]
+            if handlers:
+                last_activity = time.monotonic()
+            elif (
+                idle_timeout is not None
+                and time.monotonic() - last_activity > idle_timeout
+            ):
                 break
             try:
                 connection, _address = listener.accept()
@@ -274,6 +300,7 @@ def serve_listener(listener: socket.socket, once: bool = False) -> None:
                 continue
             except OSError:  # pragma: no cover - listener closed underneath
                 break
+            last_activity = time.monotonic()
             handler = threading.Thread(
                 target=_handle_connection,
                 args=(connection, registry, served),
@@ -283,16 +310,27 @@ def serve_listener(listener: socket.socket, once: bool = False) -> None:
             handlers.append(handler)
     finally:
         listener.close()
+    # Graceful drain: in-flight jobs (and their result frames) finish before
+    # the server returns, so a driver never loses a settled result to a
+    # shutdown signal.
     for handler in handlers:
         handler.join(timeout=5.0)
 
 
-def serve(host: str, port: int, once: bool = False) -> None:
-    """Listen on ``host:port`` and run shipped worker specs until killed.
+def serve(
+    host: str,
+    port: int,
+    once: bool = False,
+    shutdown: Optional[threading.Event] = None,
+    idle_timeout: Optional[float] = None,
+) -> None:
+    """Listen on ``host:port`` and run shipped worker specs until stopped.
 
     The entry point behind ``python -m repro.runtime.worker --listen``.
     Prints one ``listening on HOST:PORT`` line once the socket is bound so
-    launch scripts can wait for readiness.
+    launch scripts can wait for readiness.  Stops when ``shutdown`` is set
+    (draining in-flight jobs first) or after ``idle_timeout`` seconds
+    without activity; with neither, it serves until killed.
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -300,7 +338,7 @@ def serve(host: str, port: int, once: bool = False) -> None:
     listener.listen(128)
     bound_host, bound_port = listener.getsockname()[:2]
     print(f"repro runtime worker listening on {bound_host}:{bound_port}", flush=True)
-    serve_listener(listener, once=once)
+    serve_listener(listener, once=once, shutdown=shutdown, idle_timeout=idle_timeout)
 
 
 def _local_worker_main(ready_queue, seat: int) -> None:

@@ -130,6 +130,15 @@ class Worker:
         self.spec = spec
         self.emitter = emitter
         self.join = spec.build_join()
+        # Optional in-process observation hooks (the serving layer's seam):
+        # ``tap(channel_id, element)`` sees every output element live,
+        # ``probe(channel_id, join)`` sees the operator instance at start-up.
+        # Read via getattr so specs without the fields keep working; both are
+        # callables and therefore only usable on in-process transports.
+        self._tap = getattr(spec, "tap", None)
+        probe = getattr(spec, "probe", None)
+        if probe is not None:
+            probe(spec.channel_id, self.join)
         self._trackers = {
             LEFT: ChannelWatermarks(spec.left_channels),
             RIGHT: ChannelWatermarks(spec.right_channels),
@@ -164,6 +173,9 @@ class Worker:
         return self._finished
 
     def _dispatch(self, elements) -> None:
+        if self._tap is not None:
+            for element in elements:
+                self._tap(self.spec.channel_id, element)
         if self._outputs is not None:
             self._outputs.extend(elements)
             return
@@ -217,9 +229,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Starts a socket-transport worker server on this host.  A driver whose
     :class:`~repro.runtime.placement.Placement` names this address ships the
     worker its spec and the full address map per job; the server runs any
-    number of jobs, sequentially or concurrently, until killed.
+    number of jobs, sequentially or concurrently, until stopped.
+
+    SIGTERM and SIGINT shut the server down gracefully: the listener stops
+    accepting, in-flight jobs drain to completion (their result frames
+    still reach the driver), and the process exits 0.  ``--idle-timeout``
+    exits the same way after that many seconds without a connection or
+    running job.
     """
     import argparse
+    import signal
+    import threading
 
     from ..placement import parse_host_port
     from ..sockets import serve
@@ -227,7 +247,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.worker",
         description="Socket-transport worker: joins a placement map and runs "
-        "shipped worker specs until killed.",
+        "shipped worker specs until stopped (SIGTERM/SIGINT drain gracefully).",
     )
     parser.add_argument(
         "--listen",
@@ -240,8 +260,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="exit after the first job completes (used by spawned local workers)",
     )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once no job or connection has been active for this long",
+    )
     arguments = parser.parse_args(argv)
     host, port = parse_host_port(arguments.listen)
-    serve(host, port, once=arguments.once)
+    shutdown = threading.Event()
+    received: List[int] = []
+
+    def request_shutdown(signum, _frame) -> None:
+        # Signal-handler safe: just record and set the event; the serve
+        # loop notices within its accept timeout and drains.  (Printing
+        # here could re-enter a stdout write interrupted by the signal.)
+        received.append(signum)
+        shutdown.set()
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, request_shutdown)
+    serve(
+        host,
+        port,
+        once=arguments.once,
+        shutdown=shutdown,
+        idle_timeout=arguments.idle_timeout,
+    )
+    if received:
+        print(
+            f"repro runtime worker shut down cleanly "
+            f"({signal.Signals(received[0]).name}: jobs drained, sockets closed)",
+            flush=True,
+        )
     return 0
 

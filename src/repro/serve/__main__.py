@@ -1,0 +1,177 @@
+"""``python -m repro.serve`` — serve standing TP queries, or subscribe.
+
+Server:
+
+    python -m repro.serve --listen 127.0.0.1:7654 --demo
+
+binds the NDJSON front-end and (with ``--demo``) registers three demo
+streams ``a``/``b``/``c`` plus a standing query ``demo`` (a left outer
+join of ``a`` and ``b``).  SIGINT/SIGTERM shut the server down cleanly:
+running plan groups are cancelled, hubs closed, subscribers see ``end``.
+
+Client:
+
+    python -m repro.serve --connect 127.0.0.1:7654 --subscribe demo
+
+subscribes (snapshot first, unless ``--no-snapshot``) and prints each
+message as one JSON line; ``--snapshot-only demo`` fetches just the
+materialized state, ``--list`` the registered names, ``--explain demo``
+the shared-subplan-annotated physical plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import signal
+from typing import Optional, Sequence
+
+from ..runtime.placement import parse_host_port
+from ..stream.query import StreamQueryConfig
+from .registry import StandingQueryService
+from .server import ServeClient, ServeServer
+
+
+def demo_catalog(seed: int = 7, size: int = 40, num_keys: int = 4):
+    """A catalog with three small random demo streams ``a``/``b``/``c``."""
+    from ..datasets import ReplayConfig, stream_def
+    from ..engine import Catalog
+    from ..relation import Schema, TPRelation
+
+    catalog = Catalog()
+    for offset, name in enumerate("abc"):
+        rng = random.Random(seed * 101 + offset)
+        rows = []
+        for index in range(size):
+            key = f"k{rng.randrange(num_keys)}"
+            start = rng.randrange(0, 30)
+            end = start + rng.randrange(1, 8)
+            probability = round(rng.uniform(0.05, 0.95), 3)
+            serial = f"{name}{index}"
+            rows.append((key, serial, serial, start, end, probability))
+        relation = TPRelation.from_rows(Schema.of("Key", "Serial"), rows, name=name)
+        catalog.register_stream(
+            name,
+            stream_def(
+                relation,
+                ReplayConfig(disorder=5, seed=seed * 13 + offset, watermark_every=4),
+            ),
+        )
+    return catalog
+
+
+def _register_demo_queries(service: StandingQueryService) -> None:
+    from ..dataflow.graph import NodeSpec
+
+    service.register(
+        "demo",
+        [NodeSpec("demo_join", "left_outer", "a", "b", (("Key", "Key"),))],
+    )
+
+
+async def _serve(service: StandingQueryService, host: str, port: int) -> int:
+    server = ServeServer(service, host, port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+    await stop.wait()
+    print("repro serve shutting down", flush=True)
+    await server.close()
+    service.shutdown()
+    return 0
+
+
+def _run_client(arguments) -> int:
+    host, port = parse_host_port(arguments.connect)
+    with ServeClient(host, port) as client:
+        if arguments.list:
+            print(json.dumps(client.list_queries()))
+            return 0
+        if arguments.explain:
+            print(client.explain(arguments.explain))
+            return 0
+        if arguments.snapshot_only:
+            for tp_tuple in client.snapshot(arguments.snapshot_only):
+                print(tp_tuple)
+            return 0
+        if arguments.subscribe:
+            client.subscribe(
+                arguments.subscribe, snapshot=not arguments.no_snapshot
+            )
+            for message in client.events():
+                print(json.dumps(message), flush=True)
+            return 0
+    print("nothing to do: pass --subscribe/--snapshot-only/--list/--explain")
+    return 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Standing-query serving front-end (NDJSON over TCP).",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT", help="run the server")
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="register demo streams a/b/c and a standing query 'demo'",
+    )
+    parser.add_argument("--hub-capacity", type=int, default=256)
+    parser.add_argument(
+        "--policy", choices=("block", "drop_provisional", "disconnect"),
+        default="block", help="slow-subscriber policy",
+    )
+    parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep a query running this long after its last subscriber detaches",
+    )
+    parser.add_argument(
+        "--transport", choices=("threads", "inline"), default="threads"
+    )
+    parser.add_argument("--connect", metavar="HOST:PORT", help="run as a client")
+    parser.add_argument("--subscribe", metavar="NAME", help="subscribe to a query")
+    parser.add_argument(
+        "--no-snapshot", action="store_true", help="skip the snapshot on subscribe"
+    )
+    parser.add_argument("--snapshot-only", metavar="NAME", help="fetch one snapshot")
+    parser.add_argument("--explain", metavar="NAME", help="print the physical plan")
+    parser.add_argument("--list", action="store_true", help="list standing queries")
+    arguments = parser.parse_args(argv)
+
+    if arguments.connect:
+        try:
+            return _run_client(arguments)
+        except OSError as error:
+            print(f"repro serve: cannot reach {arguments.connect}: {error}")
+            return 1
+    if not arguments.listen:
+        parser.error("pass --listen HOST:PORT (server) or --connect (client)")
+    host, port = parse_host_port(arguments.listen)
+    if arguments.demo:
+        catalog = demo_catalog()
+    else:
+        from ..engine import Catalog
+
+        catalog = Catalog()
+    service = StandingQueryService(
+        catalog,
+        config=StreamQueryConfig(early_emit=True),
+        hub_capacity=arguments.hub_capacity,
+        policy=arguments.policy,
+        linger_seconds=arguments.linger,
+        transport=arguments.transport,
+    )
+    if arguments.demo:
+        _register_demo_queries(service)
+    return asyncio.run(_serve(service, host, port))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

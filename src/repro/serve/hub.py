@@ -1,0 +1,353 @@
+"""The fan-out hub: one bounded ring, N subscriber cursors.
+
+Delivering a standing query's revision stream to N subscribers by giving
+each a private queue copies every element N times and lets one stalled
+client buffer without bound.  The hub instead keeps **one** bounded ring of
+``(sequence, element)`` entries and gives each subscriber a monotone cursor
+into it; an entry is retired once every live cursor has passed it, so the
+memory cost of fan-out is one ring plus N integers.
+
+When the ring fills — the slowest subscriber is ``capacity`` elements
+behind — the configured policy decides, in publisher context:
+
+* ``block`` — the publisher waits for the laggard (backpressure; a worker
+  thread stalls, and transitively the sources do too);
+* ``drop_provisional`` — *droppable* entries (provisional revisions and
+  watermarks) are evicted from the ring, oldest first, and a droppable
+  incoming element is discarded when nothing can be evicted.  Settled
+  revisions are **never** dropped — subscribers get a best-effort
+  provisional view but an exact settled stream, and the materialized cache
+  (updated for every element, dropped or not) reconciles snapshots;
+* ``disconnect`` — the slowest subscriber is forcibly detached (its next
+  read raises :class:`SlowSubscriberDisconnected`; it can re-subscribe and
+  recover through a snapshot), freeing its entries.
+
+Cursors never regress: a read only ever advances its cursor past the entry
+it returned.  Publishing and cache maintenance happen under one lock —
+``publish(element, update=cache.apply)`` applies the cache update and the
+ring append atomically, and ``attach(snapshot_fn)`` takes its snapshot
+under the same lock, which is what makes a late joiner's snapshot + tail
+exactly equal to a from-start subscriber's accumulated state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..dataflow.revision import Revision
+from ..stream.elements import Watermark
+
+#: Slow-subscriber policies, in documentation order.
+POLICIES = ("block", "drop_provisional", "disconnect")
+
+
+class _EndOfStream:
+    """Sentinel a drained, closed hub returns from :meth:`FanoutHub.read`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "END_OF_STREAM"
+
+
+#: Returned by ``read`` when the hub is closed and the cursor is at the end.
+END_OF_STREAM = _EndOfStream()
+
+
+class SlowSubscriberDisconnected(RuntimeError):
+    """This subscriber fell ``capacity`` behind under the disconnect policy.
+
+    The subscription is dead; the client re-subscribes and recovers the
+    missed settled state through the standing query's snapshot.
+    """
+
+
+def droppable(item: Any) -> bool:
+    """Whether the ``drop_provisional`` policy may discard this element.
+
+    Provisional revisions are best-effort by definition; watermarks are
+    monotone promises superseded by any later one (and end-of-stream is
+    signalled by hub closure, not by a final watermark).  Settled revisions
+    are never droppable.
+    """
+    if isinstance(item, Revision):
+        return item.provisional
+    return isinstance(item, Watermark)
+
+
+class _SubscriberState:
+    __slots__ = ("cursor", "disconnected")
+
+    def __init__(self, cursor: int) -> None:
+        self.cursor = cursor
+        self.disconnected = False
+
+
+class HubSubscription:
+    """One subscriber's handle: a cursor plus the snapshot taken at attach."""
+
+    def __init__(self, hub: "FanoutHub", subscriber_id: int) -> None:
+        self._hub = hub
+        self.id = subscriber_id
+        #: Filled by ``attach(snapshot_fn)`` — the atomically consistent
+        #: snapshot this subscription's tail continues from (``None`` when
+        #: no snapshot was requested).
+        self.snapshot: Optional[list] = None
+
+    @property
+    def cursor(self) -> int:
+        """The next sequence number this subscription will read."""
+        return self._hub.cursor_of(self.id)
+
+    def read(self, timeout: Optional[float] = None):
+        """Next element; ``END_OF_STREAM`` when done, ``None`` on timeout."""
+        return self._hub.read(self.id, timeout)
+
+    def __iter__(self) -> Iterator:
+        while True:
+            item = self.read()
+            if item is END_OF_STREAM:
+                return
+            yield item
+
+    def close(self) -> None:
+        """Detach from the hub (idempotent)."""
+        self._hub.detach(self.id)
+
+
+class FanoutHub:
+    """Bounded shared-ring fan-out of one element stream to N cursors."""
+
+    def __init__(self, capacity: int = 256, policy: str = "block") -> None:
+        if capacity <= 0:
+            raise ValueError("hub capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._capacity = capacity
+        self._policy = policy
+        self._ring: Deque[Tuple[int, Any]] = deque()
+        self._cond = threading.Condition()
+        self._next_seq = 0
+        self._states: Dict[int, _SubscriberState] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        # Statistics, all guarded by the condition's lock.
+        self.published = 0
+        self.dropped_provisional = 0
+        self.publish_blocks = 0
+        self.disconnects = 0
+        self.max_ring = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def lock(self) -> threading.Condition:
+        """The hub lock; snapshots of hub-maintained state take it."""
+        return self._cond
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._cond:
+            return sum(1 for state in self._states.values() if not state.disconnected)
+
+    def ring_size(self) -> int:
+        with self._cond:
+            return len(self._ring)
+
+    # ------------------------------------------------------------------ #
+    # subscriber side
+    # ------------------------------------------------------------------ #
+    def attach(
+        self, snapshot_fn: Optional[Callable[[], list]] = None
+    ) -> HubSubscription:
+        """Attach a subscriber at the current tail.
+
+        ``snapshot_fn`` (typically ``cache.snapshot``) runs under the hub
+        lock, atomically with the cursor placement: the returned
+        subscription's ``snapshot`` plus its future tail is exactly the
+        element-for-element state a from-start subscriber accumulated.
+        """
+        with self._cond:
+            subscriber_id = next(self._ids)
+            self._states[subscriber_id] = _SubscriberState(self._next_seq)
+            subscription = HubSubscription(self, subscriber_id)
+            if snapshot_fn is not None:
+                subscription.snapshot = snapshot_fn()
+            return subscription
+
+    def cursor_of(self, subscriber_id: int) -> int:
+        with self._cond:
+            state = self._states.get(subscriber_id)
+            if state is None:
+                raise ValueError(f"subscriber {subscriber_id} is detached")
+            return state.cursor
+
+    def read(self, subscriber_id: int, timeout: Optional[float] = None):
+        """Next element for one subscriber.
+
+        Blocks while the ring holds nothing past the cursor; returns
+        ``END_OF_STREAM`` once the hub is closed and drained, ``None`` on
+        timeout.  Raises :class:`SlowSubscriberDisconnected` if the
+        disconnect policy evicted this subscriber, ``ValueError`` after an
+        explicit detach.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                state = self._states.get(subscriber_id)
+                if state is None:
+                    raise ValueError(f"subscriber {subscriber_id} is detached")
+                if state.disconnected:
+                    raise SlowSubscriberDisconnected(
+                        f"subscriber {subscriber_id} fell {self._capacity} "
+                        "elements behind and was disconnected (policy="
+                        "'disconnect'); re-subscribe with a snapshot to recover"
+                    )
+                entry = self._first_at_or_after(state.cursor)
+                if entry is not None:
+                    sequence, item = entry
+                    state.cursor = sequence + 1  # monotone: sequence >= cursor
+                    self._evict_consumed()
+                    self._cond.notify_all()
+                    return item
+                if self._closed:
+                    return END_OF_STREAM
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait()
+
+    def detach(self, subscriber_id: int) -> None:
+        """Remove a subscriber; its retained entries become evictable."""
+        with self._cond:
+            if self._states.pop(subscriber_id, None) is not None:
+                self._evict_consumed()
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # publisher side
+    # ------------------------------------------------------------------ #
+    def publish(self, item: Any, update: Optional[Callable[[Any], None]] = None) -> bool:
+        """Deliver one element to every subscriber.
+
+        ``update`` (the materialized-cache maintenance hook) runs under the
+        hub lock for **every** element — including ones a policy drops or
+        that no subscriber will read — immediately before the ring append,
+        so an ``attach`` snapshot can never observe cache and ring out of
+        step.  Returns whether the element entered the ring.
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    return False
+                live = [
+                    state.cursor
+                    for state in self._states.values()
+                    if not state.disconnected
+                ]
+                if not live:
+                    # Nobody is reading: maintain the cache (late joiners
+                    # recover through snapshots) and keep the ring empty.
+                    if update is not None:
+                        update(item)
+                    self._ring.clear()
+                    return False
+                self._evict_consumed()
+                if len(self._ring) < self._capacity:
+                    break
+                if self._policy == "drop_provisional":
+                    if self._evict_droppable():
+                        continue
+                    if droppable(item):
+                        if update is not None:
+                            update(item)
+                        self.dropped_provisional += 1
+                        return False
+                    self.publish_blocks += 1
+                    self._cond.wait()
+                elif self._policy == "disconnect":
+                    self._disconnect_slowest()
+                else:  # block
+                    self.publish_blocks += 1
+                    self._cond.wait()
+            if update is not None:
+                update(item)
+            self._ring.append((self._next_seq, item))
+            self._next_seq += 1
+            self.published += 1
+            if len(self._ring) > self.max_ring:
+                self.max_ring = len(self._ring)
+            self._cond.notify_all()
+            return True
+
+    def close(self) -> None:
+        """No further elements; readers drain the ring then see the end.
+
+        Also unblocks publishers parked on a full ring (their publish
+        returns ``False``), so closing is always safe during shutdown.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # internals (lock held)
+    # ------------------------------------------------------------------ #
+    def _first_at_or_after(self, cursor: int) -> Optional[Tuple[int, Any]]:
+        for entry in self._ring:
+            if entry[0] >= cursor:
+                return entry
+        return None
+
+    def _evict_consumed(self) -> None:
+        live: List[int] = [
+            state.cursor for state in self._states.values() if not state.disconnected
+        ]
+        if not live:
+            self._ring.clear()
+            return
+        floor = min(live)
+        while self._ring and self._ring[0][0] < floor:
+            self._ring.popleft()
+
+    def _evict_droppable(self) -> bool:
+        for index, (_sequence, item) in enumerate(self._ring):
+            if droppable(item):
+                del self._ring[index]
+                self.dropped_provisional += 1
+                return True
+        return False
+
+    def _disconnect_slowest(self) -> None:
+        live = {
+            subscriber_id: state
+            for subscriber_id, state in self._states.items()
+            if not state.disconnected
+        }
+        if not live:
+            return
+        floor = min(state.cursor for state in live.values())
+        for state in live.values():
+            if state.cursor == floor:
+                state.disconnected = True
+                self.disconnects += 1
+        self._evict_consumed()
+        self._cond.notify_all()

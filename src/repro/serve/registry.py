@@ -1,0 +1,527 @@
+"""Standing-query registry: lifecycle, shared plan groups, subscriptions.
+
+:class:`StandingQueryService` is the serving layer's core object.  Clients
+**register** named queries (node specs against catalogued streams),
+**subscribe** to them (optionally receiving the materialized snapshot
+first), and **detach**; the service owns everything in between:
+
+* **Lifecycle** — a standing query is idle until its first subscriber
+  arrives, runs while any subscriber (of its plan group) is attached, and
+  stops — immediately or after ``linger_seconds`` — once the last one
+  detaches.  A finite replay also settles on its own, closing the hubs.
+* **Shared plan groups** — when a query starts, the service gathers every
+  idle registered query that transitively shares a structural subplan with
+  it (:mod:`repro.serve.subplan`) and launches them as **one** merged
+  :class:`~repro.dataflow.DataflowGraph`: a subplan referenced by Q queries
+  is one physical operator set — same worker instances, same channels, same
+  per-key hash-cons probability tables
+  (:meth:`~repro.dataflow.operators.RevisionJoin.maintainer`).  One query's
+  sink may be another's interior node; its tap observes the shared node's
+  live output either way.
+* **Fan-out** — each member query owns a :class:`~repro.serve.hub.FanoutHub`
+  and a :class:`~repro.serve.cache.ResultCache`; the group taps each sink
+  node, min-merges its per-partition watermarks, and publishes every element
+  to the member hubs with the cache update applied atomically.
+
+Execution uses the in-process transports (taps are callables), defaulting
+to ``threads`` so hub backpressure under the ``block`` policy transfers to
+the graph workers and, transitively, the sources.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..dataflow.executor import run_graph
+from ..dataflow.graph import DataflowGraph, NodeSpec
+from ..dataflow.query import IN_PROCESS_BACKENDS, DataflowQuery
+from ..relation import TPTuple
+from ..runtime import ChannelWatermarks
+from ..stream.elements import Watermark
+from ..stream.query import StreamQueryConfig
+from .cache import ResultCache
+from .hub import POLICIES, FanoutHub, HubSubscription
+from .subplan import SubplanRegistry
+
+
+class ServeError(RuntimeError):
+    """Raised on serving-layer misuse (unknown names, double registration)."""
+
+
+class StandingQuery:
+    """One registered standing query and its serving state."""
+
+    def __init__(self, name: str, query: DataflowQuery, canonical: Dict[str, str]) -> None:
+        self.name = name
+        self.query = query
+        #: Own node name → canonical subplan name (:class:`SubplanRegistry`).
+        self.canonical = canonical
+        self.hub: Optional[FanoutHub] = None
+        self.cache: ResultCache = ResultCache()
+        self.subscribers = 0
+        self.group: Optional["PlanGroup"] = None
+
+    @property
+    def sink_canonical(self) -> str:
+        """Canonical name of this query's sink node in the merged plan."""
+        return self.canonical[self.query.graph.sink]
+
+
+class PlanGroup:
+    """One merged execution of a structural-sharing closure of queries."""
+
+    def __init__(
+        self,
+        members: Sequence[StandingQuery],
+        graph: DataflowGraph,
+        config: StreamQueryConfig,
+        transport: str,
+        merge_seed: Optional[int],
+    ) -> None:
+        self.members = list(members)
+        self.graph = graph
+        self.config = config
+        self.transport = transport
+        self.merge_seed = merge_seed
+        self.cancel = threading.Event()
+        self.finished = threading.Event()
+        self.failure: Optional[BaseException] = None
+        self.subscribers = 0
+        #: Canonical node name → operator instances (one per partition),
+        #: collected by start-up probes; the sharing assertions read this.
+        self.operators: Dict[str, List] = {}
+        self._operators_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._linger_timer: Optional[threading.Timer] = None
+
+    @property
+    def names(self) -> List[str]:
+        return [member.name for member in self.members]
+
+    def start(self) -> None:
+        """Tap every member sink, probe every node, run in a daemon thread."""
+        node_index = {name: idx for idx, name in enumerate(self.graph.node_names)}
+        by_sink: Dict[str, List[StandingQuery]] = {}
+        for member in self.members:
+            by_sink.setdefault(member.sink_canonical, []).append(member)
+        taps = {
+            sink: self._make_tap(node_index[sink], self.graph.partitions_of(sink), records)
+            for sink, records in by_sink.items()
+        }
+        probes = {name: self._make_probe(name) for name in self.graph.node_names}
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(taps, probes),
+            name=f"serve-group-{'+'.join(self.names)}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _make_tap(self, sink_index: int, partitions: int, records: List[StandingQuery]):
+        # One watermark tracker per tapped node, shared by every member it
+        # serves: per-partition sink watermarks min-merge into the node's
+        # true output frontier before fan-out.
+        tracker = ChannelWatermarks(
+            [("node", sink_index, partition) for partition in range(partitions)]
+        )
+        tracker_lock = threading.Lock()
+
+        def tap(channel_id, element) -> None:
+            if isinstance(element, Watermark):
+                with tracker_lock:
+                    merged = tracker.update(channel_id, element.value)
+                if merged is None:
+                    return
+                element = Watermark(merged)
+            for record in records:
+                record.hub.publish(element, update=record.cache.apply)
+
+        return tap
+
+    def _make_probe(self, name: str):
+        def probe(_channel_id, join) -> None:
+            with self._operators_lock:
+                self.operators.setdefault(name, []).append(join)
+
+        return probe
+
+    def _run(self, taps, probes) -> None:
+        try:
+            run_graph(
+                self.graph,
+                self.config,
+                self.merge_seed,
+                transport=self.transport,
+                taps=taps,
+                probes=probes,
+                cancel=self.cancel,
+            )
+        except BaseException as error:  # noqa: BLE001 - surfaced via failure
+            self.failure = error
+        finally:
+            for member in self.members:
+                if member.hub is not None:
+                    member.hub.close()
+            self.finished.set()
+
+    def stop(self) -> None:
+        """Cancel cooperatively and close the member hubs.
+
+        Closing the hubs first guarantees progress: a publisher parked on a
+        full ring (``block`` policy, stalled subscriber) wakes and returns,
+        so the graph always settles over what was already ingested.
+        """
+        timer = self._linger_timer
+        if timer is not None:
+            timer.cancel()
+            self._linger_timer = None
+        self.cancel.set()
+        for member in self.members:
+            if member.hub is not None:
+                member.hub.close()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the group's run thread; returns whether it finished."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.finished.is_set()
+
+    def schedule_linger_stop(self, seconds: float, callback) -> None:
+        timer = threading.Timer(seconds, callback)
+        timer.daemon = True
+        self._linger_timer = timer
+        timer.start()
+
+    def cancel_linger_stop(self) -> None:
+        timer = self._linger_timer
+        if timer is not None:
+            timer.cancel()
+            self._linger_timer = None
+
+
+class ServingSubscription:
+    """A service-level subscription: hub cursor + detach bookkeeping."""
+
+    def __init__(
+        self, service: "StandingQueryService", record: StandingQuery,
+        group: PlanGroup, inner: HubSubscription,
+    ) -> None:
+        self._service = service
+        self._record = record
+        self._group = group
+        self._inner = inner
+        self._closed = False
+
+    @property
+    def query_name(self) -> str:
+        return self._record.name
+
+    @property
+    def snapshot(self) -> Optional[List[TPTuple]]:
+        """The atomically consistent snapshot taken at subscribe time."""
+        return self._inner.snapshot
+
+    @property
+    def cursor(self) -> int:
+        return self._inner.cursor
+
+    def read(self, timeout: Optional[float] = None):
+        """Next element; ``END_OF_STREAM`` when done, ``None`` on timeout."""
+        return self._inner.read(timeout)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._inner)
+
+    def close(self) -> None:
+        """Detach from the standing query (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._service.detach(self)
+
+
+class StandingQueryService:
+    """Register / subscribe / snapshot / detach over shared plan groups.
+
+    Args:
+        catalog: the engine catalog holding the source streams (and, when it
+            supports it, the standing-query namespace).
+        config: execution knobs for every plan group (members share
+            operators, so they necessarily share knobs); defaults to
+            early-emitting so subscribers see provisional revisions.
+        hub_capacity / policy: fan-out ring size and slow-subscriber policy
+            (see :mod:`repro.serve.hub`).
+        linger_seconds: how long a group keeps running after its last
+            subscriber detaches (0 stops immediately).
+        transport: in-process runtime transport (``threads`` or ``inline``).
+        merge_seed: source interleaving seed forwarded to every run.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        config: Optional[StreamQueryConfig] = None,
+        hub_capacity: int = 256,
+        policy: str = "block",
+        linger_seconds: float = 0.0,
+        transport: str = "threads",
+        merge_seed: Optional[int] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if transport not in IN_PROCESS_BACKENDS:
+            raise ValueError(
+                f"serving taps the graph in-process; transport must be one "
+                f"of {IN_PROCESS_BACKENDS}, got {transport!r}"
+            )
+        self._catalog = catalog
+        self._config = config or StreamQueryConfig(early_emit=True)
+        self._hub_capacity = hub_capacity
+        self._policy = policy
+        self._linger_seconds = linger_seconds
+        self._transport = transport
+        self._merge_seed = merge_seed
+        self._registry = SubplanRegistry(catalog)
+        self._queries: Dict[str, StandingQuery] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def subplans(self) -> SubplanRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self, name: str, nodes: Sequence[NodeSpec], replace: bool = False
+    ) -> StandingQuery:
+        """Register a standing query under ``name``.
+
+        Also records it in the catalog's standing-query namespace when the
+        catalog supports one, so ``EXPLAIN``/tooling can address it.
+        """
+        with self._lock:
+            if name in self._queries:
+                if not replace:
+                    raise ServeError(f"standing query {name!r} already registered")
+                self.unregister(name)
+            query = DataflowQuery(self._catalog, nodes, self._config)
+            canonical = self._registry.acquire(query.graph)
+            record = StandingQuery(name, query, canonical)
+            self._queries[name] = record
+            if hasattr(self._catalog, "register_standing_query"):
+                self._catalog.register_standing_query(name, query, replace=replace)
+            return record
+
+    def unregister(self, name: str) -> None:
+        """Remove a standing query, stopping its plan group if running."""
+        with self._lock:
+            record = self._queries.pop(name, None)
+            if record is None:
+                raise ServeError(f"unknown standing query {name!r}")
+            if record.group is not None and not record.group.finished.is_set():
+                record.group.stop()
+            self._registry.release(record.query.graph)
+            if hasattr(self._catalog, "unregister_standing_query"):
+                self._catalog.unregister_standing_query(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._queries)
+
+    def lookup(self, name: str) -> StandingQuery:
+        with self._lock:
+            try:
+                return self._queries[name]
+            except KeyError:
+                raise ServeError(
+                    f"unknown standing query {name!r}; registered: "
+                    f"{sorted(self._queries)}"
+                ) from None
+
+    # ------------------------------------------------------------------ #
+    # subscription lifecycle
+    # ------------------------------------------------------------------ #
+    def subscribe(self, name: str, snapshot: bool = True) -> ServingSubscription:
+        """Attach to a standing query, starting its plan group if idle.
+
+        With ``snapshot`` the subscription carries the materialized state
+        taken atomically with the cursor placement — the late joiner's
+        snapshot + live tail equals a from-start subscriber's accumulation.
+        """
+        with self._lock:
+            record = self.lookup(name)
+            # Prepare (but do not start) the plan group first: the first
+            # subscriber's cursor must be attached before any element is
+            # published, or the elements preceding the attach would reach
+            # only the cache and the from-start subscriber would miss them.
+            started = self._prepare_group(record)
+            group = record.group
+            group.cancel_linger_stop()
+            inner = record.hub.attach(record.cache.snapshot if snapshot else None)
+            record.subscribers += 1
+            group.subscribers += 1
+            if started:
+                group.start()
+            return ServingSubscription(self, record, group, inner)
+
+    def detach(self, subscription: ServingSubscription) -> None:
+        """Release one subscription; last detach stops (or lingers) the group."""
+        with self._lock:
+            record = subscription._record
+            group = subscription._group
+            subscription._inner.close()
+            record.subscribers = max(0, record.subscribers - 1)
+            group.subscribers = max(0, group.subscribers - 1)
+            if group.subscribers > 0 or group.finished.is_set():
+                return
+            if self._linger_seconds <= 0:
+                group.stop()
+            else:
+                group.schedule_linger_stop(
+                    self._linger_seconds, lambda: self._linger_expired(group)
+                )
+
+    def _linger_expired(self, group: PlanGroup) -> None:
+        with self._lock:
+            if group.subscribers <= 0 and not group.finished.is_set():
+                group.stop()
+
+    def snapshot(self, name: str, settled_only: bool = False) -> List[TPTuple]:
+        """The standing query's current materialized state (consistent read)."""
+        with self._lock:
+            record = self.lookup(name)
+            hub = record.hub
+        if hub is None:
+            return record.cache.snapshot(settled_only)
+        with hub.lock:
+            return record.cache.snapshot(settled_only)
+
+    def _prepare_group(self, record: StandingQuery) -> bool:
+        """Build a fresh plan group for an idle query; returns whether the
+        caller must start it (after attaching the triggering subscriber)."""
+        if record.group is not None and not record.group.finished.is_set():
+            return False
+        members = self._sharing_closure(record)
+        wanted: Set[str] = set()
+        for member in members:
+            wanted.update(member.canonical.values())
+        graph = DataflowGraph(self._catalog, self._registry.plan_nodes(wanted))
+        group = PlanGroup(
+            members, graph, self._config, self._transport, self._merge_seed
+        )
+        for member in members:
+            member.hub = FanoutHub(self._hub_capacity, self._policy)
+            member.cache = ResultCache()
+            member.group = group
+        return True
+
+    def _sharing_closure(self, record: StandingQuery) -> List[StandingQuery]:
+        """Idle registered queries transitively sharing a subplan with
+        ``record`` (including ``record``), in registration order."""
+        idle = [
+            query
+            for query in self._queries.values()
+            if query.group is None or query.group.finished.is_set()
+        ]
+        chosen: Dict[str, StandingQuery] = {record.name: record}
+        reachable: Set[str] = set(record.canonical.values())
+        grew = True
+        while grew:
+            grew = False
+            for query in idle:
+                if query.name in chosen:
+                    continue
+                names = set(query.canonical.values())
+                if names & reachable:
+                    chosen[query.name] = query
+                    reachable |= names
+                    grew = True
+        return [query for query in self._queries.values() if query.name in chosen]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def operators_of(self, name: str) -> List:
+        """The live operator instances behind a query's sink (per partition)."""
+        with self._lock:
+            record = self.lookup(name)
+            if record.group is None:
+                return []
+            return list(record.group.operators.get(record.sink_canonical, ()))
+
+    def shared_subplans(self) -> Set[str]:
+        """Canonical subplan names currently referenced by >1 query."""
+        with self._lock:
+            return self._registry.shared_names()
+
+    def explain(self, name: str) -> str:
+        """Physical EXPLAIN of a standing query with ``shared=`` markers.
+
+        Renders the query's canonical (merged-plan) nodes, so shared
+        subplans appear under their canonical names; the
+        ``dataflow_shared`` attribute drives the EXPLAIN annotation.
+        """
+        from ..engine.continuous import ContinuousScanOperator, DataflowJoinOperator
+        from ..engine.explain import explain_physical
+
+        with self._lock:
+            record = self.lookup(name)
+            nodes = self._registry.plan_nodes(set(record.canonical.values()))
+            shared = self._registry.shared_names() & set(record.canonical.values())
+        graph = DataflowGraph(self._catalog, nodes)
+        scans = tuple(
+            ContinuousScanOperator(self._catalog.lookup_stream(source), source)
+            for source in graph.source_names
+        )
+        operator = DataflowJoinOperator(self._catalog, scans, nodes, self._config)
+        operator.dataflow_shared = tuple(
+            sorted(shared)
+        )  # read by engine.explain's renderer
+        return explain_physical(operator)
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-query serving statistics (hub counters, cache size, state)."""
+        with self._lock:
+            report: Dict[str, dict] = {}
+            for name, record in self._queries.items():
+                hub = record.hub
+                group = record.group
+                report[name] = {
+                    "subscribers": record.subscribers,
+                    "cached_tuples": len(record.cache),
+                    "last_watermark": record.cache.last_watermark,
+                    "running": group is not None and not group.finished.is_set(),
+                    "published": 0 if hub is None else hub.published,
+                    "dropped_provisional": 0 if hub is None else hub.dropped_provisional,
+                    "publish_blocks": 0 if hub is None else hub.publish_blocks,
+                    "disconnects": 0 if hub is None else hub.disconnects,
+                    "sink": record.sink_canonical,
+                }
+            return report
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def stop(self, name: str, join_timeout: float = 10.0) -> None:
+        """Stop one query's plan group (all member queries stop with it)."""
+        with self._lock:
+            record = self.lookup(name)
+            group = record.group
+        if group is not None and not group.finished.is_set():
+            group.stop()
+            group.join(join_timeout)
+
+    def shutdown(self, join_timeout: float = 10.0) -> None:
+        """Stop every running plan group and wait for their threads."""
+        with self._lock:
+            groups = {
+                id(record.group): record.group
+                for record in self._queries.values()
+                if record.group is not None
+            }
+        for group in groups.values():
+            if not group.finished.is_set():
+                group.stop()
+        for group in groups.values():
+            group.join(join_timeout)

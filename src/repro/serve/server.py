@@ -1,0 +1,406 @@
+"""The asyncio front-end: standing queries over newline-delimited JSON/TCP.
+
+``python -m repro.serve --listen HOST:PORT`` serves a
+:class:`~repro.serve.registry.StandingQueryService` to TCP clients.  Each
+request and response is one JSON object per line.  Requests:
+
+* ``{"op": "register", "name": N, "nodes": [...], "replace": false}`` —
+  node objects mirror :class:`~repro.dataflow.NodeSpec`
+  (``name``/``kind``/``left``/``right``/``on``/``partitions``);
+* ``{"op": "subscribe", "name": N, "snapshot": true}`` — takes over the
+  connection: the server acks, optionally sends the materialized snapshot,
+  then streams ``revision``/``watermark`` lines until ``end``.  A
+  ``{"op": "detach"}`` line (or closing the connection) detaches;
+* ``{"op": "snapshot", "name": N}`` — one consistent materialized snapshot;
+* ``{"op": "explain", "name": N}`` — the physical plan with ``shared=``
+  markers;
+* ``{"op": "list"}`` — registered standing-query names.
+
+TP tuples travel in the compact primitive encoding of
+:mod:`repro.parallel.serialize` (``[fact, lineage, start, end, p]``), so
+the NDJSON protocol and the binary runtime codecs share one tuple wire
+shape.  Watermark values may be ``Infinity`` — Python's ``json`` emits and
+accepts it (the protocol is NDJSON between Python peers, not strict JSON).
+
+The serving runtime is threaded; the bridge into asyncio is
+``run_in_executor`` around the hub's blocking cursor reads, with a short
+read timeout so a vanished client is noticed promptly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..dataflow.graph import NodeSpec
+from ..dataflow.revision import Revision, RevisionKind
+from ..parallel.serialize import decode_tuple, encode_tuple
+from ..relation import TPTuple
+from ..stream.elements import Watermark
+from .hub import END_OF_STREAM, SlowSubscriberDisconnected
+from .registry import ServeError, ServingSubscription, StandingQueryService
+
+#: How often the streaming loop wakes to notice a detach or dead client.
+_READ_POLL_SECONDS = 0.25
+
+
+# --------------------------------------------------------------------------- #
+# wire helpers (shared by server and client)
+# --------------------------------------------------------------------------- #
+def node_payload(spec: NodeSpec) -> dict:
+    """A :class:`NodeSpec` as a JSON-ready object."""
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "left": spec.left,
+        "right": spec.right,
+        "on": [list(pair) for pair in spec.on],
+        "partitions": spec.partitions,
+    }
+
+
+def node_from_payload(payload: dict) -> NodeSpec:
+    """Rebuild a :class:`NodeSpec` from its wire object."""
+    return NodeSpec(
+        name=payload["name"],
+        kind=payload["kind"],
+        left=payload["left"],
+        right=payload["right"],
+        on=tuple(tuple(pair) for pair in payload.get("on", ())),
+        partitions=int(payload.get("partitions", 1)),
+    )
+
+
+def element_payload(element: Any) -> dict:
+    """One hub element (revision or watermark) as a JSON-ready object."""
+    if isinstance(element, Watermark):
+        return {"type": "watermark", "value": element.value}
+    if isinstance(element, Revision):
+        return {
+            "type": "revision",
+            "kind": element.kind.value,
+            "provisional": element.provisional,
+            "tuple": encode_tuple(element.tuple),
+        }
+    raise TypeError(f"cannot encode hub element {element!r}")
+
+
+def element_from_payload(payload: dict) -> Any:
+    """Rebuild a hub element from its wire object."""
+    if payload["type"] == "watermark":
+        return Watermark(payload["value"])
+    if payload["type"] == "revision":
+        return Revision(
+            RevisionKind(payload["kind"]),
+            decode_tuple(payload["tuple"]),
+            provisional=bool(payload.get("provisional", False)),
+        )
+    raise ValueError(f"unknown element payload type {payload['type']!r}")
+
+
+def tuples_payload(tuples: Sequence[TPTuple]) -> List[tuple]:
+    return [encode_tuple(tp_tuple) for tp_tuple in tuples]
+
+
+def tuples_from_payload(codes: Sequence) -> List[TPTuple]:
+    return [decode_tuple(code) for code in codes]
+
+
+# --------------------------------------------------------------------------- #
+# server
+# --------------------------------------------------------------------------- #
+class ServeServer:
+    """NDJSON-over-TCP access to one :class:`StandingQueryService`."""
+
+    def __init__(
+        self, service: StandingQueryService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def service(self) -> StandingQueryService:
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting; prints one readiness line."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self._host, self._port = bound[0], bound[1]
+        print(f"repro serve listening on {self._host}:{self._port}", flush=True)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await self._send(
+                        writer, {"type": "error", "message": f"bad JSON: {error}"}
+                    )
+                    continue
+                try:
+                    finished = await self._dispatch(request, reader, writer)
+                except (ServeError, ValueError, KeyError, TypeError) as error:
+                    await self._send(
+                        writer, {"type": "error", "message": str(error)}
+                    )
+                    continue
+                if finished:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self,
+        request: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        op = request.get("op")
+        if op == "register":
+            nodes = [node_from_payload(node) for node in request["nodes"]]
+            self._service.register(
+                request["name"], nodes, replace=bool(request.get("replace", False))
+            )
+            await self._send(
+                writer, {"type": "ok", "op": "register", "name": request["name"]}
+            )
+            return False
+        if op == "list":
+            await self._send(
+                writer, {"type": "ok", "op": "list", "queries": self._service.names()}
+            )
+            return False
+        if op == "snapshot":
+            loop = asyncio.get_running_loop()
+            tuples = await loop.run_in_executor(
+                None, self._service.snapshot, request["name"]
+            )
+            await self._send(
+                writer,
+                {
+                    "type": "snapshot",
+                    "name": request["name"],
+                    "tuples": tuples_payload(tuples),
+                },
+            )
+            return False
+        if op == "explain":
+            plan = self._service.explain(request["name"])
+            await self._send(
+                writer,
+                {"type": "ok", "op": "explain", "name": request["name"], "plan": plan},
+            )
+            return False
+        if op == "subscribe":
+            await self._stream(request, reader, writer)
+            return True  # the subscription consumed the connection
+        if op == "detach":
+            raise ServeError("no active subscription on this connection")
+        raise ServeError(f"unknown op {op!r}")
+
+    async def _stream(
+        self,
+        request: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        name = request["name"]
+        want_snapshot = bool(request.get("snapshot", True))
+        subscription: ServingSubscription = await loop.run_in_executor(
+            None, lambda: self._service.subscribe(name, snapshot=want_snapshot)
+        )
+        await self._send(writer, {"type": "ok", "op": "subscribe", "name": name})
+        if subscription.snapshot is not None:
+            await self._send(
+                writer,
+                {
+                    "type": "snapshot",
+                    "name": name,
+                    "tuples": tuples_payload(subscription.snapshot),
+                },
+            )
+        watcher = asyncio.ensure_future(self._watch_for_detach(reader, subscription))
+        try:
+            while True:
+                try:
+                    item = await loop.run_in_executor(
+                        None, subscription.read, _READ_POLL_SECONDS
+                    )
+                except ValueError:
+                    # Detached (client asked, or the connection vanished).
+                    await self._send(writer, {"type": "end", "name": name, "reason": "detached"})
+                    return
+                except SlowSubscriberDisconnected as error:
+                    await self._send(
+                        writer,
+                        {"type": "end", "name": name, "reason": "disconnected",
+                         "message": str(error)},
+                    )
+                    return
+                if item is None:
+                    continue
+                if item is END_OF_STREAM:
+                    await self._send(writer, {"type": "end", "name": name, "reason": "settled"})
+                    return
+                payload = element_payload(item)
+                payload["name"] = name
+                await self._send(writer, payload)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            watcher.cancel()
+            subscription.close()
+
+    async def _watch_for_detach(
+        self, reader: asyncio.StreamReader, subscription: ServingSubscription
+    ) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if request.get("op") == "detach":
+                break
+        # Closing the subscription makes the streaming loop's next read
+        # raise ValueError, which ends the stream cleanly.
+        subscription.close()
+
+
+# --------------------------------------------------------------------------- #
+# blocking client
+# --------------------------------------------------------------------------- #
+class ServeClient:
+    """A small blocking NDJSON client (tests, benchmarks, the CLI)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def send(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+
+    def recv(self) -> Optional[dict]:
+        """One response line (``None`` on EOF); raises on ``error`` lines."""
+        line = self._file.readline()
+        if not line:
+            return None
+        response = json.loads(line)
+        if response.get("type") == "error":
+            raise ServeError(response.get("message", "server error"))
+        return response
+
+    def request(self, payload: dict) -> dict:
+        self.send(payload)
+        response = self.recv()
+        if response is None:
+            raise ServeError("server closed the connection")
+        return response
+
+    # convenience wrappers ---------------------------------------------- #
+    def register(
+        self, name: str, nodes: Sequence[NodeSpec], replace: bool = False
+    ) -> dict:
+        return self.request(
+            {
+                "op": "register",
+                "name": name,
+                "nodes": [node_payload(spec) for spec in nodes],
+                "replace": replace,
+            }
+        )
+
+    def list_queries(self) -> List[str]:
+        return self.request({"op": "list"})["queries"]
+
+    def snapshot(self, name: str) -> List[TPTuple]:
+        return tuples_from_payload(self.request({"op": "snapshot", "name": name})["tuples"])
+
+    def explain(self, name: str) -> str:
+        return self.request({"op": "explain", "name": name})["plan"]
+
+    def subscribe(self, name: str, snapshot: bool = True) -> Optional[List[TPTuple]]:
+        """Start a subscription on this connection; returns the snapshot.
+
+        After this call the connection belongs to the stream: iterate
+        :meth:`events` until the ``end`` message.
+        """
+        response = self.request({"op": "subscribe", "name": name, "snapshot": snapshot})
+        assert response.get("op") == "subscribe", response
+        if not snapshot:
+            return None
+        snapshot_message = self.recv()
+        if snapshot_message is None:
+            raise ServeError("server closed the connection before the snapshot")
+        return tuples_from_payload(snapshot_message["tuples"])
+
+    def events(self) -> Iterator[dict]:
+        """Stream messages after :meth:`subscribe`, ending on ``end``/EOF."""
+        while True:
+            message = self.recv()
+            if message is None:
+                return
+            yield message
+            if message.get("type") == "end":
+                return
+
+    def detach(self) -> None:
+        self.send({"op": "detach"})

@@ -1,0 +1,64 @@
+"""Fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Schema, TPRelation
+from repro.datasets import ReplayConfig, stream_def
+from repro.engine import Catalog
+
+
+def make_relation(
+    prefix: str,
+    size: int,
+    seed: int,
+    num_keys: int = 3,
+    time_span: int = 30,
+    max_duration: int = 8,
+) -> TPRelation:
+    """One random constraint-valid TP relation with ``prefix``-unique events."""
+    rng = random.Random(seed)
+    rows = []
+    for index in range(size):
+        key = f"k{rng.randrange(num_keys)}"
+        start = rng.randrange(0, time_span)
+        end = start + rng.randrange(1, max_duration)
+        probability = round(rng.uniform(0.05, 0.95), 3)
+        rows.append(
+            (key, f"{prefix}{index}", f"{prefix}{index}", start, end, probability)
+        )
+    return TPRelation.from_rows(Schema.of("Key", "Serial"), rows, name=prefix)
+
+
+def make_stream_catalog(
+    seed: int,
+    sizes: tuple[int, int, int] = (20, 20, 15),
+    disorder: int = 5,
+    num_keys: int = 3,
+    watermark_every: int = 4,
+) -> Catalog:
+    """A catalog with three registered streams ``a``/``b``/``c``."""
+    catalog = Catalog()
+    for offset, (name, size) in enumerate(zip("abc", sizes)):
+        relation = make_relation(name, size, seed * 101 + offset, num_keys)
+        catalog.register_stream(
+            name,
+            stream_def(
+                relation,
+                ReplayConfig(
+                    disorder=disorder,
+                    seed=seed * 13 + offset,
+                    watermark_every=watermark_every,
+                ),
+            ),
+        )
+    return catalog
+
+
+@pytest.fixture()
+def serve_catalog_factory():
+    """Fixture exposing :func:`make_stream_catalog` to tests."""
+    return make_stream_catalog

@@ -1,0 +1,238 @@
+"""Fan-out hub: cursors, eviction, and the three slow-subscriber policies.
+
+The satellite coverage this PR promised: one fast and one stalled
+subscriber under each policy, asserting settled revisions are never
+dropped and cursors never regress.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.lineage import Var
+from repro.relation import TPTuple
+from repro.serve import END_OF_STREAM, FanoutHub, SlowSubscriberDisconnected
+from repro.serve.hub import droppable
+from repro.dataflow.revision import Revision, RevisionKind
+from repro.stream.elements import Watermark
+from repro.temporal import Interval
+
+
+def revision(serial: int, kind=RevisionKind.EMIT, provisional=False) -> Revision:
+    tp_tuple = TPTuple((f"k{serial}", f"s{serial}"), Var(f"e{serial}"), Interval(0, 1), 0.5)
+    return Revision(kind, tp_tuple, provisional=provisional)
+
+
+def drain(subscription) -> list:
+    items = []
+    while True:
+        item = subscription.read(timeout=5.0)
+        assert item is not None, "unexpected read timeout"
+        if item is END_OF_STREAM:
+            return items
+        items.append(item)
+
+
+def test_fanout_delivers_every_element_to_every_subscriber():
+    hub = FanoutHub(capacity=16)
+    first = hub.attach()
+    second = hub.attach()
+    elements = [revision(index) for index in range(10)]
+    for element in elements:
+        assert hub.publish(element)
+    hub.close()
+    assert drain(first) == elements
+    assert drain(second) == elements
+
+
+def test_late_attach_sees_only_the_tail():
+    hub = FanoutHub(capacity=16)
+    early = hub.attach()
+    hub.publish(revision(0))
+    hub.publish(revision(1))
+    late = hub.attach()
+    hub.publish(revision(2))
+    hub.close()
+    assert len(drain(early)) == 3
+    assert drain(late) == [revision(2)]
+
+
+def test_shared_ring_retires_entries_consumed_by_all():
+    hub = FanoutHub(capacity=16)
+    first = hub.attach()
+    second = hub.attach()
+    for index in range(8):
+        hub.publish(revision(index))
+    assert hub.ring_size() == 8
+    for _ in range(8):
+        first.read(timeout=1.0)
+    # first consumed everything, second nothing: all entries still retained.
+    assert hub.ring_size() == 8
+    for _ in range(5):
+        second.read(timeout=1.0)
+    assert hub.ring_size() == 3
+
+
+def test_detached_subscriber_releases_its_entries():
+    hub = FanoutHub(capacity=16)
+    fast = hub.attach()
+    slow = hub.attach()
+    for index in range(6):
+        hub.publish(revision(index))
+    for _ in range(6):
+        fast.read(timeout=1.0)
+    assert hub.ring_size() == 6
+    slow.close()
+    assert hub.ring_size() == 0
+    with pytest.raises(ValueError):
+        slow.read(timeout=0.1)
+
+
+def test_block_policy_backpressures_and_loses_nothing():
+    import time
+
+    hub = FanoutHub(capacity=4, policy="block")
+    fast = hub.attach()
+    stalled = hub.attach()
+    elements = [revision(index, provisional=index % 2 == 0) for index in range(12)]
+    received_fast = []
+    cursors_fast = []
+    fast_done = threading.Event()
+
+    def fast_consumer():
+        while True:
+            item = fast.read(timeout=10.0)
+            if item is END_OF_STREAM:
+                break
+            received_fast.append(item)
+            cursors_fast.append(fast.cursor)
+        fast_done.set()
+
+    def publisher():
+        for element in elements:
+            hub.publish(element)
+        hub.close()
+
+    threading.Thread(target=fast_consumer, daemon=True).start()
+    threading.Thread(target=publisher, daemon=True).start()
+    # The stalled subscriber pins the ring at 4 entries, so the publisher is
+    # guaranteed to park on the 5th element.  Wait for that, then catch up.
+    deadline = time.monotonic() + 10.0
+    while hub.publish_blocks == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert hub.publish_blocks > 0
+    received_stalled = drain(stalled)
+    assert fast_done.wait(timeout=10.0)
+    # Nothing was dropped for either subscriber, order preserved end to end.
+    assert received_fast == elements
+    assert received_stalled == elements
+    assert cursors_fast == sorted(cursors_fast)
+    assert hub.dropped_provisional == 0
+
+
+def test_drop_provisional_drops_only_droppables_and_keeps_order():
+    hub = FanoutHub(capacity=4, policy="drop_provisional")
+    fast = hub.attach()
+    stalled = hub.attach()
+    settled = [revision(index, provisional=False) for index in range(4)]
+    provisionals = [revision(100 + index, provisional=True) for index in range(5)]
+    # s0 p0 s1 p1 s2 p2 s3 p3 p4 against capacity 4 with a fully stalled
+    # subscriber: provisionals are evicted (or dropped on arrival) to make
+    # room, settled revisions always find space — no publish ever blocks.
+    sequence = [
+        settled[0], provisionals[0], settled[1], provisionals[1],
+        settled[2], provisionals[2], settled[3], provisionals[3], provisionals[4],
+    ]
+    for element in sequence:
+        hub.publish(element)
+    hub.close()
+    assert hub.dropped_provisional > 0
+    stalled_before = stalled.cursor
+    stalled_items = drain(stalled)
+    # Every settled revision survived for the stalled laggard, in order.
+    assert [r for r in stalled_items if not droppable(r)] == settled
+    assert stalled.cursor >= stalled_before
+    # The fast subscriber (reading after the fact) sees the same settled set.
+    fast_items = drain(fast)
+    assert [r for r in fast_items if not droppable(r)] == settled
+
+
+def test_drop_provisional_never_drops_watermark_only_progress_to_cache():
+    # Watermarks are droppable; dropping one must not lose cache progress.
+    from repro.serve import ResultCache
+
+    hub = FanoutHub(capacity=1, policy="drop_provisional")
+    cache = ResultCache()
+    stalled = hub.attach()
+    hub.publish(revision(0), update=cache.apply)  # fills the ring
+    hub.publish(Watermark(7.0), update=cache.apply)  # dropped, cache still sees it
+    assert cache.last_watermark == 7.0
+    assert hub.dropped_provisional == 1
+    assert stalled.cursor == 0
+
+
+def test_disconnect_policy_cuts_the_slowest_and_keeps_the_fast_stream_exact():
+    hub = FanoutHub(capacity=4, policy="disconnect")
+    fast = hub.attach()
+    stalled = hub.attach()
+    elements = [revision(index) for index in range(12)]
+    received = []
+    # Lock-step: the fast subscriber consumes each element as published, so
+    # it is deterministically ahead when the ring fills and the stalled one
+    # (pinned at cursor 0) is unambiguously the slowest.
+    for element in elements:
+        assert hub.publish(element)
+        received.append(fast.read(timeout=1.0))
+    hub.close()
+    assert fast.read(timeout=1.0) is END_OF_STREAM
+    assert received == elements  # the fast subscriber lost nothing
+    assert hub.disconnects == 1
+    with pytest.raises(SlowSubscriberDisconnected):
+        stalled.read(timeout=1.0)
+
+
+def test_publish_without_subscribers_updates_cache_only():
+    from repro.serve import ResultCache
+
+    hub = FanoutHub(capacity=4)
+    cache = ResultCache()
+    assert not hub.publish(revision(0), update=cache.apply)
+    assert len(cache) == 1
+    assert hub.ring_size() == 0
+
+
+def test_close_unblocks_a_parked_publisher():
+    hub = FanoutHub(capacity=1, policy="block")
+    hub.attach()  # never reads
+    hub.publish(revision(0))
+    result = {}
+
+    def publisher():
+        result["delivered"] = hub.publish(revision(1))
+
+    thread = threading.Thread(target=publisher, daemon=True)
+    thread.start()
+    thread.join(timeout=0.2)
+    assert thread.is_alive()  # parked on the full ring
+    hub.close()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert result["delivered"] is False
+
+
+def test_snapshot_fn_runs_atomically_with_cursor_placement():
+    from repro.serve import ResultCache
+
+    hub = FanoutHub(capacity=16)
+    cache = ResultCache()
+    reader = hub.attach()
+    for index in range(4):
+        hub.publish(revision(index), update=cache.apply)
+    late = hub.attach(snapshot_fn=cache.snapshot)
+    hub.publish(revision(4), update=cache.apply)
+    hub.close()
+    assert len(late.snapshot) == 4
+    assert drain(late) == [revision(4)]
+    assert len(drain(reader)) == 5

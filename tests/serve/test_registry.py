@@ -1,0 +1,293 @@
+"""StandingQueryService: lifecycle, plan sharing, snapshots, late joiners."""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.dataflow import DataflowQuery, NodeSpec
+from repro.dataflow.revision import Revision, RevisionKind
+from repro.relation import TPTuple
+from repro.serve import END_OF_STREAM, ServeError, StandingQueryService
+from repro.stream.elements import Watermark
+from repro.stream.query import StreamQueryConfig
+
+from conftest import make_stream_catalog
+
+ON = (("Key", "Key"),)
+JOIN = NodeSpec("j1", "left_outer", "a", "b", ON)
+
+
+def make_service(seed=5, **kwargs) -> StandingQueryService:
+    return StandingQueryService(make_stream_catalog(seed=seed), **kwargs)
+
+
+def make_gated_catalog(seed: int, gate: threading.Event):
+    """A stream catalog whose sources yield nothing until ``gate`` is set.
+
+    A plan group over this catalog provably cannot settle before the test
+    releases the gate, which makes group-lifetime assertions (same group
+    across a resubscribe, both queries landing in one running group)
+    deterministic instead of a race against an in-memory replay.
+    """
+    catalog = make_stream_catalog(seed=seed)
+    for name in ("a", "b", "c"):
+        definition = catalog.lookup_stream(name)
+        original_replay = definition.replay
+
+        def gated_replay(inner=original_replay):
+            elements = list(inner())
+
+            def generate():
+                assert gate.wait(timeout=30.0), "test never released the gate"
+                yield from elements
+
+            return generate()
+
+        catalog.register_stream(
+            name, dataclasses.replace(definition, replay=gated_replay), replace=True
+        )
+    return catalog
+
+
+def settled_sorted(tuples) -> list:
+    return sorted(tuples, key=TPTuple.key)
+
+
+def drain(subscription, timeout=10.0) -> list:
+    items = []
+    deadline = time.monotonic() + timeout
+    while True:
+        item = subscription.read(timeout=max(0.01, deadline - time.monotonic()))
+        assert item is not None, "unexpected subscription read timeout"
+        if item is END_OF_STREAM:
+            return items
+        items.append(item)
+
+
+def wait_for_operators(service, name, count, timeout=5.0) -> list:
+    # Worker threads start asynchronously after subscribe(); poll until the
+    # start-up probes have reported every partition's operator instance.
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        operators = service.operators_of(name)
+        if len(operators) >= count:
+            return operators
+    raise AssertionError(f"probes never reported {count} operators for {name!r}")
+
+
+def net_settled_state(elements) -> list:
+    """Accumulate a revision stream into its net settled tuple set."""
+    from repro.serve import ResultCache
+
+    cache = ResultCache()
+    for element in elements:
+        cache.apply(element)
+    return settled_sorted(cache.snapshot(settled_only=True))
+
+
+def test_lifecycle_idle_until_first_subscriber_then_settles():
+    service = make_service()
+    service.register("q1", [JOIN])
+    assert service.stats()["q1"]["running"] is False
+    subscription = service.subscribe("q1")
+    elements = drain(subscription)
+    assert any(isinstance(e, Revision) for e in elements)
+    assert any(isinstance(e, Watermark) for e in elements)
+    record = service.lookup("q1")
+    assert record.group.finished.wait(timeout=5.0)
+    assert service.stats()["q1"]["running"] is False
+    subscription.close()
+    service.shutdown()
+
+
+def test_settled_state_matches_direct_dataflow_run():
+    config = StreamQueryConfig(early_emit=True)
+    catalog = make_stream_catalog(seed=5)
+    direct = DataflowQuery(catalog, [JOIN], config).run(backend="inline")
+    service = StandingQueryService(make_stream_catalog(seed=5), config=config)
+    service.register("q1", [JOIN])
+    subscription = service.subscribe("q1")
+    elements = drain(subscription)
+    assert net_settled_state(elements) == settled_sorted(direct.relation.tuples)
+    # The materialized cache converged to the same state.
+    assert settled_sorted(service.snapshot("q1", settled_only=True)) == settled_sorted(
+        direct.relation.tuples
+    )
+    service.shutdown()
+
+
+def test_last_detach_stops_the_group_mid_flight():
+    # A stalled subscriber holds the group open; detaching it must cancel
+    # the run and close the hubs rather than leaving threads behind.
+    service = make_service(policy="block", hub_capacity=4)
+    service.register("q1", [JOIN])
+    first = service.subscribe("q1")
+    second = service.subscribe("q1")
+    group = service.lookup("q1").group
+    first.close()
+    assert not group.cancel.is_set()  # one subscriber still attached
+    second.close()
+    assert group.cancel.is_set()
+    assert group.join(timeout=5.0)
+    service.shutdown()
+
+
+def test_linger_keeps_the_group_alive_for_a_resubscribe():
+    # Gated sources: the group cannot settle on its own, so the lingering
+    # group is guaranteed to still be the one the resubscriber lands on.
+    gate = threading.Event()
+    service = StandingQueryService(
+        make_gated_catalog(5, gate), linger_seconds=30.0
+    )
+    service.register("q1", [JOIN])
+    first = service.subscribe("q1")
+    group = service.lookup("q1").group
+    first.close()
+    assert not group.cancel.is_set()  # lingering, not stopped
+    second = service.subscribe("q1")
+    assert service.lookup("q1").group is group  # same run, no restart
+    gate.set()
+    elements = drain(second)  # the resubscriber still sees the full stream
+    assert any(isinstance(e, Revision) for e in elements)
+    second.close()
+    group.join(timeout=10.0)
+    service.shutdown()
+
+
+def test_two_queries_sharing_a_subplan_execute_it_once():
+    partitions = 2
+    shared_spec = NodeSpec("j1", "left_outer", "a", "b", ON, partitions=partitions)
+    config = StreamQueryConfig(early_emit=True, materialize_probabilities=True)
+    # Gated sources: nothing is published (and the group cannot settle)
+    # until both subscribers are attached, so both observe the full stream.
+    gate = threading.Event()
+    service = StandingQueryService(
+        make_gated_catalog(5, gate), config=config, hub_capacity=4096
+    )
+    service.register("q1", [shared_spec])
+    service.register("q2", [NodeSpec("other_name", "left_outer", "a", "b", ON, partitions=partitions)])
+    assert service.shared_subplans() == {"j1"}
+    one = service.subscribe("q1")
+    two = service.subscribe("q2")
+    gate.set()
+    # Both standing queries landed in one plan group over one merged graph.
+    assert service.lookup("q1").group is service.lookup("q2").group
+    ops_one = wait_for_operators(service, "q1", partitions)
+    ops_two = wait_for_operators(service, "q2", partitions)
+    # One operator instance per partition — not per query.
+    assert len(ops_one) == partitions
+    assert all(a is b for a, b in zip(ops_one, ops_two))
+    elements_one = drain(one)
+    elements_two = drain(two)
+    # Both subscribers observed the identical (non-empty) revision stream.
+    state_one = net_settled_state(elements_one)
+    assert state_one and state_one == net_settled_state(elements_two)
+    # The per-key hash-cons probability tables are shared: the same key
+    # resolves to the same interned computer object through either query.
+    maintainer = ops_one[0].maintainer
+    key = next(iter(service.snapshot("q1"))).fact[0]
+    assert maintainer.computer_for((key,)) is ops_two[0].maintainer.computer_for((key,))
+    service.shutdown()
+
+
+def test_disjoint_queries_do_not_share_a_group():
+    service = make_service()
+    service.register("q1", [JOIN])
+    service.register("q2", [NodeSpec("j2", "inner", "a", "c", ON)])
+    assert service.shared_subplans() == set()
+    one = service.subscribe("q1")
+    two = service.subscribe("q2")
+    assert service.lookup("q1").group is not service.lookup("q2").group
+    drain(one)
+    drain(two)
+    service.shutdown()
+
+
+def test_late_joiner_snapshot_plus_tail_equals_from_start_accumulation():
+    service = make_service(hub_capacity=1024)
+    service.register("q1", [JOIN])
+    from_start = service.subscribe("q1")
+    # Let the query make real progress before the late joiner arrives.
+    early_elements = []
+    while len([e for e in early_elements if isinstance(e, Revision)]) < 20:
+        item = from_start.read(timeout=5.0)
+        assert item is not None and item is not END_OF_STREAM
+        early_elements.append(item)
+    late = service.subscribe("q1")
+    assert late.snapshot is not None
+    tail = drain(late)
+    remainder = drain(from_start)
+    # Bitwise equality: the late joiner's snapshot + live tail accumulates
+    # to exactly the from-start subscriber's accumulated settled state.
+    from repro.serve import ResultCache
+
+    from_start_cache = ResultCache()
+    for element in early_elements + remainder:
+        from_start_cache.apply(element)
+    late_cache = ResultCache()
+    for tp_tuple in late.snapshot:
+        late_cache.apply(Revision(RevisionKind.EMIT, tp_tuple))
+    for element in tail:
+        late_cache.apply(element)
+    assert settled_sorted(late_cache.snapshot()) == settled_sorted(
+        from_start_cache.snapshot()
+    )
+    service.shutdown()
+
+
+def test_subscribe_without_snapshot_carries_none():
+    service = make_service()
+    service.register("q1", [JOIN])
+    subscription = service.subscribe("q1", snapshot=False)
+    assert subscription.snapshot is None
+    drain(subscription)
+    service.shutdown()
+
+
+def test_explain_marks_shared_subplans():
+    service = make_service()
+    service.register("q1", [JOIN])
+    assert "shared=" not in service.explain("q1")
+    service.register("q2", [NodeSpec("mine", "left_outer", "a", "b", ON)])
+    plan = service.explain("q1")
+    assert "shared=j1" in plan
+    service.shutdown()
+
+
+def test_register_conflicts_and_unregister():
+    service = make_service()
+    service.register("q1", [JOIN])
+    with pytest.raises(ServeError):
+        service.register("q1", [JOIN])
+    service.register("q1", [NodeSpec("j1", "inner", "a", "b", ON)], replace=True)
+    assert service.lookup("q1").query.graph.nodes[0].kind == "inner"
+    with pytest.raises(ServeError, match="unknown standing query"):
+        service.lookup("nope")
+    service.unregister("q1")
+    with pytest.raises(ServeError):
+        service.unregister("q1")
+    assert service.names() == []
+
+
+def test_catalog_standing_query_namespace():
+    catalog = make_stream_catalog(seed=5)
+    service = StandingQueryService(catalog)
+    service.register("q1", [JOIN])
+    assert catalog.standing_query_names() == ["q1"]
+    assert catalog.lookup_standing_query("q1") is service.lookup("q1").query
+    service.unregister("q1")
+    assert catalog.standing_query_names() == []
+    with pytest.raises(Exception, match="q1"):
+        catalog.lookup_standing_query("q1")
+
+
+def test_service_rejects_bad_policy_and_transport():
+    catalog = make_stream_catalog(seed=5)
+    with pytest.raises(ValueError, match="policy"):
+        StandingQueryService(catalog, policy="nope")
+    with pytest.raises(ValueError, match="transport"):
+        StandingQueryService(catalog, transport="sockets")
