@@ -1,0 +1,205 @@
+"""Telemetry overhead: the same continuous join with metrics off vs. on.
+
+The metrics subsystem claims a near-zero-cost hot path: counters are plain
+attribute increments bound into the worker loop, the metrics-off branch is
+the verbatim uninstrumented loop, and snapshots ride the existing frame
+protocol.  This benchmark holds that claim to a number.  For each
+configuration it replays the Meteo-like workload through the continuous TP
+left outer join twice — once with ``metrics=False`` (the default) and once
+with ``metrics=True`` — and reports
+
+* **events/sec** for both modes (best of ``--repeats`` runs each, so a
+  single scheduler hiccup cannot decide the comparison),
+* ``metrics_on_vs_off_throughput_ratio`` — the gated figure: the
+  instrumented run must keep at least ``--gate-ratio`` (default 0.95) of
+  the uninstrumented throughput, and
+* the instrumented run's aggregated counter totals, as evidence the
+  telemetry was actually live while the ratio was measured.
+
+Both runs must produce bitwise-identical settled output (canonical lineage
+included) before any number is reported — instrumentation that changes the
+answer would be a bug, not an overhead.
+
+Run with::
+
+    python benchmarks/bench_metrics_overhead.py             # default sizes
+    python benchmarks/bench_metrics_overhead.py --smoke     # CI-sized
+    python benchmarks/bench_metrics_overhead.py --sizes 2000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from conftest import bench_payload_base
+
+from repro.datasets import ReplayConfig, meteo_pair, stream_def
+from repro.engine import Catalog
+from repro.harness.reporting import write_bench_file
+from repro.lineage import canonical
+from repro.relation import TPRelation
+from repro.stream import StreamQuery, StreamQueryConfig
+
+
+def canonical_rows(relation: TPRelation) -> set:
+    """Order-insensitive, lineage-canonical view of a join result."""
+    return {
+        (t.fact, t.start, t.end, str(canonical(t.lineage))) for t in relation
+    }
+
+
+def _run_query(size: int, disorder: int, partitions: int, seed: int, metrics: bool):
+    """One full continuous-join run; returns (result, aggregator)."""
+    positive, negative = meteo_pair(size, seed=seed)
+    catalog = Catalog()
+    catalog.register_stream(
+        "r", stream_def(positive, ReplayConfig(disorder=disorder, seed=seed))
+    )
+    catalog.register_stream(
+        "s", stream_def(negative, ReplayConfig(disorder=disorder, seed=seed + 1))
+    )
+    query = StreamQuery(
+        catalog,
+        "left_outer",
+        "r",
+        "s",
+        [("Metric", "Metric")],
+        config=StreamQueryConfig(partitions=partitions, metrics=metrics),
+    )
+    result = query.run(merge_seed=seed)
+    return result, query.metrics()
+
+
+def run_one(size: int, disorder: int, partitions: int, repeats: int, seed: int) -> dict:
+    """Measure one configuration in both modes; returns the result record."""
+    best = {False: 0.0, True: 0.0}
+    rows = {}
+    totals = None
+    for attempt in range(repeats):
+        # Alternate which mode goes first so cache warm-up cannot favour one.
+        order = (False, True) if attempt % 2 == 0 else (True, False)
+        for metrics in order:
+            result, aggregator = _run_query(size, disorder, partitions, seed, metrics)
+            best[metrics] = max(best[metrics], result.events_per_second)
+            rows.setdefault(metrics, canonical_rows(result.relation))
+            if metrics:
+                assert aggregator is not None, "metrics=True produced no snapshots"
+                totals = aggregator.totals()
+            else:
+                assert aggregator is None, "metrics=False leaked an aggregator"
+
+    if rows[True] != rows[False]:
+        raise AssertionError(
+            f"instrumented output diverged at size={size} disorder={disorder}"
+        )
+    assert totals and totals["elements_routed"] > 0, "telemetry was never live"
+
+    return {
+        "size": size,
+        "disorder": disorder,
+        "partitions": partitions,
+        "repeats": repeats,
+        "events_per_second_off": round(best[False], 1),
+        "events_per_second_on": round(best[True], 1),
+        "ratio": round(best[True] / best[False], 4),
+        "elements_routed": totals["elements_routed"],
+        "revision_emits": totals.get("revision_emits", 0),
+        "outputs": len(rows[True]),
+    }
+
+
+def report_line(record: dict) -> str:
+    return (
+        f"size={record['size']:>6}  disorder={record['disorder']:>3}  "
+        f"off={record['events_per_second_off']:>10.0f} ev/s  "
+        f"on={record['events_per_second_on']:>10.0f} ev/s  "
+        f"ratio={record['ratio']:.3f}  "
+        f"routed={record['elements_routed']}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--sizes", default=None, help="comma-separated relation sizes (default 1000)"
+    )
+    parser.add_argument("--disorder", type=int, default=4)
+    parser.add_argument("--partitions", type=int, default=1)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per mode; best throughput counts"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--gate-ratio",
+        type=float,
+        default=0.95,
+        help="minimum metrics-on / metrics-off throughput ratio (0 disables)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument("--json-dir", default="bench_results")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        sizes = [300]
+    elif arguments.sizes:
+        sizes = [int(part) for part in arguments.sizes.split(",") if part.strip()]
+    else:
+        sizes = [1000]
+
+    records: List[dict] = []
+    for size in sizes:
+        record = run_one(
+            size,
+            arguments.disorder,
+            arguments.partitions,
+            arguments.repeats,
+            arguments.seed,
+        )
+        records.append(record)
+        print(report_line(record))
+
+    worst = min(record["ratio"] for record in records)
+    gated = arguments.gate_ratio > 0
+    failed = gated and worst < arguments.gate_ratio
+
+    if arguments.json_dir:
+        metrics: dict = {
+            "metrics_on_vs_off_throughput_ratio": worst,
+        }
+        for record in records:
+            prefix = f"s{record['size']}_d{record['disorder']}"
+            metrics[f"{prefix}_outputs"] = record["outputs"]
+            metrics[f"{prefix}_routed_count"] = record["elements_routed"]
+            metrics[f"{prefix}_events_per_second"] = record["events_per_second_on"]
+        payload = bench_payload_base(
+            "metrics_overhead",
+            "Telemetry overhead: continuous join with metrics off vs. on",
+            seed=arguments.seed,
+            metrics=metrics,
+            metrics_enabled=True,
+            measurements=records,
+            gate={
+                "ratio_floor": arguments.gate_ratio if gated else None,
+                "worst_ratio": worst,
+                "passed": not failed,
+            },
+        )
+        path = write_bench_file("metrics_overhead", payload, arguments.json_dir)
+        print(f"wrote {path}")
+
+    if failed:
+        print(
+            f"FAIL: metrics-on kept only {worst:.3f}x of metrics-off throughput "
+            f"(floor {arguments.gate_ratio})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

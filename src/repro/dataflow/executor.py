@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from ..parallel.batch import canonical_order
@@ -92,6 +92,9 @@ class GraphRunOutcome:
     events_processed: int = 0
     backpressure_blocks: int = 0
     backend: str = "inline"
+    #: Final per-worker metrics snapshots (empty unless the run was
+    #: instrumented via ``config.metrics`` or an attached collector).
+    metrics: List[dict] = field(default_factory=list)
 
 
 def stage_watermark(partition_joins: Sequence[RevisionJoin]) -> float:
@@ -214,6 +217,7 @@ def run_graph(
     taps: Optional[Dict[str, object]] = None,
     probes: Optional[Dict[str, object]] = None,
     cancel: Optional[object] = None,
+    collector: Optional[object] = None,
 ) -> GraphRunOutcome:
     """Execute a dataflow graph on one runtime transport.
 
@@ -231,6 +235,15 @@ def run_graph(
     operator instance at worker start-up (``probe(channel_id, join)``).
     Callables cannot cross a process/socket boundary, so both require an
     in-process transport (``inline`` / ``threads``).
+
+    ``collector`` is an optional :class:`repro.obs.MetricsCollector`; when
+    given (or when ``config.metrics`` is true) the job runs instrumented:
+    workers keep per-worker metrics registries and snapshots cross the
+    transport boundary inside the existing frame protocol — live periodic
+    frames plus a final one per worker report — so, unlike taps/probes,
+    metrics work identically on all four transports.  The collector sees
+    live snapshots mid-run (``collector.snapshots()``) and the final ones
+    afterwards; they are also returned on the outcome.
 
     ``cancel`` is an optional :class:`threading.Event`-like object; once set,
     the driver stops routing further source elements and sends the done
@@ -251,7 +264,13 @@ def run_graph(
         raise ValueError(
             f"taps/probes are in-process callables and cannot cross the "
             f"{transport!r} transport's serialization boundary; use the "
-            "'inline' or 'threads' transport"
+            "'inline' or 'threads' transport for live element observation, "
+            "or — for instrumentation that *does* cross every transport "
+            "boundary, including remote socket workers — enable the metrics "
+            "subsystem instead: set metrics=True on the query config (or "
+            "pass a repro.obs.MetricsCollector as `collector`) and read "
+            "DataflowQuery.metrics() / StreamQuery.metrics() live or the "
+            "outcome's metrics snapshots after the run"
         )
     if taps:
         unknown = sorted(set(taps) - set(graph.node_names))
@@ -275,12 +294,17 @@ def run_graph(
         )
         for spec in graph.nodes
     ]
+    metrics_on = collector is not None or bool(getattr(config, "metrics", False))
     job = RuntimeJob(
         tuple(specs),
         micro_batch_size=getattr(config, "micro_batch_size", 64),
         buffer_capacity=getattr(config, "buffer_capacity", 1024),
+        metrics=metrics_on,
+        metrics_interval=getattr(config, "metrics_interval", 0.25),
     )
     session = get_transport(transport).start(job, getattr(config, "placement", None))
+    if collector is not None:
+        collector.attach(session)
     edges = source_edges(graph, node_index)
     events_processed = 0
     with session:
@@ -327,6 +351,11 @@ def run_graph(
         blocks = session.backpressure_blocks
         backend = session.name
 
+    final_metrics = [
+        report.metrics for report in reports if report.metrics is not None
+    ]
+    if collector is not None:
+        collector.complete(final_metrics)
     settled: Dict[str, List[TPTuple]] = {}
     stats: Dict[str, RevisionJoinStats] = {}
     latencies: Dict[str, List[float]] = {}
@@ -356,6 +385,7 @@ def run_graph(
         events_processed=events_processed,
         backpressure_blocks=blocks,
         backend=backend,
+        metrics=final_metrics,
     )
 
 

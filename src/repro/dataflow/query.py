@@ -94,6 +94,8 @@ class DataflowResult:
     elapsed_seconds: float
     backend: str
     backpressure_blocks: int = 0
+    #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
+    metrics: List[dict] = field(default_factory=list)
 
     @property
     def relation(self) -> TPRelation:
@@ -105,6 +107,47 @@ class DataflowResult:
         if self.elapsed_seconds <= 0:
             return float("inf")
         return self.events_processed / self.elapsed_seconds
+
+    def explain_analyze(self) -> str:
+        """``EXPLAIN ANALYZE``-style per-node report of the finished run.
+
+        Combines the settled revision statistics every run records with the
+        metrics snapshots of an instrumented run (``config.metrics``) —
+        watermark lag, loop busy/idle split, load skew — when present.
+        """
+        lines = [
+            f"DataflowQuery run: backend={self.backend} "
+            f"events={self.events_processed} "
+            f"elapsed={self.elapsed_seconds:.3f}s "
+            f"({self.events_per_second:.0f} ev/s) "
+            f"backpressure_blocks={self.backpressure_blocks}"
+        ]
+        for name, node in self.nodes.items():
+            latency = node.latency_summary()
+            lines.append(
+                f"  {name} [{node.kind}]"
+                f"{'  <- sink' if name == self.sink else ''}"
+            )
+            lines.append(
+                "    revisions: emits={0.emits} retracts={0.retracts} "
+                "refines={0.refines} settled={0.groups_settled} "
+                "early={0.groups_published_early}".format(node.stats)
+            )
+            lines.append(
+                f"    output: {len(node.relation)} tuples, "
+                f"retraction_rate={node.retraction_rate:.3f}, "
+                f"p50 latency {latency['p50_ms']:.2f}ms"
+            )
+        if self.metrics:
+            from ..obs.metrics import MetricsAggregator
+
+            aggregator = MetricsAggregator()
+            aggregator.update_all(self.metrics)
+            lines.append("worker metrics:")
+            lines.extend(
+                "  " + line for line in aggregator.render_report().splitlines()
+            )
+        return "\n".join(lines)
 
 
 class DataflowQuery:
@@ -128,6 +171,11 @@ class DataflowQuery:
         self._config = config or StreamQueryConfig()
         self._consumer_lock = threading.Lock()
         self._live_consumer = False
+        self._collector = None
+        if self._config.metrics:
+            from ..obs.collector import MetricsCollector
+
+            self._collector = MetricsCollector()
 
     @property
     def graph(self) -> DataflowGraph:
@@ -136,6 +184,16 @@ class DataflowQuery:
     @property
     def config(self) -> StreamQueryConfig:
         return self._config
+
+    def metrics(self):
+        """Aggregated worker metrics: live during :meth:`run`, final after.
+
+        Returns a :class:`repro.obs.MetricsAggregator`, or ``None`` when
+        the config has ``metrics=False`` or nothing has been collected yet.
+        """
+        if self._collector is None:
+            return None
+        return self._collector.aggregate()
 
     def describe(self) -> str:
         mode = "early-emit" if self._config.early_emit else "watermark-only"
@@ -157,7 +215,13 @@ class DataflowQuery:
             raise ValueError(f"backend must be one of {GRAPH_BACKENDS}, got {chosen!r}")
         started = time.perf_counter()
         try:
-            outcome = run_graph(self._graph, self._config, merge_seed, transport=chosen)
+            outcome = run_graph(
+                self._graph,
+                self._config,
+                merge_seed,
+                transport=chosen,
+                collector=self._collector,
+            )
         except WorkerStartError as error:
             # Workers unavailable (sandbox without fork, unreachable host):
             # degrade to the thread transport — safe, no source element was
@@ -168,7 +232,13 @@ class DataflowQuery:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            outcome = run_graph(self._graph, self._config, merge_seed, transport="threads")
+            outcome = run_graph(
+                self._graph,
+                self._config,
+                merge_seed,
+                transport="threads",
+                collector=self._collector,
+            )
         elapsed = time.perf_counter() - started
         return self._build_result(outcome, elapsed)
 
@@ -236,6 +306,7 @@ class DataflowQuery:
                     transport=chosen,
                     taps={sink: tap},
                     cancel=cancel,
+                    collector=self._collector,
                 )
             except BaseException as error:  # noqa: BLE001 - re-raised to consumer
                 failures.append(error)
@@ -301,4 +372,5 @@ class DataflowQuery:
             elapsed_seconds=elapsed,
             backend=outcome.backend,
             backpressure_blocks=outcome.backpressure_blocks,
+            metrics=outcome.metrics,
         )

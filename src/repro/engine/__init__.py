@@ -9,7 +9,7 @@ from .continuous import (
 )
 from .errors import CatalogError, EngineError, PlanError, SQLSyntaxError
 from .executor import Engine, execute_sql
-from .explain import explain_logical, explain_physical
+from .explain import explain_analyze, explain_logical, explain_physical
 from .iterators import PhysicalOperator
 from .logical import (
     JoinKind,
@@ -73,6 +73,7 @@ __all__ = [
     "Timeslice",
     "TimesliceOperator",
     "execute_sql",
+    "explain_analyze",
     "explain_logical",
     "explain_physical",
     "find_scans",

@@ -74,3 +74,38 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)
+
+
+def explain_analyze(operator: PhysicalOperator) -> str:
+    """The physical plan plus runtime telemetry from the last execution.
+
+    Works on any operator tree; nodes that ran a continuous/dataflow query
+    with metrics enabled (``StreamQueryConfig(metrics=True)``) contribute
+    their last result's per-node report
+    (:meth:`~repro.dataflow.query.DataflowResult.explain_analyze`), read
+    from the ``last_result`` attribute the continuous operators maintain.
+    Without a prior run (or with metrics off) the plan renders alone.
+    """
+    lines = [explain_physical(operator)]
+    _append_analysis(operator, lines)
+    return "\n".join(lines)
+
+
+def _append_analysis(operator: PhysicalOperator, lines: list[str]) -> None:
+    result = getattr(operator, "last_result", None)
+    if result is not None:
+        analyze = getattr(result, "explain_analyze", None)
+        if analyze is not None:
+            lines.append("")
+            lines.append(analyze())
+        else:
+            snapshots = getattr(result, "metrics", None)
+            if snapshots:
+                from ..obs import MetricsAggregator
+
+                aggregator = MetricsAggregator()
+                aggregator.update_all(snapshots)
+                lines.append("")
+                lines.append(aggregator.render_report())
+    for child in operator.children():
+        _append_analysis(child, lines)

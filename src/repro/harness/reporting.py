@@ -110,6 +110,7 @@ def bench_payload_base(
     seed: int,
     skipped_reason: "str | None" = None,
     metrics: "Mapping | None" = None,
+    metrics_enabled: bool = False,
     **extra,
 ) -> dict:
     """The shared top-level schema of every ``BENCH_*.json`` payload.
@@ -127,7 +128,11 @@ def bench_payload_base(
     * ``metrics`` — the flat name → number mapping
       ``benchmarks/check_perf_baselines.py`` compares against committed
       baselines (``*_count`` keys exactly, ``*_seconds`` within the
-      wall-clock tolerance band).
+      wall-clock tolerance band);
+    * ``metrics_enabled`` — whether the run had the engine telemetry
+      subsystem (``StreamQueryConfig(metrics=True)``) switched on, so a
+      figure measured with instrumentation live is never compared against
+      an uninstrumented baseline without the difference being visible.
     """
     payload = {
         "experiment": experiment,
@@ -136,6 +141,7 @@ def bench_payload_base(
         "cpu_count": os.cpu_count() or 1,
         "skipped_reason": skipped_reason,
         "metrics": dict(metrics or {}),
+        "metrics_enabled": bool(metrics_enabled),
         "environment": environment_info(),
     }
     payload.update(extra)

@@ -57,7 +57,18 @@ class ProbabilityComputer:
     structural cache.
     """
 
-    __slots__ = ("_events", "_cache", "_hash_cons", "_intern_table", "_intern_memo", "_pins")
+    __slots__ = (
+        "_events",
+        "_cache",
+        "_hash_cons",
+        "_intern_table",
+        "_intern_memo",
+        "_pins",
+        "cache_hits",
+        "cache_misses",
+        "intern_hits",
+        "intern_misses",
+    )
 
     def __init__(self, events: EventSpace, hash_cons: bool = True) -> None:
         self._events = events
@@ -72,6 +83,13 @@ class ProbabilityComputer:
         self._intern_table: Dict[tuple, LineageExpr] = {}
         self._intern_memo: Dict[int, LineageExpr] = {}
         self._pins: list = []
+        # Telemetry: plain ints (an increment is cheaper than any gating
+        # check would be), read by the observability layer via
+        # ``probability_counters()`` on the owning maintainer.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.intern_hits = 0
+        self.intern_misses = 0
 
     @property
     def events(self) -> EventSpace:
@@ -92,6 +110,7 @@ class ProbabilityComputer:
                 # Already computed (and therefore already validated): a
                 # repeated window of the same positive tuple pays one
                 # intern-memo lookup, not a re-validation walk.
+                self.cache_hits += 1
                 return cached
         self._events.validate_lineage(lineage)
         return self._probability(lineage)
@@ -108,7 +127,9 @@ class ProbabilityComputer:
         """
         memoised = self._intern_memo.get(id(expr))
         if memoised is not None:
+            self.intern_hits += 1
             return memoised
+        self.intern_misses += 1
         if isinstance(expr, Var):
             key: tuple = ("v", expr.name)
         elif expr == TRUE:
@@ -155,7 +176,9 @@ class ProbabilityComputer:
         key = self._cache_key(expr)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         if isinstance(expr, Not):
             value = 1.0 - self._probability(expr.child)
         elif isinstance(expr, And):

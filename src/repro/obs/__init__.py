@@ -1,0 +1,36 @@
+"""Engine-wide observability: metrics registry, collection, exposition.
+
+Layering: :mod:`.metrics` holds the instruments and the driver-side
+aggregator; :mod:`.sample` copies operator state into a registry;
+:mod:`.collector` bridges a running transport session to metrics
+readers; :mod:`.logs` and :mod:`.httpd` back the ``--listen``
+entrypoints' ``--log-*`` flags and Prometheus endpoints.
+"""
+
+from .collector import MetricsCollector
+from .httpd import start_metrics_http_server
+from .logs import configure_logging
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsAggregator,
+    MetricsRegistry,
+    registry_for_spec,
+)
+from .sample import sample_operator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsAggregator",
+    "MetricsCollector",
+    "registry_for_spec",
+    "sample_operator",
+    "configure_logging",
+    "start_metrics_http_server",
+    "DEFAULT_BUCKETS",
+]

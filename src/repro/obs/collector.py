@@ -1,0 +1,61 @@
+"""Driver-side collection of worker metrics snapshots, live and final.
+
+A :class:`MetricsCollector` is handed down into the graph/shard runner;
+the runner *attaches* the live transport session (whose ``metrics()``
+polls the workers' most recent snapshots mid-run) and later *completes*
+with the final snapshots carried home in each :class:`WorkerReport`.
+``snapshots()`` therefore answers at any point of the run's lifecycle:
+live while a session is attached, final afterwards, empty before either.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from .metrics import MetricsAggregator
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Thread-safe bridge between a running session and metrics readers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._session = None
+        self._final: List[dict] = []
+
+    def attach(self, session) -> None:
+        """Point live reads at a running transport session."""
+        with self._lock:
+            self._session = session
+
+    def complete(self, snapshots: List[dict]) -> None:
+        """Store the final per-worker snapshots; detach the session."""
+        with self._lock:
+            self._final = [snap for snap in snapshots if snap]
+            self._session = None
+
+    def snapshots(self) -> List[dict]:
+        """Most recent per-worker snapshots (live when a run is active)."""
+        with self._lock:
+            session = self._session
+            final = list(self._final)
+        if session is not None:
+            try:
+                live = session.metrics()
+            except Exception:
+                live = []
+            if live:
+                return [snap for snap in live if snap]
+        return final
+
+    def aggregate(self) -> Optional[MetricsAggregator]:
+        """Aggregated view over the current snapshots, or ``None`` if empty."""
+        snapshots = self.snapshots()
+        if not snapshots:
+            return None
+        aggregator = MetricsAggregator()
+        aggregator.update_all(snapshots)
+        return aggregator

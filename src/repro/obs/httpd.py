@@ -1,0 +1,56 @@
+"""Prometheus-format text exposition over a stdlib HTTP server.
+
+No third-party client library: the exposition format is plain text, so
+a :class:`ThreadingHTTPServer` in a daemon thread is enough.  The
+``render`` callable is invoked per scrape and must return the full
+exposition body (see :meth:`MetricsAggregator.prometheus_text`).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["start_metrics_http_server"]
+
+_LOGGER = logging.getLogger(__name__)
+
+
+def start_metrics_http_server(
+    host: str, port: int, render: Callable[[], str]
+) -> ThreadingHTTPServer:
+    """Serve ``GET /metrics`` (and ``/``) scrapes; returns the server.
+
+    The caller shuts it down with ``server.shutdown()``; the listening
+    port (useful with ``port=0``) is ``server.server_address[1]``.
+    """
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+                self.send_error(404)
+                return
+            try:
+                body = render().encode("utf-8")
+            except Exception:
+                _LOGGER.exception("metrics render failed")
+                self.send_error(500)
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args) -> None:
+            _LOGGER.debug("metrics scrape: " + format, *args)
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return server

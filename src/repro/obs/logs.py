@@ -1,0 +1,53 @@
+"""Logging configuration shared by the ``--listen`` entrypoints.
+
+Library modules log through per-module loggers under the ``repro``
+namespace and never configure handlers themselves; the entrypoint
+``main()`` functions call :func:`configure_logging`, which installs a
+stdout handler whose default plain format is *message-only* — so the
+readiness and shutdown lines scripts grep for stay byte-identical to
+the previous ``print`` output.  ``--log-json`` switches the same
+handler to one-JSON-object-per-line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_logging(level: str = "info", json_mode: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger tree for an entrypoint process."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(_LEVELS.get(level.lower(), logging.INFO))
+    handler = logging.StreamHandler(sys.stdout)
+    if json_mode:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

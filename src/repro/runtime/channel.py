@@ -53,6 +53,8 @@ class Channel(Generic[T]):
         self.high_watermark = 0
         self.total_put = 0
         self.put_blocks = 0
+        self.total_batches = 0
+        self.total_batch_elements = 0
 
     @property
     def capacity(self) -> int:
@@ -121,6 +123,8 @@ class Channel(Generic[T]):
             if not self._items:
                 return None
             batch = [self._items.popleft() for _ in range(min(max_size, len(self._items)))]
+            self.total_batches += 1
+            self.total_batch_elements += len(batch)
             self._not_full.notify_all()
             return batch
 

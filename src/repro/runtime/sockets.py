@@ -29,6 +29,7 @@ hosts they include clock skew and should be read as indicative only.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import socket
 import struct
@@ -49,6 +50,8 @@ from .transport import (
     preferred_context,
 )
 from .worker import WorkerReport, decode_report, encode_report, run_worker
+
+_LOGGER = logging.getLogger(__name__)
 
 _HEADER = struct.Struct("!I")
 #: How long a peer connection waits for its job frame to arrive before
@@ -90,10 +93,11 @@ class _EncodedChannelInbox:
         from ..parallel.serialize import decode_revision_tagged
 
         self._decode = decode_revision_tagged
-        self._channel = channel
+        #: Exposed for the worker loop's inbox occupancy gauges.
+        self.channel = channel
 
     def take_batch(self, max_size: int) -> Optional[List[tuple]]:
-        batch = self._channel.take_batch(max_size)
+        batch = self.channel.take_batch(max_size)
         if batch is None:
             return None
         return [(channel, self._decode(code)) for channel, code in batch]
@@ -130,15 +134,53 @@ class _PeerPutter:
                 pass
 
 
+class _ReplySender:
+    """Serialised writes to one driver connection.
+
+    The connection handler sends the final result frame and the worker
+    thread piggybacks periodic metrics frames on the same socket, so every
+    write goes through one lock.  Failures are swallowed: a driver that
+    vanished mid-run simply stops receiving snapshots.
+    """
+
+    def __init__(self, connection: socket.socket) -> None:
+        self._connection = connection
+        self._lock = threading.Lock()
+
+    def send(self, payload: object) -> bool:
+        with self._lock:
+            try:
+                send_frame(self._connection, payload)
+                return True
+            except OSError:
+                return False
+
+
 class _ServerJob:
     """One job's state on a worker server: inbox, worker thread, result."""
 
-    def __init__(self, key: str, spec, addresses, micro_batch_size: int, capacity: int) -> None:
+    def __init__(
+        self,
+        key: str,
+        spec,
+        addresses,
+        micro_batch_size: int,
+        capacity: int,
+        metrics_on: bool = False,
+        metrics_interval: float = 0.25,
+        reply: Optional[_ReplySender] = None,
+    ) -> None:
         self.key = key
         self.spec = spec
         self.inbox: Channel = Channel(capacity, producers=spec.producers)
         self.done_event = threading.Event()
         self.result: tuple = ("error", key, spec.index, "worker never ran")
+        #: Most recent metrics snapshot per worker index, read by the
+        #: entrypoint's Prometheus endpoint (``--metrics-port``).
+        self.latest_metrics: Dict[int, dict] = {}
+        self._metrics_on = metrics_on
+        self._metrics_interval = metrics_interval
+        self._reply = reply
         self._thread = threading.Thread(
             target=self._run,
             args=(addresses, micro_batch_size),
@@ -151,9 +193,31 @@ class _ServerJob:
         putter = _PeerPutter(addresses, self.key)
         try:
             emitter = BatchingEmitter(putter, micro_batch_size)
+            registry = None
+            sink = None
+            if self._metrics_on:
+                from ..obs.metrics import registry_for_spec
+
+                registry = registry_for_spec(self.spec)
+
+                def sink(snapshot) -> None:
+                    self.latest_metrics[self.spec.index] = snapshot
+                    if self._reply is not None:
+                        self._reply.send(
+                            ("metrics", self.key, self.spec.index, snapshot)
+                        )
+
             report = run_worker(
-                self.spec, _EncodedChannelInbox(self.inbox), emitter, micro_batch_size
+                self.spec,
+                _EncodedChannelInbox(self.inbox),
+                emitter,
+                micro_batch_size,
+                metrics=registry,
+                metrics_sink=sink,
+                metrics_interval=self._metrics_interval,
             )
+            if report.metrics:
+                self.latest_metrics[self.spec.index] = report.metrics
             self.result = ("result", self.key, self.spec.index, encode_report(report))
         except BaseException:  # noqa: BLE001 - marshalled to the driver
             self.result = ("error", self.key, self.spec.index, traceback.format_exc())
@@ -170,22 +234,57 @@ class _ServerJob:
 
     def abort(self) -> None:
         """The driver vanished mid-run: unblock the worker thread."""
+        _LOGGER.warning(
+            "job %s (worker %s) aborted: driver connection lost",
+            self.key,
+            self.spec.index,
+        )
         self.inbox.close()
 
 
 class _JobRegistry:
     """Jobs live on a server keyed by the driver-chosen job id."""
 
+    #: How many finished jobs' metrics the registry keeps for scrapes.
+    RETAIN_FINISHED = 8
+
     def __init__(self) -> None:
         self._jobs: Dict[str, _ServerJob] = {}
+        # Finished jobs' final snapshots, insertion-ordered and bounded, so
+        # the Prometheus endpoint reports the last runs between jobs too.
+        self._retained: Dict[str, Dict[int, dict]] = {}
         self._condition = threading.Condition()
 
-    def create(self, key: str, spec, addresses, micro_batch_size: int, capacity: int) -> _ServerJob:
-        job = _ServerJob(key, spec, addresses, micro_batch_size, capacity)
+    def create(
+        self,
+        key: str,
+        spec,
+        addresses,
+        micro_batch_size: int,
+        capacity: int,
+        metrics_on: bool = False,
+        metrics_interval: float = 0.25,
+        reply: Optional[_ReplySender] = None,
+    ) -> _ServerJob:
+        job = _ServerJob(
+            key,
+            spec,
+            addresses,
+            micro_batch_size,
+            capacity,
+            metrics_on=metrics_on,
+            metrics_interval=metrics_interval,
+            reply=reply,
+        )
         with self._condition:
             self._jobs[key] = job
             self._condition.notify_all()
         return job
+
+    def jobs(self) -> List[_ServerJob]:
+        """A snapshot of the currently-running jobs (metrics endpoint)."""
+        with self._condition:
+            return list(self._jobs.values())
 
     def wait_for(self, key: str) -> _ServerJob:
         with self._condition:
@@ -198,7 +297,22 @@ class _JobRegistry:
 
     def remove(self, key: str) -> None:
         with self._condition:
-            self._jobs.pop(key, None)
+            job = self._jobs.pop(key, None)
+            if job is not None and job.latest_metrics:
+                self._retained[key] = dict(job.latest_metrics)
+                while len(self._retained) > self.RETAIN_FINISHED:
+                    self._retained.pop(next(iter(self._retained)))
+
+    def metrics_snapshots(self) -> List[dict]:
+        """Latest snapshots: retained finished jobs first, running jobs last
+        (so a running job's reading wins any worker-label collision)."""
+        with self._condition:
+            snapshots: List[dict] = []
+            for store in self._retained.values():
+                snapshots.extend(store.values())
+            for job in self._jobs.values():
+                snapshots.extend(job.latest_metrics.values())
+            return snapshots
 
 
 def _read_into_job(file, job: _ServerJob, abort_on_eof: bool) -> None:
@@ -230,19 +344,34 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
         if first is None:
             return
         if first[0] == "job":
-            _kind, key, spec, addresses, micro_batch_size, capacity = first
-            job = registry.create(key, spec, addresses, micro_batch_size, capacity)
+            # Older drivers send the 6-field frame (no metrics knobs).
+            _kind, key, spec, addresses, micro_batch_size, capacity = first[:6]
+            metrics_on = first[6] if len(first) > 6 else False
+            metrics_interval = first[7] if len(first) > 7 else 0.25
+            reply = _ReplySender(connection)
+            job = registry.create(
+                key,
+                spec,
+                addresses,
+                micro_batch_size,
+                capacity,
+                metrics_on=metrics_on,
+                metrics_interval=metrics_interval,
+                reply=reply,
+            )
             reader = threading.Thread(
                 target=_read_into_job, args=(file, job, True), daemon=True
             )
             reader.start()
+            _LOGGER.debug("job %s started (worker %s)", key, spec.index)
             job.done_event.wait()
-            try:
-                send_frame(connection, job.result)
-            except OSError:  # pragma: no cover - driver gone; nothing to tell
-                pass
+            if not reply.send(job.result):
+                _LOGGER.warning(
+                    "job %s: driver gone before the result frame", key
+                )
             registry.remove(key)
             served.set()
+            _LOGGER.debug("job %s finished (worker %s)", key, spec.index)
         else:
             job = registry.wait_for(first[1])
             try:
@@ -263,6 +392,7 @@ def serve_listener(
     once: bool = False,
     shutdown: Optional[threading.Event] = None,
     idle_timeout: Optional[float] = None,
+    registry: Optional[_JobRegistry] = None,
 ) -> None:
     """Accept and serve connections on an already-bound listener socket.
 
@@ -275,7 +405,8 @@ def serve_listener(
     """
     import time
 
-    registry = _JobRegistry()
+    if registry is None:
+        registry = _JobRegistry()
     served = threading.Event()
     listener.settimeout(0.5)
     handlers: List[threading.Thread] = []
@@ -323,22 +454,31 @@ def serve(
     once: bool = False,
     shutdown: Optional[threading.Event] = None,
     idle_timeout: Optional[float] = None,
+    registry: Optional[_JobRegistry] = None,
 ) -> None:
     """Listen on ``host:port`` and run shipped worker specs until stopped.
 
     The entry point behind ``python -m repro.runtime.worker --listen``.
-    Prints one ``listening on HOST:PORT`` line once the socket is bound so
-    launch scripts can wait for readiness.  Stops when ``shutdown`` is set
-    (draining in-flight jobs first) or after ``idle_timeout`` seconds
-    without activity; with neither, it serves until killed.
+    Logs one ``listening on HOST:PORT`` line once the socket is bound so
+    launch scripts can wait for readiness (the entrypoint configures a
+    message-only stdout handler, so the line is byte-identical to the old
+    ``print``).  Stops when ``shutdown`` is set (draining in-flight jobs
+    first) or after ``idle_timeout`` seconds without activity; with
+    neither, it serves until killed.
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
     listener.listen(128)
     bound_host, bound_port = listener.getsockname()[:2]
-    print(f"repro runtime worker listening on {bound_host}:{bound_port}", flush=True)
-    serve_listener(listener, once=once, shutdown=shutdown, idle_timeout=idle_timeout)
+    _LOGGER.info("repro runtime worker listening on %s:%s", bound_host, bound_port)
+    serve_listener(
+        listener,
+        once=once,
+        shutdown=shutdown,
+        idle_timeout=idle_timeout,
+        registry=registry,
+    )
 
 
 def _local_worker_main(ready_queue, seat: int) -> None:
@@ -388,6 +528,16 @@ class SocketSession(TransportSession):
         self._processes: List = []
         self.connections: List[socket.socket] = []
         self._files: List = []
+        # One reader thread per connection owns all inbound frames: periodic
+        # metrics frames are filed as they arrive, and the final result (or
+        # EOF) parks in _result_frames / sets the matching event.  finish()
+        # and connection_failure() consult those instead of reading sockets.
+        self._readers: List[threading.Thread] = []
+        self._result_frames: List[Optional[tuple]] = [None] * count
+        self._result_events: List[threading.Event] = [
+            threading.Event() for _ in range(count)
+        ]
+        self._live_metrics: Dict[int, dict] = {}
         try:
             context = preferred_context()
             ready_queue = context.Queue()
@@ -422,22 +572,53 @@ class SocketSession(TransportSession):
                         self.addresses,
                         job.micro_batch_size,
                         job.buffer_capacity,
+                        job.metrics,
+                        job.metrics_interval,
                     ),
                 )
+            for index in range(count):
+                reader = threading.Thread(
+                    target=self._read_frames,
+                    args=(index,),
+                    name=f"runtime-socket-reader-{index}",
+                    daemon=True,
+                )
+                reader.start()
+                self._readers.append(reader)
         except Exception as error:
             self._release()
             raise WorkerStartError(f"cannot start socket workers: {error}") from error
         self._emitter = BatchingEmitter(_DriverSocketPutter(self), job.micro_batch_size)
 
-    def connection_failure(self, target: int, error: OSError) -> RuntimeError:
-        """A send broke: try to read the worker's marshalled failure."""
+    def _read_frames(self, index: int) -> None:
+        """Reader-thread body: drain one connection until result or EOF."""
+        file = self._files[index]
+        result: Optional[tuple] = None
         try:
-            self.connections[target].settimeout(2.0)
-            frame = recv_frame(self._files[target])
-            if frame is not None and frame[0] == "error":
-                return RuntimeError(f"worker {target} failed:\n{frame[3]}")
-        except OSError:  # pragma: no cover - connection fully gone
+            while True:
+                frame = recv_frame(file)
+                if frame is None:
+                    break
+                if frame[0] == "metrics":
+                    self._live_metrics[index] = frame[3]
+                    continue
+                result = frame
+                break
+        except (OSError, ValueError, EOFError):  # pragma: no cover - torn read
             pass
+        finally:
+            self._result_frames[index] = result
+            self._result_events[index].set()
+
+    def metrics(self) -> List[dict]:
+        return [self._live_metrics[index] for index in sorted(self._live_metrics)]
+
+    def connection_failure(self, target: int, error: OSError) -> RuntimeError:
+        """A send broke: wait briefly for the worker's marshalled failure."""
+        self._result_events[target].wait(timeout=2.0)
+        frame = self._result_frames[target]
+        if frame is not None and frame[0] == "error":
+            return RuntimeError(f"worker {target} failed:\n{frame[3]}")
         return RuntimeError(f"worker {target} connection failed: {error}")
 
     def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
@@ -450,7 +631,8 @@ class SocketSession(TransportSession):
         self._emitter.flush()
         reports: List[Optional[WorkerReport]] = [None] * len(self._job.specs)
         for index in range(len(self._job.specs)):
-            frame = recv_frame(self._files[index])
+            self._result_events[index].wait()
+            frame = self._result_frames[index]
             if frame is None:
                 raise RuntimeError(f"worker {index} closed its connection without a result")
             if frame[0] == "error":
@@ -461,10 +643,20 @@ class SocketSession(TransportSession):
 
     def _release(self) -> None:
         for connection in self.connections:
+            # shutdown() delivers EOF to a reader thread blocked in recv
+            # (close() alone keeps the fd alive while the makefile holds a
+            # reference); close() then releases the driver's half.
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 connection.close()
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+        self._readers = []
         for process in self._processes:
             process.join(timeout=5.0)
         for process in self._processes:

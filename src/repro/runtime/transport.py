@@ -79,12 +79,27 @@ class RuntimeJob:
     specs: tuple
     micro_batch_size: int = 64
     buffer_capacity: int = 1024
+    #: Enable per-worker metrics registries (see :mod:`repro.obs`): workers
+    #: count flow/loop metrics and piggyback periodic snapshots to the
+    #: driver.  Off by default — the uninstrumented loop is the fast path.
+    metrics: bool = False
+    #: Seconds between piggybacked snapshots on queued transports.
+    metrics_interval: float = 0.25
 
     @property
     def queue_batches(self) -> int:
         """Queue capacity in micro-batches: the element budget a bounded
         in-process :class:`Channel` of ``buffer_capacity`` provides."""
         return max(2, self.buffer_capacity // max(1, self.micro_batch_size))
+
+
+def _job_registries(job: RuntimeJob) -> List:
+    """One metrics registry per spec when the job is instrumented."""
+    if not job.metrics:
+        return [None] * len(job.specs)
+    from ..obs.metrics import registry_for_spec
+
+    return [registry_for_spec(spec) for spec in job.specs]
 
 
 class TransportSession:
@@ -108,6 +123,14 @@ class TransportSession:
 
     def finish(self) -> List[WorkerReport]:
         raise NotImplementedError
+
+    def metrics(self) -> List[dict]:
+        """Most recent per-worker metrics snapshots (live, mid-run).
+
+        Empty unless the job ran with ``metrics=True``; the final
+        authoritative snapshots travel in the worker reports.
+        """
+        return []
 
     @property
     def backpressure_blocks(self) -> int:
@@ -162,7 +185,11 @@ class InlineSession(TransportSession):
 
     def __init__(self, job: RuntimeJob) -> None:
         emitter = _InlineEmitter(self)
-        self._workers = [Worker(spec, emitter) for spec in job.specs]
+        registries = _job_registries(job)
+        self._workers = [
+            Worker(spec, emitter, metrics=registry)
+            for spec, registry in zip(job.specs, registries)
+        ]
         self._remaining = [spec.producers for spec in job.specs]
         self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
 
@@ -182,6 +209,18 @@ class InlineSession(TransportSession):
             if report is None:
                 self._reports[index] = self._workers[index].finish()
         return list(self._reports)
+
+    def metrics(self) -> List[dict]:
+        # Single-threaded: sampling the live operators directly is safe.
+        snapshots = []
+        for worker, report in zip(self._workers, self._reports):
+            if report is not None and report.metrics is not None:
+                snapshots.append(report.metrics)
+            elif worker.metrics is not None:
+                snapshot = worker.metrics_snapshot()
+                if snapshot:
+                    snapshots.append(snapshot)
+        return snapshots
 
 
 class InlineTransport(Transport):
@@ -221,6 +260,8 @@ class ThreadSession(TransportSession):
         self._emitter = _ThreadEmitter(self._inboxes)
         self._failures: List[BaseException] = []
         self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
+        self._registries = _job_registries(job)
+        self._live_metrics: List[Optional[dict]] = [None] * len(job.specs)
         self._threads = [
             threading.Thread(
                 target=self._work,
@@ -236,8 +277,18 @@ class ThreadSession(TransportSession):
         spec = self._job.specs[index]
         dones_sent = False
         try:
+
+            def sink(snapshot, index=index) -> None:
+                self._live_metrics[index] = snapshot
+
             report = run_worker(
-                spec, self._inboxes[index], self._emitter, self._job.micro_batch_size
+                spec,
+                self._inboxes[index],
+                self._emitter,
+                self._job.micro_batch_size,
+                metrics=self._registries[index],
+                metrics_sink=sink if self._job.metrics else None,
+                metrics_interval=self._job.metrics_interval,
             )
             dones_sent = True
             self._reports[index] = report
@@ -268,6 +319,15 @@ class ThreadSession(TransportSession):
         if self._failures:
             raise self._failures[0]
         return [report for report in self._reports]  # all set once joined
+
+    def metrics(self) -> List[dict]:
+        snapshots = []
+        for index, report in enumerate(self._reports):
+            if report is not None and report.metrics is not None:
+                snapshots.append(report.metrics)
+            elif self._live_metrics[index] is not None:
+                snapshots.append(self._live_metrics[index])
+        return snapshots
 
     @property
     def backpressure_blocks(self) -> int:
@@ -381,12 +441,30 @@ class _WorkerQueuePutter:
         self._put(target, None)
 
 
-def _process_worker_main(spec, worker_queues, out_queue, micro_batch_size: int, abort) -> None:
+def _process_worker_main(
+    spec, worker_queues, out_queue, micro_batch_size: int, abort,
+    metrics: bool = False, metrics_interval: float = 0.25,
+) -> None:
     """Process-transport worker entry point: run the loop, report once."""
     try:
         inbox = _QueueInbox(worker_queues[spec.index], spec.producers)
         emitter = BatchingEmitter(_WorkerQueuePutter(worker_queues, abort), micro_batch_size)
-        report = run_worker(spec, inbox, emitter, micro_batch_size)
+        registry = None
+        sink = None
+        if metrics:
+            from ..obs.metrics import registry_for_spec
+
+            registry = registry_for_spec(spec)
+
+            def sink(snapshot) -> None:
+                # Periodic snapshots ride the result queue with their own
+                # message kind; the driver files them as live metrics.
+                out_queue.put((spec.index, "metrics", snapshot))
+
+        report = run_worker(
+            spec, inbox, emitter, micro_batch_size,
+            metrics=registry, metrics_sink=sink, metrics_interval=metrics_interval,
+        )
         out_queue.put((spec.index, "ok", encode_report(report)))
     except BaseException:  # noqa: BLE001 - marshalled to the driver
         out_queue.put((spec.index, "error", traceback.format_exc()))
@@ -435,6 +513,8 @@ class ProcessSession(TransportSession):
         self._job = job
         self.blocks = 0
         self._results: Dict[int, tuple] = {}
+        self._live_metrics: Dict[int, dict] = {}
+        self._failure: Optional[BaseException] = None
         context = preferred_context()
         self.workers: List = []
         try:
@@ -447,7 +527,10 @@ class ProcessSession(TransportSession):
             self.workers = [
                 context.Process(
                     target=_process_worker_main,
-                    args=(spec, self.queues, self._out_queue, job.micro_batch_size, self._abort),
+                    args=(
+                        spec, self.queues, self._out_queue, job.micro_batch_size,
+                        self._abort, job.metrics, job.metrics_interval,
+                    ),
                     name=f"runtime-worker-{spec.index}",
                     daemon=True,
                 )
@@ -471,10 +554,20 @@ class ProcessSession(TransportSession):
 
     def _take_result(self, message) -> None:
         """Record one worker message; a failure aborts the whole run."""
-        if message[1] != "ok":
+        index, kind, payload = message
+        if kind == "metrics":
+            self._live_metrics[index] = payload
+            return
+        if kind != "ok":
             self._abort.set()
-            raise RuntimeError(f"worker {message[0]} failed:\n{message[2]}")
-        self._results[message[0]] = message
+            # Remember the failure: a metrics poll draining the queue may
+            # consume the error message before finish() gets to it.
+            self._failure = RuntimeError(f"worker {index} failed:\n{payload}")
+            raise self._failure
+        self._results[index] = message
+        final_metrics = payload[-1]
+        if final_metrics:
+            self._live_metrics[index] = final_metrics
 
     def drain_results(self) -> None:
         while True:
@@ -483,8 +576,19 @@ class ProcessSession(TransportSession):
             except queue_module.Empty:
                 return
 
+    def metrics(self) -> List[dict]:
+        try:
+            self.drain_results()
+        except RuntimeError:
+            pass  # stored in self._failure; finish() raises it
+        return [self._live_metrics[index] for index in sorted(self._live_metrics)]
+
     def finish(self) -> List[WorkerReport]:
         self._emitter.flush()
+        if self._failure is not None:
+            self._abort.set()
+            self._join_workers()
+            raise self._failure
         count = len(self._job.specs)
         try:
             grace_polls = 5

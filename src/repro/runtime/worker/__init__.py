@@ -92,6 +92,9 @@ class WorkerReport:
     emit_event_lags: List[float] = field(default_factory=list)
     late_dropped: int = 0
     stats: Optional[tuple] = None
+    #: Final metrics snapshot (``MetricsRegistry.snapshot()`` dict) when the
+    #: job ran with metrics enabled; ``None`` otherwise.
+    metrics: Optional[dict] = None
 
 
 def encode_report(report: WorkerReport) -> tuple:
@@ -105,6 +108,7 @@ def encode_report(report: WorkerReport) -> tuple:
         list(report.emit_event_lags),
         report.late_dropped,
         report.stats,
+        report.metrics,
     )
 
 
@@ -112,7 +116,7 @@ def decode_report(code: tuple) -> WorkerReport:
     """Rebuild a report from its encoding."""
     from ...parallel.serialize import decode_tuples
 
-    index, outputs, latencies, lags, late, stats = code
+    index, outputs, latencies, lags, late, stats, metrics = code
     return WorkerReport(
         index=index,
         outputs=decode_tuples(outputs),
@@ -120,16 +124,31 @@ def decode_report(code: tuple) -> WorkerReport:
         emit_event_lags=list(lags),
         late_dropped=late,
         stats=tuple(stats) if stats is not None else None,
+        metrics=metrics,
     )
 
 
 class Worker:
     """Spec-driven operator state machine: route → operate → emit → close."""
 
-    def __init__(self, spec: WorkerSpec, emitter: Emitter) -> None:
+    def __init__(self, spec: WorkerSpec, emitter: Emitter, metrics=None) -> None:
         self.spec = spec
         self.emitter = emitter
         self.join = spec.build_join()
+        # Metrics are optional: ``metrics`` is a per-worker
+        # ``repro.obs.MetricsRegistry`` (or ``None``, the fast path).  The
+        # three flow counters are bound once so the hot path is a plain
+        # attribute increment, not a dict lookup.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_routed = metrics.counter("elements_routed")
+            self._m_operated = metrics.counter("elements_operated")
+            self._m_emitted = metrics.counter("elements_emitted")
+        else:
+            self._m_routed = self._m_operated = self._m_emitted = None
+        #: The worker's input channel, when the transport exposes one
+        #: (thread/process/socket inboxes); sampled into inbox_* gauges.
+        self.inbox_channel = None
         # Optional in-process observation hooks (the serving layer's seam):
         # ``tap(channel_id, element)`` sees every output element live,
         # ``probe(channel_id, join)`` sees the operator instance at start-up.
@@ -148,12 +167,16 @@ class Worker:
 
     def accept(self, channel: Hashable, tagged: Tagged) -> None:
         """Process one delivered element (step 1 + 2 + 3)."""
+        if self._m_routed is not None:
+            self._m_routed.value += 1
         element = tagged.element
         if isinstance(element, Watermark):
             merged = self._trackers[tagged.side].update(channel, element.value)
             if merged is None:
                 return
             tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
+        if self._m_operated is not None:
+            self._m_operated.value += 1
         self._dispatch(self.join.process(tagged))
 
     def finish(self) -> WorkerReport:
@@ -166,13 +189,37 @@ class Worker:
         for first, consumer_parts, _side, _key_indices in self.spec.downstream:
             for offset in range(consumer_parts):
                 self.emitter.done(first + offset)
-        return self.spec.report(self.join, self._outputs)
+        report = self.spec.report(self.join, self._outputs)
+        if self.metrics is not None:
+            report.metrics = self.metrics_snapshot()
+        return report
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """Sample operator + inbox state into the registry and snapshot it."""
+        if self.metrics is None:
+            return None
+        from ...obs.sample import sample_operator
+
+        sample_operator(self.metrics, self.join)
+        channel = self.inbox_channel
+        if channel is not None:
+            self.metrics.gauge("inbox_depth").set(len(channel))
+            self.metrics.gauge("inbox_high_watermark").set(channel.high_watermark)
+            self.metrics.gauge("inbox_put_blocks").set(channel.put_blocks)
+            self.metrics.set_counter("inbox_total_put", channel.total_put)
+            self.metrics.set_counter("inbox_batches", channel.total_batches)
+            self.metrics.set_counter(
+                "inbox_batch_elements", channel.total_batch_elements
+            )
+        return self.metrics.snapshot()
 
     @property
     def finished(self) -> bool:
         return self._finished
 
     def _dispatch(self, elements) -> None:
+        if self._m_emitted is not None:
+            self._m_emitted.value += len(elements)
         if self._tap is not None:
             for element in elements:
                 self._tap(self.spec.channel_id, element)
@@ -200,21 +247,77 @@ class Inbox(Protocol):
     def take_batch(self, max_size: int) -> Optional[List[tuple]]: ...
 
 
-def run_worker(spec: WorkerSpec, inbox: Inbox, emitter: Emitter, micro_batch_size: int) -> WorkerReport:
+def run_worker(
+    spec: WorkerSpec,
+    inbox: Inbox,
+    emitter: Emitter,
+    micro_batch_size: int,
+    metrics=None,
+    metrics_sink=None,
+    metrics_interval: float = 0.25,
+) -> WorkerReport:
     """Drive one worker to settlement over a pull-based inbox.
 
     The loop every pull transport (threads, processes, sockets) runs: drain
     micro-batches until the inbox reports all producers done (``None``),
     flushing buffered downstream sends after each batch, then close.
+
+    With ``metrics`` (a per-worker registry) the loop also times idle
+    (blocked in ``take_batch``) vs busy seconds, histograms micro-batch
+    sizes, and — when ``metrics_sink`` is given — pushes a periodic
+    snapshot every ``metrics_interval`` seconds so the driver can observe
+    the run live.  The metrics-off path is the original tight loop.
     """
-    worker = Worker(spec, emitter)
+    worker = Worker(spec, emitter, metrics=metrics)
+    if metrics is None:
+        while True:
+            batch = inbox.take_batch(micro_batch_size)
+            if batch is None:
+                break
+            for channel, tagged in batch:
+                worker.accept(channel, tagged)
+            emitter.flush()
+        report = worker.finish()
+        emitter.flush()
+        return report
+
+    from time import perf_counter
+
+    from ..channel import Channel
+
+    # The thread transport's inbox *is* the channel; the socket inbox wraps
+    # one and exposes it as ``.channel``; the process inbox has none.
+    inbox_channel = getattr(inbox, "channel", None)
+    if inbox_channel is None and isinstance(inbox, Channel):
+        inbox_channel = inbox
+    worker.inbox_channel = inbox_channel
+    batch_sizes = metrics.histogram("batch_size")
+    batches = metrics.counter("batches")
+    idle_gauge = metrics.gauge("idle_seconds")
+    busy_gauge = metrics.gauge("busy_seconds")
+    idle = busy = 0.0
+    last_emit = perf_counter()
     while True:
+        mark = perf_counter()
         batch = inbox.take_batch(micro_batch_size)
+        now = perf_counter()
+        idle += now - mark
         if batch is None:
             break
         for channel, tagged in batch:
             worker.accept(channel, tagged)
         emitter.flush()
+        done = perf_counter()
+        busy += done - now
+        batch_sizes.observe(len(batch))
+        batches.inc()
+        if metrics_sink is not None and done - last_emit >= metrics_interval:
+            idle_gauge.set(idle)
+            busy_gauge.set(busy)
+            metrics_sink(worker.metrics_snapshot())
+            last_emit = done
+    idle_gauge.set(idle)
+    busy_gauge.set(busy)
     report = worker.finish()
     emitter.flush()
     return report
@@ -238,11 +341,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     running job.
     """
     import argparse
+    import logging
     import signal
     import threading
 
+    from ...obs.logs import configure_logging
     from ..placement import parse_host_port
-    from ..sockets import serve
+    from ..sockets import _JobRegistry, serve
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.worker",
@@ -267,10 +372,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="SECONDS",
         help="exit once no job or connection has been active for this long",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose Prometheus-format metrics of running jobs on this port",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="logging verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line instead of plain text",
+    )
     arguments = parser.parse_args(argv)
+    configure_logging(arguments.log_level, json_mode=arguments.log_json)
+    logger = logging.getLogger(__name__)
     host, port = parse_host_port(arguments.listen)
     shutdown = threading.Event()
     received: List[int] = []
+    registry = _JobRegistry()
+    metrics_server = None
+    if arguments.metrics_port is not None:
+        from ...obs.httpd import start_metrics_http_server
+        from ...obs.metrics import MetricsAggregator
+
+        def render() -> str:
+            aggregator = MetricsAggregator()
+            aggregator.update_all(registry.metrics_snapshots())
+            return aggregator.prometheus_text()
+
+        metrics_server = start_metrics_http_server(host, arguments.metrics_port, render)
 
     def request_shutdown(signum, _frame) -> None:
         # Signal-handler safe: just record and set the event; the serve
@@ -288,12 +425,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         once=arguments.once,
         shutdown=shutdown,
         idle_timeout=arguments.idle_timeout,
+        registry=registry,
     )
+    if metrics_server is not None:
+        metrics_server.shutdown()
     if received:
-        print(
-            f"repro runtime worker shut down cleanly "
-            f"({signal.Signals(received[0]).name}: jobs drained, sockets closed)",
-            flush=True,
+        logger.info(
+            "repro runtime worker shut down cleanly "
+            "(%s: jobs drained, sockets closed)",
+            signal.Signals(received[0]).name,
         )
     return 0
 

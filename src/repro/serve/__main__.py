@@ -16,7 +16,14 @@ Client:
 subscribes (snapshot first, unless ``--no-snapshot``) and prints each
 message as one JSON line; ``--snapshot-only demo`` fetches just the
 materialized state, ``--list`` the registered names, ``--explain demo``
-the shared-subplan-annotated physical plan.
+the shared-subplan-annotated physical plan, ``--stats`` one serving
+stats/telemetry reading, ``--watch SECONDS`` a stats line every interval.
+
+Observability: the server runs with worker metrics enabled; ``--stats``
+and ``--watch`` read them over NDJSON, and ``--metrics-port PORT``
+additionally exposes a Prometheus text endpoint (``GET /metrics``).
+``--log-level``/``--log-json`` configure stdlib logging (default output
+is unchanged: message-only lines on stdout).
 """
 
 from __future__ import annotations
@@ -24,14 +31,22 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
+import os
 import random
 import signal
+import sys
 from typing import Optional, Sequence
 
+from ..obs import MetricsAggregator, configure_logging, start_metrics_http_server
 from ..runtime.placement import parse_host_port
 from ..stream.query import StreamQueryConfig
 from .registry import StandingQueryService
 from .server import ServeClient, ServeServer
+
+# Explicit name: under ``python -m repro.serve`` this module runs as
+# ``__main__``, which would fall outside the configured ``repro`` tree.
+_LOGGER = logging.getLogger("repro.serve.cli")
 
 
 def demo_catalog(seed: int = 7, size: int = 40, num_keys: int = 4):
@@ -71,9 +86,54 @@ def _register_demo_queries(service: StandingQueryService) -> None:
     )
 
 
-async def _serve(service: StandingQueryService, host: str, port: int) -> int:
+def _render_prometheus(service: StandingQueryService) -> str:
+    """Worker snapshots + per-query hub readings as one text exposition."""
+    aggregator = MetricsAggregator()
+    aggregator.update_all(service.worker_snapshots())
+    for name, entry in service.metrics().items():
+        hub = entry.get("hub")
+        if not hub:
+            continue
+        aggregator.update(
+            {
+                "labels": {"worker": f"hub/{name}", "query": name, "component": "hub"},
+                "counters": {
+                    f"hub_{key}": hub[key]
+                    for key in (
+                        "published",
+                        "dropped_provisional",
+                        "publish_blocks",
+                        "disconnects",
+                    )
+                },
+                "gauges": {
+                    f"hub_{key}": hub[key]
+                    for key in (
+                        "ring_size",
+                        "ring_high_watermark",
+                        "capacity",
+                        "subscribers",
+                        "max_cursor_lag",
+                    )
+                },
+                "histograms": {},
+            }
+        )
+    return aggregator.prometheus_text()
+
+
+async def _serve(
+    service: StandingQueryService, host: str, port: int, metrics_port: Optional[int]
+) -> int:
     server = ServeServer(service, host, port)
     await server.start()
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = start_metrics_http_server(
+            host, metrics_port, lambda: _render_prometheus(service)
+        )
+        bound = metrics_server.server_address
+        _LOGGER.info("repro serve metrics on http://%s:%s/metrics", bound[0], bound[1])
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -82,7 +142,10 @@ async def _serve(service: StandingQueryService, host: str, port: int) -> int:
         except NotImplementedError:  # pragma: no cover - non-Unix loops
             pass
     await stop.wait()
-    print("repro serve shutting down", flush=True)
+    # Exact bytes matter: clients grep this line to confirm a clean exit.
+    _LOGGER.info("repro serve shutting down")
+    if metrics_server is not None:
+        metrics_server.shutdown()
     await server.close()
     service.shutdown()
     return 0
@@ -101,6 +164,13 @@ def _run_client(arguments) -> int:
             for tp_tuple in client.snapshot(arguments.snapshot_only):
                 print(tp_tuple)
             return 0
+        if arguments.stats:
+            print(json.dumps(client.stats()))
+            return 0
+        if arguments.watch is not None:
+            for message in client.watch(arguments.watch):
+                print(json.dumps(message), flush=True)
+            return 0
         if arguments.subscribe:
             client.subscribe(
                 arguments.subscribe, snapshot=not arguments.no_snapshot
@@ -108,7 +178,10 @@ def _run_client(arguments) -> int:
             for message in client.events():
                 print(json.dumps(message), flush=True)
             return 0
-    print("nothing to do: pass --subscribe/--snapshot-only/--list/--explain")
+    print(
+        "nothing to do: pass --subscribe/--snapshot-only/--list/--explain"
+        "/--stats/--watch"
+    )
     return 2
 
 
@@ -143,11 +216,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--snapshot-only", metavar="NAME", help="fetch one snapshot")
     parser.add_argument("--explain", metavar="NAME", help="print the physical plan")
     parser.add_argument("--list", action="store_true", help="list standing queries")
+    parser.add_argument(
+        "--stats", action="store_true", help="print one serving stats/metrics reading"
+    )
+    parser.add_argument(
+        "--watch", type=float, metavar="SECONDS",
+        help="print a stats line every SECONDS until interrupted",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="also expose a Prometheus text endpoint on this port (server mode)",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stdlib logging level for the repro logger tree",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects instead of plain messages",
+    )
     arguments = parser.parse_args(argv)
+    configure_logging(arguments.log_level, json_mode=arguments.log_json)
 
     if arguments.connect:
         try:
             return _run_client(arguments)
+        except BrokenPipeError:
+            # Downstream closed our stdout (`... | head`): conventional
+            # quiet exit, and point the fd at devnull so the interpreter's
+            # final flush cannot raise a second BrokenPipeError.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
         except OSError as error:
             print(f"repro serve: cannot reach {arguments.connect}: {error}")
             return 1
@@ -162,7 +262,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         catalog = Catalog()
     service = StandingQueryService(
         catalog,
-        config=StreamQueryConfig(early_emit=True),
+        config=StreamQueryConfig(early_emit=True, metrics=True),
         hub_capacity=arguments.hub_capacity,
         policy=arguments.policy,
         linger_seconds=arguments.linger,
@@ -170,7 +270,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if arguments.demo:
         _register_demo_queries(service)
-    return asyncio.run(_serve(service, host, port))
+    return asyncio.run(_serve(service, host, port, arguments.metrics_port))
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

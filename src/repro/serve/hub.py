@@ -169,6 +169,40 @@ class FanoutHub:
         with self._cond:
             return len(self._ring)
 
+    def subscriber_lags(self) -> Dict[int, int]:
+        """Per-subscriber cursor lag: elements published but not yet read.
+
+        A stalled client shows up here long before any policy fires — its
+        lag climbs toward ``capacity`` while everyone else's hovers near 0.
+        Disconnected subscribers are excluded (their cursor is dead).
+        """
+        with self._cond:
+            return {
+                subscriber_id: self._next_seq - state.cursor
+                for subscriber_id, state in self._states.items()
+                if not state.disconnected
+            }
+
+    def metrics(self) -> Dict[str, float]:
+        """One consistent reading of the hub's counters and occupancy."""
+        with self._cond:
+            lags = [
+                self._next_seq - state.cursor
+                for state in self._states.values()
+                if not state.disconnected
+            ]
+            return {
+                "published": self.published,
+                "dropped_provisional": self.dropped_provisional,
+                "publish_blocks": self.publish_blocks,
+                "disconnects": self.disconnects,
+                "ring_size": len(self._ring),
+                "ring_high_watermark": self.max_ring,
+                "capacity": self._capacity,
+                "subscribers": len(lags),
+                "max_cursor_lag": max(lags) if lags else 0,
+            }
+
     # ------------------------------------------------------------------ #
     # subscriber side
     # ------------------------------------------------------------------ #

@@ -84,6 +84,13 @@ class PlanGroup:
         self.config = config
         self.transport = transport
         self.merge_seed = merge_seed
+        #: Live/final worker metrics for this group's run (populated only
+        #: when the shared config enables metrics; ``None`` otherwise).
+        self.collector = None
+        if getattr(config, "metrics", False):
+            from ..obs.collector import MetricsCollector
+
+            self.collector = MetricsCollector()
         self.cancel = threading.Event()
         self.finished = threading.Event()
         self.failure: Optional[BaseException] = None
@@ -156,6 +163,7 @@ class PlanGroup:
                 taps=taps,
                 probes=probes,
                 cancel=self.cancel,
+                collector=self.collector,
             )
         except BaseException as error:  # noqa: BLE001 - surfaced via failure
             self.failure = error
@@ -499,6 +507,62 @@ class StandingQueryService:
                     "sink": record.sink_canonical,
                 }
             return report
+
+    def metrics(self) -> Dict[str, dict]:
+        """Per-query telemetry: hub ring/cursor metrics + worker snapshots.
+
+        Each entry carries the query's fan-out hub reading (occupancy,
+        per-subscriber cursor lags, drop/block counters) and, when the
+        shared config enables metrics, the plan group's aggregated worker
+        view (counters summed, watermarks min-merged).  Everything is
+        plain builtins, so the serve front end ships it as one JSON reply.
+        """
+        with self._lock:
+            records = list(self._queries.items())
+        report: Dict[str, dict] = {}
+        for name, record in records:
+            hub = record.hub
+            entry: Dict[str, object] = {
+                "hub": None if hub is None else hub.metrics(),
+                "cursor_lags": (
+                    {} if hub is None
+                    else {str(k): v for k, v in hub.subscriber_lags().items()}
+                ),
+                "workers": None,
+            }
+            group = record.group
+            collector = None if group is None else group.collector
+            aggregate = None if collector is None else collector.aggregate()
+            if aggregate is not None:
+                entry["workers"] = {
+                    "totals": aggregate.totals(),
+                    "by_node": aggregate.by_node(),
+                    "load_skew": aggregate.load_skew(),
+                }
+            report[name] = entry
+        return report
+
+    def worker_snapshots(self) -> List[dict]:
+        """Raw labelled worker snapshots across every running plan group.
+
+        Deduplicated by group (members share one run), relabelled with the
+        group's member names so a Prometheus scrape can tell groups apart.
+        """
+        with self._lock:
+            groups = {
+                id(record.group): record.group
+                for record in self._queries.values()
+                if record.group is not None and record.group.collector is not None
+            }
+        snapshots: List[dict] = []
+        for group in groups.values():
+            queries = "+".join(group.names)
+            for snapshot in group.collector.snapshots():
+                labels = dict(snapshot.get("labels", {}))
+                labels["queries"] = queries
+                labels["worker"] = f"{queries}/{labels.get('worker', '')}"
+                snapshots.append({**snapshot, "labels": labels})
+        return snapshots
 
     # ------------------------------------------------------------------ #
     # shutdown

@@ -14,7 +14,14 @@ request and response is one JSON object per line.  Requests:
 * ``{"op": "snapshot", "name": N}`` — one consistent materialized snapshot;
 * ``{"op": "explain", "name": N}`` — the physical plan with ``shared=``
   markers;
-* ``{"op": "list"}`` — registered standing-query names.
+* ``{"op": "list"}`` — registered standing-query names;
+* ``{"op": "stats"}`` — one ``stats`` reply: per-query serving counters
+  (:meth:`~repro.serve.registry.StandingQueryService.stats`) plus live
+  telemetry (hub occupancy, per-subscriber cursor lags, worker metrics —
+  :meth:`~repro.serve.registry.StandingQueryService.metrics`);
+* ``{"op": "watch", "interval": S}`` — takes over the connection: the
+  server acks, then emits one ``stats`` line every ``interval`` seconds
+  until a ``{"op": "detach"}`` line arrives or the client disconnects.
 
 TP tuples travel in the compact primitive encoding of
 :mod:`repro.parallel.serialize` (``[fact, lineage, start, end, p]``), so
@@ -31,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import socket
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -41,6 +49,8 @@ from ..relation import TPTuple
 from ..stream.elements import Watermark
 from .hub import END_OF_STREAM, SlowSubscriberDisconnected
 from .registry import ServeError, ServingSubscription, StandingQueryService
+
+_LOGGER = logging.getLogger(__name__)
 
 #: How often the streaming loop wakes to notice a detach or dead client.
 _READ_POLL_SECONDS = 0.25
@@ -138,7 +148,9 @@ class ServeServer:
         )
         bound = self._server.sockets[0].getsockname()
         self._host, self._port = bound[0], bound[1]
-        print(f"repro serve listening on {self._host}:{self._port}", flush=True)
+        # The message bytes are a readiness needle clients grep for; the
+        # entrypoint's message-only stdout handler keeps them unchanged.
+        _LOGGER.info("repro serve listening on %s:%s", self._host, self._port)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() first"
@@ -233,12 +245,69 @@ class ServeServer:
                 {"type": "ok", "op": "explain", "name": request["name"], "plan": plan},
             )
             return False
+        if op == "stats":
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, self._stats_payload)
+            payload["type"] = "stats"
+            await self._send(writer, payload)
+            return False
+        if op == "watch":
+            await self._watch_stats(request, reader, writer)
+            return True  # the watch consumed the connection
         if op == "subscribe":
             await self._stream(request, reader, writer)
             return True  # the subscription consumed the connection
         if op == "detach":
             raise ServeError("no active subscription on this connection")
         raise ServeError(f"unknown op {op!r}")
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        return {
+            "queries": self._service.stats(),
+            "metrics": self._service.metrics(),
+        }
+
+    async def _watch_stats(
+        self,
+        request: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        interval = max(float(request.get("interval", 1.0)), 0.05)
+        stop = asyncio.Event()
+
+        async def watch_input() -> None:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    inner = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if inner.get("op") == "detach":
+                    break
+            stop.set()
+
+        watcher = asyncio.ensure_future(watch_input())
+        try:
+            await self._send(
+                writer, {"type": "ok", "op": "watch", "interval": interval}
+            )
+            while not stop.is_set():
+                payload = await loop.run_in_executor(None, self._stats_payload)
+                payload["type"] = "stats"
+                await self._send(writer, payload)
+                try:
+                    await asyncio.wait_for(stop.wait(), interval)
+                except asyncio.TimeoutError:
+                    pass
+            await self._send(writer, {"type": "end", "op": "watch", "reason": "detached"})
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            _LOGGER.debug("watch client vanished mid-stream")
+        finally:
+            watcher.cancel()
 
     async def _stream(
         self,
@@ -376,6 +445,27 @@ class ServeClient:
 
     def explain(self, name: str) -> str:
         return self.request({"op": "explain", "name": name})["plan"]
+
+    def stats(self) -> dict:
+        """One serving-stats reading: per-query counters + live telemetry."""
+        return self.request({"op": "stats"})
+
+    def watch(self, interval: float = 1.0) -> Iterator[dict]:
+        """Yield periodic ``stats`` payloads until :meth:`detach` or EOF.
+
+        After this call the connection belongs to the watch; send
+        ``detach`` (from another thread, or between yields) to stop, then
+        drain until the generator ends.
+        """
+        response = self.request({"op": "watch", "interval": interval})
+        assert response.get("op") == "watch", response
+        while True:
+            message = self.recv()
+            if message is None:
+                return
+            if message.get("type") == "end":
+                return
+            yield message
 
     def subscribe(self, name: str, snapshot: bool = True) -> Optional[List[TPTuple]]:
         """Start a subscription on this connection; returns the snapshot.

@@ -202,6 +202,21 @@ class IncrementalWindowMaintainer:
             self._computers[key] = computer
         return computer
 
+    def probability_counters(self) -> Dict[str, int]:
+        """Summed hash-cons cache telemetry across all per-key computers."""
+        totals = {
+            "probability_cache_hits": 0,
+            "probability_cache_misses": 0,
+            "probability_intern_hits": 0,
+            "probability_intern_misses": 0,
+        }
+        for computer in self._computers.values():
+            totals["probability_cache_hits"] += computer.cache_hits
+            totals["probability_cache_misses"] += computer.cache_misses
+            totals["probability_intern_hits"] += computer.intern_hits
+            totals["probability_intern_misses"] += computer.intern_misses
+        return totals
+
     # ------------------------------------------------------------------ #
     # event ingestion
     # ------------------------------------------------------------------ #

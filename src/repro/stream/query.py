@@ -120,6 +120,14 @@ class StreamQueryConfig:
     them, retracting/refining on later data.  It is honoured by the dataflow
     graph executor (:mod:`repro.dataflow`); the planner routes stream joins
     through a dataflow plan whenever it is set.
+
+    ``metrics`` instruments the run with per-worker registries
+    (:mod:`repro.obs`): flow counters, loop idle/busy time, watermark lag,
+    probability-cache hit rates.  Snapshots cross every transport boundary
+    (periodic live frames plus one final per worker report); read them via
+    :meth:`StreamQuery.metrics` / :meth:`~repro.dataflow.DataflowQuery.metrics`
+    during or after a run.  Off by default — the uninstrumented loop is the
+    fast path.
     """
 
     partitions: int = 1
@@ -129,6 +137,8 @@ class StreamQueryConfig:
     materialize_probabilities: bool = False
     early_emit: bool = False
     placement: Optional[Placement] = None
+    metrics: bool = False
+    metrics_interval: float = 0.25
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
@@ -173,6 +183,8 @@ class StreamQueryResult:
     #: The transport that actually ran (``inline`` for single-partition
     #: runs; the fallback transport when workers could not start).
     workers: str = "threads"
+    #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
+    metrics: List[dict] = field(default_factory=list)
 
     @property
     def events_per_second(self) -> float:
@@ -195,6 +207,9 @@ def run_stream_shards(
     micro_batch_size: int = 64,
     buffer_capacity: int = 1024,
     placement: Optional[Placement] = None,
+    metrics: bool = False,
+    metrics_interval: float = 0.25,
+    collector: Optional[object] = None,
 ) -> tuple[List[WorkerReport], int, int, str]:
     """The one stream router: feed a merged element sequence into a session.
 
@@ -212,8 +227,16 @@ def run_stream_shards(
     count.
     """
     partitions = len(specs)
-    job = RuntimeJob(tuple(specs), micro_batch_size, buffer_capacity)
+    job = RuntimeJob(
+        tuple(specs),
+        micro_batch_size,
+        buffer_capacity,
+        metrics=metrics or collector is not None,
+        metrics_interval=metrics_interval,
+    )
     session = get_transport(transport_name).start(job, placement)
+    if collector is not None:
+        collector.attach(session)
     events_processed = 0
     with session:
         stamp = session.stamps_ingest
@@ -248,6 +271,10 @@ def run_stream_shards(
             session.done(index)
         reports = session.finish()
         blocks = session.backpressure_blocks
+    if collector is not None:
+        collector.complete(
+            [report.metrics for report in reports if report.metrics is not None]
+        )
     return reports, events_processed, blocks, session.name
 
 
@@ -284,10 +311,25 @@ class StreamQuery:
         right_def = catalog.lookup_stream(right)
         self._theta = theta_from_pairs(left_def.schema, right_def.schema, self._on)
         continuous_join(kind, left_def.schema, right_def.schema, self._on)
+        self._collector = None
+        if self._config.metrics:
+            from ..obs.collector import MetricsCollector
+
+            self._collector = MetricsCollector()
 
     @property
     def config(self) -> StreamQueryConfig:
         return self._config
+
+    def metrics(self):
+        """Aggregated worker metrics: live during :meth:`run`, final after.
+
+        Returns a :class:`repro.obs.MetricsAggregator`, or ``None`` when
+        the config has ``metrics=False`` or nothing has been collected yet.
+        """
+        if self._collector is None:
+            return None
+        return self._collector.aggregate()
 
     def describe(self) -> str:
         condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
@@ -360,6 +402,9 @@ class StreamQuery:
                 micro_batch_size=self._config.micro_batch_size,
                 buffer_capacity=self._config.buffer_capacity,
                 placement=self._config.placement,
+                metrics=self._config.metrics,
+                metrics_interval=self._config.metrics_interval,
+                collector=self._collector,
             )
         except WorkerStartError as error:
             # Workers unavailable (sandbox without fork, unreachable host):
@@ -379,6 +424,9 @@ class StreamQuery:
                 stamp_right,
                 micro_batch_size=self._config.micro_batch_size,
                 buffer_capacity=self._config.buffer_capacity,
+                metrics=self._config.metrics,
+                metrics_interval=self._config.metrics_interval,
+                collector=self._collector,
             )
         elapsed = time.perf_counter() - started
 
@@ -416,4 +464,7 @@ class StreamQuery:
             late_dropped=late,
             backpressure_blocks=blocks,
             workers=backend,
+            metrics=[
+                report.metrics for report in reports if report.metrics is not None
+            ],
         )
