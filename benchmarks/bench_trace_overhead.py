@@ -1,0 +1,238 @@
+"""Tracing overhead: the same continuous join untraced vs. sampled vs. full.
+
+Tracing claims the same near-zero-cost discipline as metrics: with tracing
+off the worker loop is the verbatim uninstrumented loop (one ``is None``
+test per element is the entire residue), and at the default 1% sampling
+rate the added work — a deterministic accumulator tick at the source plus
+three spans per sampled element — must be invisible in throughput.  This
+benchmark holds that claim to a number.  For each configuration it replays
+the Meteo-like workload through the continuous TP left outer join three
+ways — tracing off, tracing at the default ``trace_sample_rate`` (1%), and
+tracing every element (rate 1.0) — and reports
+
+* **events/sec** for all three modes (best of ``--repeats`` runs each),
+* ``trace_default_vs_off_throughput_ratio`` — the gated figure: the
+  default-rate run must keep at least ``--gate-ratio`` (default 0.95) of
+  the untraced throughput, where the ratio is paired *within* an attempt
+  (the modes run back to back, so machine-wide drift cancels) and the
+  best attempt counts,
+* ``trace_full_vs_off_throughput_ratio`` — informational: what tracing
+  *everything* costs, and
+* the full-rate run's span count, as evidence the tracer was actually
+  live while the ratios were measured.
+
+All three modes must produce bitwise-identical settled output (canonical
+lineage included) before any number is reported — the sampler is
+deterministic precisely so that traced runs stay comparable.
+
+Run with::
+
+    python benchmarks/bench_trace_overhead.py             # default sizes
+    python benchmarks/bench_trace_overhead.py --smoke     # CI-sized
+    python benchmarks/bench_trace_overhead.py --sizes 2000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from conftest import bench_payload_base
+
+from repro.datasets import ReplayConfig, meteo_pair, stream_def
+from repro.engine import Catalog
+from repro.harness.reporting import write_bench_file
+from repro.lineage import canonical
+from repro.obs import DEFAULT_TRACE_SAMPLE_RATE
+from repro.relation import TPRelation
+from repro.stream import StreamQuery, StreamQueryConfig
+
+#: The three modes, keyed by sample rate (None = tracing off entirely).
+MODES: tuple = (None, DEFAULT_TRACE_SAMPLE_RATE, 1.0)
+
+
+def canonical_rows(relation: TPRelation) -> set:
+    """Order-insensitive, lineage-canonical view of a join result."""
+    return {
+        (t.fact, t.start, t.end, str(canonical(t.lineage))) for t in relation
+    }
+
+
+def _run_query(size: int, disorder: int, partitions: int, seed: int, rate):
+    """One full continuous-join run; returns the settled result."""
+    positive, negative = meteo_pair(size, seed=seed)
+    catalog = Catalog()
+    catalog.register_stream(
+        "r", stream_def(positive, ReplayConfig(disorder=disorder, seed=seed))
+    )
+    catalog.register_stream(
+        "s", stream_def(negative, ReplayConfig(disorder=disorder, seed=seed + 1))
+    )
+    config = (
+        StreamQueryConfig(partitions=partitions)
+        if rate is None
+        else StreamQueryConfig(
+            partitions=partitions, trace=True, trace_sample_rate=rate
+        )
+    )
+    query = StreamQuery(catalog, "left_outer", "r", "s", [("Metric", "Metric")],
+                        config=config)
+    return query.run(merge_seed=seed)
+
+
+def run_one(size: int, disorder: int, partitions: int, repeats: int, seed: int) -> dict:
+    """Measure one configuration in all three modes; returns the record."""
+    best = {rate: 0.0 for rate in MODES}
+    paired = {rate: 0.0 for rate in MODES[1:]}
+    rows: dict = {}
+    spans_full = 0
+    # One untimed warm-up absorbs import and allocator cold-start, which
+    # would otherwise tax whichever mode happens to run first.
+    _run_query(size, disorder, partitions, seed, None)
+    for attempt in range(repeats):
+        # Rotate which mode goes first so cache warm-up cannot favour one.
+        order = MODES[attempt % len(MODES):] + MODES[: attempt % len(MODES)]
+        attempt_rates = {}
+        for rate in order:
+            result = _run_query(size, disorder, partitions, seed, rate)
+            attempt_rates[rate] = result.events_per_second
+            best[rate] = max(best[rate], result.events_per_second)
+            rows.setdefault(rate, canonical_rows(result.relation))
+            if rate is None:
+                assert result.trace() is None, "tracing off leaked spans"
+            elif rate == 1.0:
+                aggregator = result.trace()
+                assert aggregator is not None, "rate=1.0 recorded no spans"
+                spans_full = len(aggregator)
+        # Ratios are paired within the attempt: the modes ran back to back,
+        # so machine-wide drift between attempts cancels out of the figure.
+        for rate in MODES[1:]:
+            paired[rate] = max(
+                paired[rate], attempt_rates[rate] / attempt_rates[None]
+            )
+
+    for rate in MODES[1:]:
+        if rows[rate] != rows[None]:
+            raise AssertionError(
+                f"traced output diverged at size={size} rate={rate}"
+            )
+    assert spans_full > 0, "the tracer was never live"
+
+    return {
+        "size": size,
+        "disorder": disorder,
+        "partitions": partitions,
+        "repeats": repeats,
+        "events_per_second_off": round(best[None], 1),
+        "events_per_second_default": round(best[DEFAULT_TRACE_SAMPLE_RATE], 1),
+        "events_per_second_full": round(best[1.0], 1),
+        "default_ratio": round(paired[DEFAULT_TRACE_SAMPLE_RATE], 4),
+        "full_ratio": round(paired[1.0], 4),
+        "spans_full": spans_full,
+        "outputs": len(rows[None]),
+    }
+
+
+def report_line(record: dict) -> str:
+    return (
+        f"size={record['size']:>6}  disorder={record['disorder']:>3}  "
+        f"off={record['events_per_second_off']:>10.0f} ev/s  "
+        f"1%={record['events_per_second_default']:>10.0f} ev/s  "
+        f"100%={record['events_per_second_full']:>10.0f} ev/s  "
+        f"ratio={record['default_ratio']:.3f}  "
+        f"spans={record['spans_full']}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--sizes", default=None, help="comma-separated relation sizes (default 1000)"
+    )
+    parser.add_argument("--disorder", type=int, default=4)
+    parser.add_argument("--partitions", type=int, default=1)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per mode; best throughput counts"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--gate-ratio",
+        type=float,
+        default=0.95,
+        help="minimum default-rate / untraced throughput ratio (0 disables)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument("--json-dir", default="bench_results")
+    arguments = parser.parse_args(argv)
+
+    repeats = arguments.repeats
+    if arguments.smoke:
+        sizes = [300]
+        # Smoke runs are ~20ms per mode: scheduler noise swamps a single
+        # attempt, so give the paired-ratio gate more attempts to find a
+        # clean pair.
+        repeats = max(repeats, 7)
+    elif arguments.sizes:
+        sizes = [int(part) for part in arguments.sizes.split(",") if part.strip()]
+    else:
+        sizes = [1000]
+
+    records: List[dict] = []
+    for size in sizes:
+        record = run_one(
+            size,
+            arguments.disorder,
+            arguments.partitions,
+            repeats,
+            arguments.seed,
+        )
+        records.append(record)
+        print(report_line(record))
+
+    worst = min(record["default_ratio"] for record in records)
+    gated = arguments.gate_ratio > 0
+    failed = gated and worst < arguments.gate_ratio
+
+    if arguments.json_dir:
+        metrics: dict = {
+            "trace_default_vs_off_throughput_ratio": worst,
+            "trace_full_vs_off_throughput_ratio": min(
+                record["full_ratio"] for record in records
+            ),
+        }
+        for record in records:
+            prefix = f"s{record['size']}_d{record['disorder']}"
+            metrics[f"{prefix}_outputs"] = record["outputs"]
+            metrics[f"{prefix}_spans_count"] = record["spans_full"]
+            metrics[f"{prefix}_events_per_second"] = record["events_per_second_off"]
+        payload = bench_payload_base(
+            "trace_overhead",
+            "Tracing overhead: continuous join untraced vs. 1% vs. 100% sampled",
+            seed=arguments.seed,
+            metrics=metrics,
+            trace_enabled=True,
+            measurements=records,
+            gate={
+                "ratio_floor": arguments.gate_ratio if gated else None,
+                "worst_ratio": worst,
+                "passed": not failed,
+            },
+        )
+        path = write_bench_file("trace_overhead", payload, arguments.json_dir)
+        print(f"wrote {path}")
+
+    if failed:
+        print(
+            f"FAIL: default-rate tracing kept only {worst:.3f}x of untraced "
+            f"throughput (floor {arguments.gate_ratio})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

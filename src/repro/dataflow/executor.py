@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..parallel.batch import canonical_order
 from ..parallel.plan import stable_hash
 from ..relation import TPTuple
@@ -95,6 +96,9 @@ class GraphRunOutcome:
     #: Final per-worker metrics snapshots (empty unless the run was
     #: instrumented via ``config.metrics`` or an attached collector).
     metrics: List[dict] = field(default_factory=list)
+    #: Every span the run recorded (empty unless the run was traced via
+    #: ``config.trace`` or an attached trace collector).
+    trace_spans: List[dict] = field(default_factory=list)
 
 
 def stage_watermark(partition_joins: Sequence[RevisionJoin]) -> float:
@@ -218,6 +222,7 @@ def run_graph(
     probes: Optional[Dict[str, object]] = None,
     cancel: Optional[object] = None,
     collector: Optional[object] = None,
+    trace_collector: Optional[object] = None,
 ) -> GraphRunOutcome:
     """Execute a dataflow graph on one runtime transport.
 
@@ -244,6 +249,13 @@ def run_graph(
     metrics work identically on all four transports.  The collector sees
     live snapshots mid-run (``collector.snapshots()``) and the final ones
     afterwards; they are also returned on the outcome.
+
+    ``trace_collector`` is the tracing counterpart, a
+    :class:`repro.obs.TraceCollector`; when given (or when ``config.trace``
+    is true) the driver samples source elements at ``config.trace_sample_rate``,
+    records root ``source`` spans, and attaches the trace context workers
+    propagate hop by hop — span shipments ride the same frames as metrics
+    snapshots, so tracing too works identically on all four transports.
 
     ``cancel`` is an optional :class:`threading.Event`-like object; once set,
     the driver stops routing further source elements and sends the done
@@ -295,16 +307,34 @@ def run_graph(
         for spec in graph.nodes
     ]
     metrics_on = collector is not None or bool(getattr(config, "metrics", False))
+    trace_on = trace_collector is not None or bool(getattr(config, "trace", False))
     job = RuntimeJob(
         tuple(specs),
         micro_batch_size=getattr(config, "micro_batch_size", 64),
         buffer_capacity=getattr(config, "buffer_capacity", 1024),
         metrics=metrics_on,
-        metrics_interval=getattr(config, "metrics_interval", 0.25),
+        metrics_interval=getattr(config, "metrics_interval", DEFAULT_METRICS_INTERVAL),
+        trace=trace_on,
     )
+    sampler = None
+    driver_tracer = None
+    if trace_on:
+        from ..obs.trace import (
+            DEFAULT_TRACE_SAMPLE_RATE,
+            Tracer,
+            TraceSampler,
+            span_detail,
+        )
+
+        sampler = TraceSampler(
+            getattr(config, "trace_sample_rate", DEFAULT_TRACE_SAMPLE_RATE)
+        )
+        driver_tracer = Tracer("driver")
     session = get_transport(transport).start(job, getattr(config, "placement", None))
     if collector is not None:
         collector.attach(session)
+    if trace_collector is not None:
+        trace_collector.attach(session)
     edges = source_edges(graph, node_index)
     events_processed = 0
     with session:
@@ -318,6 +348,22 @@ def run_graph(
                     # Stamp ingestion before the element can sit in a
                     # channel, so emit latency includes queueing time.
                     clock = time.perf_counter() if stamp else None
+                    context = None
+                    if sampler is not None:
+                        trace_id = sampler.sample()
+                        if trace_id is not None:
+                            now = time.perf_counter()
+                            root = driver_tracer.record(
+                                "source",
+                                trace_id,
+                                None,
+                                now,
+                                now,
+                                side=side,
+                                target=graph.node_names[target],
+                                **span_detail(element),
+                            )
+                            context = (trace_id, root)
                     theta = thetas[target]
                     if parts[target] > 1:
                         key = (
@@ -331,7 +377,7 @@ def run_graph(
                     session.send(
                         first_worker[target] + partition,
                         None,
-                        Tagged(side, element, clock),
+                        Tagged(side, element, clock, context),
                     )
                 else:
                     for partition in range(parts[target]):
@@ -356,6 +402,15 @@ def run_graph(
     ]
     if collector is not None:
         collector.complete(final_metrics)
+    final_spans: List[dict] = []
+    if trace_on:
+        for report in reports:
+            if report.spans:
+                final_spans.extend(report.spans)
+        if driver_tracer is not None:
+            final_spans.extend(driver_tracer.dump())
+    if trace_collector is not None:
+        trace_collector.complete([final_spans])
     settled: Dict[str, List[TPTuple]] = {}
     stats: Dict[str, RevisionJoinStats] = {}
     latencies: Dict[str, List[float]] = {}
@@ -386,6 +441,7 @@ def run_graph(
         backpressure_blocks=blocks,
         backend=backend,
         metrics=final_metrics,
+        trace_spans=final_spans,
     )
 
 

@@ -96,11 +96,45 @@ class DataflowResult:
     backpressure_blocks: int = 0
     #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
     metrics: List[dict] = field(default_factory=list)
+    #: Every span the run recorded (empty unless ``config.trace``).
+    trace_spans: List[dict] = field(default_factory=list)
 
     @property
     def relation(self) -> TPRelation:
         """The sink node's settled output relation."""
         return self.nodes[self.sink].relation
+
+    def trace(self):
+        """The run's spans as a :class:`repro.obs.TraceAggregator`.
+
+        ``None`` when the run was not traced (or nothing was sampled).
+        """
+        if not self.trace_spans:
+            return None
+        from ..obs.trace import TraceAggregator
+
+        aggregator = TraceAggregator()
+        aggregator.add_spans(self.trace_spans)
+        return aggregator
+
+    def explain_tuple(self, key) -> str:
+        """Provenance of one settled sink tuple: lineage plus its trace.
+
+        ``key`` is either a full fact tuple (exact match) or a scalar that
+        any fact attribute may equal.  The report shows the tuple's
+        interval, probability and lineage tree, then every sampled span
+        timeline that contributed to it — the per-event evidence chain
+        from source ingestion through each node's operate/emit to the sink.
+        """
+        from ..obs.trace import find_tuples, render_tuple_explanation
+
+        matches = find_tuples(self.relation, key)
+        if not matches:
+            return f"no settled tuple matches {key!r}"
+        aggregator = self.trace()
+        return "\n\n".join(
+            render_tuple_explanation(tp_tuple, aggregator) for tp_tuple in matches
+        )
 
     @property
     def events_per_second(self) -> float:
@@ -176,6 +210,11 @@ class DataflowQuery:
             from ..obs.collector import MetricsCollector
 
             self._collector = MetricsCollector()
+        self._trace_collector = None
+        if self._config.trace:
+            from ..obs.trace import TraceCollector
+
+            self._trace_collector = TraceCollector()
 
     @property
     def graph(self) -> DataflowGraph:
@@ -194,6 +233,16 @@ class DataflowQuery:
         if self._collector is None:
             return None
         return self._collector.aggregate()
+
+    def trace(self):
+        """Aggregated span timelines: live during :meth:`run`, final after.
+
+        Returns a :class:`repro.obs.TraceAggregator`, or ``None`` when the
+        config has ``trace=False`` or no span has been recorded yet.
+        """
+        if self._trace_collector is None:
+            return None
+        return self._trace_collector.aggregate()
 
     def describe(self) -> str:
         mode = "early-emit" if self._config.early_emit else "watermark-only"
@@ -221,6 +270,7 @@ class DataflowQuery:
                 merge_seed,
                 transport=chosen,
                 collector=self._collector,
+                trace_collector=self._trace_collector,
             )
         except WorkerStartError as error:
             # Workers unavailable (sandbox without fork, unreachable host):
@@ -238,6 +288,7 @@ class DataflowQuery:
                 merge_seed,
                 transport="threads",
                 collector=self._collector,
+                trace_collector=self._trace_collector,
             )
         elapsed = time.perf_counter() - started
         return self._build_result(outcome, elapsed)
@@ -307,6 +358,7 @@ class DataflowQuery:
                     taps={sink: tap},
                     cancel=cancel,
                     collector=self._collector,
+                    trace_collector=self._trace_collector,
                 )
             except BaseException as error:  # noqa: BLE001 - re-raised to consumer
                 failures.append(error)
@@ -373,4 +425,5 @@ class DataflowQuery:
             backend=outcome.backend,
             backpressure_blocks=outcome.backpressure_blocks,
             metrics=outcome.metrics,
+            trace_spans=outcome.trace_spans,
         )

@@ -117,6 +117,11 @@ class ContinuousJoinOperator(PhysicalOperator):
         #: Runtime transport the partitions run on; EXPLAIN appends
         #: ``transport=...`` when it is not the default thread transport.
         self.parallel_transport = self._query.config.workers
+        #: Read by EXPLAIN to render the ``[traced rate=...]`` marker
+        #: (``None`` when the config leaves tracing off).
+        self.trace_sample_rate = (
+            self._query.config.trace_sample_rate if self._query.config.trace else None
+        )
         self.last_result: Optional[StreamQueryResult] = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -179,6 +184,11 @@ class DataflowJoinOperator(PhysicalOperator):
         #: Runtime transport the graph workers run on; EXPLAIN appends
         #: ``transport=...`` when it is not the default thread transport.
         self.dataflow_transport = self._query.config.workers
+        #: Read by EXPLAIN to render the ``[traced rate=...]`` marker
+        #: (``None`` when the config leaves tracing off).
+        self.trace_sample_rate = (
+            self._query.config.trace_sample_rate if self._query.config.trace else None
+        )
         self.last_result = None
 
     @property

@@ -19,7 +19,9 @@ render it too: ``[dataflow k-node, parts=..., transport=sockets]`` and
 ``parallel_transport``.  Standing queries served through
 :class:`repro.serve.StandingQueryService` mark subplans shared with other
 standing queries as ``shared=n1/n2`` (read from ``dataflow_shared``): those
-nodes execute once per plan group, not once per query.
+nodes execute once per plan group, not once per query.  Plans whose config
+enables span-per-element tracing carry ``[traced rate=R]``, read from
+``trace_sample_rate`` (``None`` when tracing is off).
 """
 
 from __future__ import annotations
@@ -71,6 +73,9 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
         if shared:
             details.append("shared=" + "/".join(shared))
         annotation += f" [{', '.join(details)}]"
+    trace_rate = getattr(operator, "trace_sample_rate", None)
+    if trace_rate is not None:
+        annotation += f" [traced rate={trace_rate:g}]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)

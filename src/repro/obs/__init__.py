@@ -1,10 +1,12 @@
-"""Engine-wide observability: metrics registry, collection, exposition.
+"""Engine-wide observability: metrics, tracing, collection, exposition.
 
 Layering: :mod:`.metrics` holds the instruments and the driver-side
 aggregator; :mod:`.sample` copies operator state into a registry;
-:mod:`.collector` bridges a running transport session to metrics
-readers; :mod:`.logs` and :mod:`.httpd` back the ``--listen``
-entrypoints' ``--log-*`` flags and Prometheus endpoints.
+:mod:`.trace` and :mod:`.recorder` add span-per-element tracing with
+per-worker flight-recorder rings; :mod:`.collector` bridges a running
+transport session to metrics readers; :mod:`.logs` and :mod:`.httpd`
+back the ``--listen`` entrypoints' ``--log-*`` flags and the
+Prometheus/health endpoints.
 """
 
 from .collector import MetricsCollector
@@ -12,6 +14,7 @@ from .httpd import start_metrics_http_server
 from .logs import configure_logging
 from .metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_METRICS_INTERVAL,
     Counter,
     Gauge,
     Histogram,
@@ -19,7 +22,18 @@ from .metrics import (
     MetricsRegistry,
     registry_for_spec,
 )
+from .recorder import DEFAULT_RING_SPANS, FlightRecorder, render_flight_dump
 from .sample import sample_operator
+from .trace import (
+    DEFAULT_TRACE_SAMPLE_RATE,
+    TraceAggregator,
+    TraceCollector,
+    Tracer,
+    TraceSampler,
+    clock_anchor,
+    estimate_clock_offset,
+    tracer_for_spec,
+)
 
 __all__ = [
     "Counter",
@@ -33,4 +47,16 @@ __all__ = [
     "configure_logging",
     "start_metrics_http_server",
     "DEFAULT_BUCKETS",
+    "DEFAULT_METRICS_INTERVAL",
+    "DEFAULT_RING_SPANS",
+    "DEFAULT_TRACE_SAMPLE_RATE",
+    "FlightRecorder",
+    "render_flight_dump",
+    "TraceAggregator",
+    "TraceCollector",
+    "Tracer",
+    "TraceSampler",
+    "clock_anchor",
+    "estimate_clock_offset",
+    "tracer_for_spec",
 ]

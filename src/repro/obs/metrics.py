@@ -29,11 +29,17 @@ __all__ = [
     "MetricsAggregator",
     "registry_for_spec",
     "DEFAULT_BUCKETS",
+    "DEFAULT_METRICS_INTERVAL",
 ]
 
 #: Default histogram bucket upper bounds (element counts: micro-batch
 #: sizes, ring depths).  Powers of two up to the default channel batch cap.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Seconds between periodic telemetry shipments (metrics snapshots and
+#: trace-span flushes) from a running worker to the driver.  The single
+#: authority for the default every transport signature reuses.
+DEFAULT_METRICS_INTERVAL = 0.25
 
 #: Gauges merged with ``min`` across workers instead of ``max`` — a
 #: stage's effective watermark/frontier is the slowest partition's.

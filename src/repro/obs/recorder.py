@@ -1,0 +1,120 @@
+"""Flight recorder: a per-worker bounded ring of trace spans.
+
+Every traced worker owns one :class:`FlightRecorder`.  Spans are plain
+dicts (picklable, JSON-able) appended by the worker's
+:class:`~repro.obs.trace.Tracer`; the ring keeps only the newest
+``capacity`` spans, so a worker that traces forever holds bounded
+memory and a worker that *dies* still has its recent history — the
+driver renders it with :func:`render_flight_dump` when a socket seat
+closes its connection without a result or a result frame times out.
+
+Two read cursors serve the two shipping paths PR 7 established for
+metrics snapshots:
+
+* :meth:`FlightRecorder.pending` — the spans recorded since the last
+  call, drained onto the periodic metrics/trace frames mid-run;
+* :meth:`FlightRecorder.dump` — everything still retained, attached to
+  the final :class:`~repro.runtime.worker.WorkerReport` (and to flight
+  dumps).
+
+Both return the span dicts themselves, never copies: spans are treated
+as immutable once recorded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["DEFAULT_RING_SPANS", "FlightRecorder", "render_flight_dump"]
+
+#: Spans retained per worker.  At ~200 bytes/span this bounds a worker's
+#: trace memory near 400 KiB while keeping several seconds of history at
+#: realistic sampling rates.
+DEFAULT_RING_SPANS = 2048
+
+
+class FlightRecorder:
+    """Bounded ring of span dicts with a drain cursor for periodic flush."""
+
+    __slots__ = ("_ring", "_seq", "_drained")
+
+    def __init__(self, capacity: int = DEFAULT_RING_SPANS) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._ring: Deque[Tuple[int, dict]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._drained = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, span: dict) -> None:
+        self._ring.append((self._seq, span))
+        self._seq += 1
+
+    def pending(self) -> List[dict]:
+        """Spans recorded since the previous :meth:`pending` call.
+
+        Spans that fell off the ring before being drained are simply
+        lost from the periodic path (they may still reach the driver in
+        the final :meth:`dump`) — the recorder never blocks the worker.
+        """
+        cursor = self._drained
+        self._drained = self._seq
+        return [span for seq, span in self._ring if seq >= cursor]
+
+    def dump(self) -> List[dict]:
+        """Every span still retained, oldest first."""
+        return [span for _seq, span in self._ring]
+
+
+def _format_span(span: dict, origin: float) -> str:
+    start = (span.get("t0", origin) - origin) * 1e6
+    duration = (span.get("t1", span.get("t0", origin)) - span.get("t0", origin)) * 1e6
+    parts = [
+        f"+{start:12.1f}us",
+        f"{duration:10.1f}us",
+        f"trace={span.get('trace', '?')}",
+        f"{span.get('name', '?')}",
+        f"span={span.get('span', '?')}",
+    ]
+    parent = span.get("parent")
+    if parent is not None:
+        parts.append(f"parent={parent}")
+    for key in ("node", "channel", "target", "fact", "seq", "subscriber"):
+        if key in span:
+            parts.append(f"{key}={span[key]}")
+    return "  ".join(parts)
+
+
+def render_flight_dump(
+    worker: str,
+    spans: List[dict],
+    metrics: Optional[Dict] = None,
+    limit: int = 64,
+) -> str:
+    """Render a worker's retained spans (and final counters) as text.
+
+    Used by the socket driver when a seat dies mid-run: the newest
+    ``limit`` spans, ordered by start time and offset from the oldest
+    shown, plus the last metrics snapshot's counters if one arrived.
+    """
+    lines = [f"flight recorder dump for {worker}: {len(spans)} span(s) retained"]
+    shown = sorted(spans, key=lambda span: span.get("t0", 0.0))[-limit:]
+    if shown:
+        origin = shown[0].get("t0", 0.0)
+        if len(spans) > len(shown):
+            lines.append(f"  ... {len(spans) - len(shown)} older span(s) elided")
+        for span in shown:
+            lines.append("  " + _format_span(span, origin))
+    else:
+        lines.append("  (no spans recorded — tracing off or nothing sampled)")
+    if metrics:
+        counters = metrics.get("counters", {})
+        if counters:
+            rendered = ", ".join(
+                f"{name}={value}" for name, value in sorted(counters.items()) if value
+            )
+            lines.append(f"  last metrics snapshot: {rendered}")
+    return "\n".join(lines)

@@ -114,11 +114,17 @@ def decode_tuples(codes: Iterable[tuple]) -> List[TPTuple]:
 # stream element codec
 # --------------------------------------------------------------------------- #
 def encode_tagged(tagged: Tagged) -> tuple:
-    """Flatten one tagged stream element (event or watermark)."""
+    """Flatten one tagged stream element (event or watermark).
+
+    A sampled element's trace context rides as one extra trailing field —
+    appended only when present, so untraced runs ship the exact pre-trace
+    wire shape and decoders accept both lengths.
+    """
     side_code = 0 if tagged.side == LEFT else 1
     element = tagged.element
     if isinstance(element, StreamEvent):
-        return ("e", side_code, element.sequence, encode_tuple(element.tuple), tagged.ingest_clock)
+        code = ("e", side_code, element.sequence, encode_tuple(element.tuple), tagged.ingest_clock)
+        return code if tagged.trace is None else code + (tagged.trace,)
     if isinstance(element, Watermark):
         return ("w", side_code, element.value)
     raise TypeError(f"unsupported stream element {element!r}")
@@ -128,8 +134,11 @@ def decode_tagged(code: tuple) -> Tagged:
     """Rebuild one tagged stream element from its encoding."""
     side = LEFT if code[1] == 0 else RIGHT
     if code[0] == "e":
-        _tag, _side, sequence, tuple_code, clock = code
-        return Tagged(side, StreamEvent(decode_tuple(tuple_code), sequence=sequence), clock)
+        _tag, _side, sequence, tuple_code, clock = code[:5]
+        trace = code[5] if len(code) > 5 else None
+        return Tagged(
+            side, StreamEvent(decode_tuple(tuple_code), sequence=sequence), clock, trace
+        )
     if code[0] == "w":
         return Tagged(side, Watermark(code[2]))
     raise ValueError(f"unknown element code tag {code[0]!r}")
@@ -142,7 +151,8 @@ def encode_revision_tagged(tagged: Tagged) -> tuple:
     """Flatten one tagged dataflow element (revision, event or watermark).
 
     Revisions become ``("r", side, kind_code, provisional, tuple_code,
-    clock)``; events and watermarks keep the stream-element encoding, so a
+    clock)`` — plus one trailing trace-context field when the element is
+    sampled; events and watermarks keep the stream-element encoding, so a
     source edge and a node edge share one wire format.
     """
     from ..dataflow.revision import Revision
@@ -150,7 +160,7 @@ def encode_revision_tagged(tagged: Tagged) -> tuple:
     element = tagged.element
     if isinstance(element, Revision):
         side_code = 0 if tagged.side == LEFT else 1
-        return (
+        code = (
             "r",
             side_code,
             _revision_kinds().index(element.kind),
@@ -158,6 +168,7 @@ def encode_revision_tagged(tagged: Tagged) -> tuple:
             encode_tuple(element.tuple),
             tagged.ingest_clock,
         )
+        return code if tagged.trace is None else code + (tagged.trace,)
     return encode_tagged(tagged)
 
 
@@ -167,14 +178,15 @@ def decode_revision_tagged(code: tuple) -> Tagged:
         return decode_tagged(code)
     from ..dataflow.revision import Revision
 
-    _tag, side_code, kind_code, provisional, tuple_code, clock = code
+    _tag, side_code, kind_code, provisional, tuple_code, clock = code[:6]
+    trace = code[6] if len(code) > 6 else None
     side = LEFT if side_code == 0 else RIGHT
     revision = Revision(
         _revision_kinds()[kind_code],
         decode_tuple(tuple_code),
         provisional=provisional,
     )
-    return Tagged(side, revision, clock)
+    return Tagged(side, revision, clock, trace)
 
 
 # --------------------------------------------------------------------------- #

@@ -24,6 +24,13 @@ Emit latencies remain comparable across the process boundary because
 ``time.perf_counter`` reads ``CLOCK_MONOTONIC``, which is system-wide on the
 platforms with ``fork``; the routers stamp ingestion before an element can
 sit in a queue, so latencies include cross-process queueing time.
+
+Trace context rides the same path: when tracing is on
+(:class:`repro.runtime.RuntimeJob` ``trace=True``) each sampled
+:class:`~repro.stream.elements.Tagged` element carries a compact
+``(trace_id, parent_span_id)`` pair which the compact codecs in
+:mod:`repro.parallel.serialize` preserve across the process boundary, and
+each worker's spans come back inside its :class:`~repro.runtime.WorkerReport`.
 """
 
 from __future__ import annotations

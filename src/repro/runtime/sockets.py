@@ -22,9 +22,14 @@ Backpressure survives the boundary: a server connection feeds a bounded
 reading, the kernel's TCP window closes, and the sender's ``sendall``
 blocks — the socket edition of a full queue.
 
-Emit latencies stay comparable across *local* socket workers because
-``time.perf_counter`` reads the system-wide monotonic clock; across real
-hosts they include clock skew and should be read as indicative only.
+Emit latencies and trace-span timestamps stay directly comparable across
+*local* socket workers because ``time.perf_counter`` reads the system-wide
+monotonic clock.  Across real hosts they are normalized: every worker sends
+a ``("anchor", job, index, (wall_clock, perf_counter))`` frame in the job
+handshake, the driver estimates the perf-counter offset from it (trusting
+NTP-synchronized wall clocks), shifts incoming spans and report latencies
+onto its own clock scale, and surfaces the estimate as
+``WorkerReport.clock_offset``.
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ import traceback
 import uuid
 from typing import Dict, Hashable, List, Optional
 
+from ..obs.metrics import DEFAULT_METRICS_INTERVAL
+from ..obs.trace import clock_anchor, estimate_clock_offset, shift_spans
 from ..stream.elements import Tagged
 from .channel import Channel, ChannelClosed
 from .placement import Placement, parse_host_port
@@ -167,7 +174,8 @@ class _ServerJob:
         micro_batch_size: int,
         capacity: int,
         metrics_on: bool = False,
-        metrics_interval: float = 0.25,
+        metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+        trace_on: bool = False,
         reply: Optional[_ReplySender] = None,
     ) -> None:
         self.key = key
@@ -180,6 +188,7 @@ class _ServerJob:
         self.latest_metrics: Dict[int, dict] = {}
         self._metrics_on = metrics_on
         self._metrics_interval = metrics_interval
+        self._trace_on = trace_on
         self._reply = reply
         self._thread = threading.Thread(
             target=self._run,
@@ -192,9 +201,17 @@ class _ServerJob:
     def _run(self, addresses, micro_batch_size: int) -> None:
         putter = _PeerPutter(addresses, self.key)
         try:
+            if self._reply is not None:
+                # Handshake anchor: a (wall_clock, perf_counter) pair the
+                # driver uses to map this worker's timestamps onto its own
+                # clock scale (meaningful across real hosts; near-zero on
+                # localhost).  Sent before any metrics/spans frame.
+                self._reply.send(("anchor", self.key, self.spec.index, clock_anchor()))
             emitter = BatchingEmitter(putter, micro_batch_size)
             registry = None
             sink = None
+            tracer = None
+            trace_sink = None
             if self._metrics_on:
                 from ..obs.metrics import registry_for_spec
 
@@ -207,6 +224,16 @@ class _ServerJob:
                             ("metrics", self.key, self.spec.index, snapshot)
                         )
 
+            if self._trace_on:
+                from ..obs.trace import tracer_for_spec
+
+                tracer = tracer_for_spec(self.spec)
+
+                if self._reply is not None:
+
+                    def trace_sink(spans) -> None:
+                        self._reply.send(("spans", self.key, self.spec.index, spans))
+
             report = run_worker(
                 self.spec,
                 _EncodedChannelInbox(self.inbox),
@@ -215,6 +242,8 @@ class _ServerJob:
                 metrics=registry,
                 metrics_sink=sink,
                 metrics_interval=self._metrics_interval,
+                tracer=tracer,
+                trace_sink=trace_sink,
             )
             if report.metrics:
                 self.latest_metrics[self.spec.index] = report.metrics
@@ -263,7 +292,8 @@ class _JobRegistry:
         micro_batch_size: int,
         capacity: int,
         metrics_on: bool = False,
-        metrics_interval: float = 0.25,
+        metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+        trace_on: bool = False,
         reply: Optional[_ReplySender] = None,
     ) -> _ServerJob:
         job = _ServerJob(
@@ -274,6 +304,7 @@ class _JobRegistry:
             capacity,
             metrics_on=metrics_on,
             metrics_interval=metrics_interval,
+            trace_on=trace_on,
             reply=reply,
         )
         with self._condition:
@@ -344,10 +375,11 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
         if first is None:
             return
         if first[0] == "job":
-            # Older drivers send the 6-field frame (no metrics knobs).
+            # Older drivers send shorter frames (no metrics/trace knobs).
             _kind, key, spec, addresses, micro_batch_size, capacity = first[:6]
             metrics_on = first[6] if len(first) > 6 else False
-            metrics_interval = first[7] if len(first) > 7 else 0.25
+            metrics_interval = first[7] if len(first) > 7 else DEFAULT_METRICS_INTERVAL
+            trace_on = first[8] if len(first) > 8 else False
             reply = _ReplySender(connection)
             job = registry.create(
                 key,
@@ -357,6 +389,7 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
                 capacity,
                 metrics_on=metrics_on,
                 metrics_interval=metrics_interval,
+                trace_on=trace_on,
                 reply=reply,
             )
             reader = threading.Thread(
@@ -538,6 +571,8 @@ class SocketSession(TransportSession):
             threading.Event() for _ in range(count)
         ]
         self._live_metrics: Dict[int, dict] = {}
+        self._live_spans: Dict[int, list] = {}
+        self._clock_offsets: Dict[int, float] = {}
         try:
             context = preferred_context()
             ready_queue = context.Queue()
@@ -574,6 +609,7 @@ class SocketSession(TransportSession):
                         job.buffer_capacity,
                         job.metrics,
                         job.metrics_interval,
+                        job.trace,
                     ),
                 )
             for index in range(count):
@@ -602,6 +638,16 @@ class SocketSession(TransportSession):
                 if frame[0] == "metrics":
                     self._live_metrics[index] = frame[3]
                     continue
+                if frame[0] == "anchor":
+                    # Handshake (wall, perf) pair — first frame a worker
+                    # sends, so the offset is known before any span arrives.
+                    self._clock_offsets[index] = estimate_clock_offset(frame[3])
+                    continue
+                if frame[0] == "spans":
+                    self._live_spans.setdefault(index, []).extend(
+                        shift_spans(frame[3], self._clock_offsets.get(index, 0.0))
+                    )
+                    continue
                 result = frame
                 break
         except (OSError, ValueError, EOFError):  # pragma: no cover - torn read
@@ -612,6 +658,25 @@ class SocketSession(TransportSession):
 
     def metrics(self) -> List[dict]:
         return [self._live_metrics[index] for index in sorted(self._live_metrics)]
+
+    def trace_spans(self) -> List[dict]:
+        return [
+            span
+            for index in sorted(self._live_spans)
+            for span in self._live_spans[index]
+        ]
+
+    def _flight_dump(self, index: int) -> str:
+        """Render the dead/stuck worker's last-known telemetry, if any."""
+        if not (self._job.trace or self._job.metrics):
+            return ""
+        from ..obs.recorder import render_flight_dump
+
+        return render_flight_dump(
+            f"worker {index} (job {self.job_key})",
+            self._live_spans.get(index, []),
+            self._live_metrics.get(index),
+        )
 
     def connection_failure(self, target: int, error: OSError) -> RuntimeError:
         """A send broke: wait briefly for the worker's marshalled failure."""
@@ -629,15 +694,41 @@ class SocketSession(TransportSession):
 
     def finish(self) -> List[WorkerReport]:
         self._emitter.flush()
+        timeout = self._job.result_timeout
         reports: List[Optional[WorkerReport]] = [None] * len(self._job.specs)
         for index in range(len(self._job.specs)):
-            self._result_events[index].wait()
-            frame = self._result_frames[index]
+            arrived = self._result_events[index].wait(timeout)
+            frame = self._result_frames[index] if arrived else None
             if frame is None:
-                raise RuntimeError(f"worker {index} closed its connection without a result")
+                # A seat died (EOF before its result) or went silent past
+                # the result timeout: dump its flight recorder — the last
+                # spans and counters it shipped — before failing the run.
+                if arrived:
+                    reason = f"worker {index} closed its connection without a result"
+                else:
+                    reason = f"worker {index} produced no result within {timeout}s"
+                dump = self._flight_dump(index)
+                if dump:
+                    _LOGGER.error("%s\n%s", reason, dump)
+                    reason = f"{reason}\n{dump}"
+                raise RuntimeError(reason)
             if frame[0] == "error":
                 raise RuntimeError(f"worker {frame[2]} failed:\n{frame[3]}")
-            reports[index] = decode_report(frame[3])
+            report = decode_report(frame[3])
+            offset = self._clock_offsets.get(index)
+            if offset is not None:
+                # Normalize the worker's perf-counter readings onto the
+                # driver clock: span timestamps shift directly; recorded
+                # emit latencies were measured against driver-stamped
+                # ingest clocks, so the same offset corrects them.
+                report.clock_offset = offset
+                if report.spans:
+                    report.spans = shift_spans(report.spans, offset)
+                if offset and report.emit_latencies:
+                    report.emit_latencies = [
+                        latency + offset for latency in report.emit_latencies
+                    ]
+            reports[index] = report
         self._release()
         return [report for report in reports]
 

@@ -36,6 +36,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
+from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..stream.elements import Tagged
 from .channel import Channel, ChannelClosed
 from .placement import Placement
@@ -83,8 +84,17 @@ class RuntimeJob:
     #: count flow/loop metrics and piggyback periodic snapshots to the
     #: driver.  Off by default — the uninstrumented loop is the fast path.
     metrics: bool = False
-    #: Seconds between piggybacked snapshots on queued transports.
-    metrics_interval: float = 0.25
+    #: Seconds between piggybacked snapshots on queued transports (also the
+    #: trace-span flush cadence).
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL
+    #: Enable per-worker tracers (see :mod:`repro.obs.trace`): sampled
+    #: elements carry a trace context and workers record spans into bounded
+    #: flight-recorder rings.  Off by default, same discipline as metrics.
+    trace: bool = False
+    #: Socket transport only: seconds to wait for each worker's result frame
+    #: before declaring the seat lost (``None`` waits forever, the
+    #: historical behaviour).  A timeout triggers a flight-recorder dump.
+    result_timeout: Optional[float] = None
 
     @property
     def queue_batches(self) -> int:
@@ -100,6 +110,15 @@ def _job_registries(job: RuntimeJob) -> List:
     from ..obs.metrics import registry_for_spec
 
     return [registry_for_spec(spec) for spec in job.specs]
+
+
+def _job_tracers(job: RuntimeJob) -> List:
+    """One flight-recorder tracer per spec when the job is traced."""
+    if not job.trace:
+        return [None] * len(job.specs)
+    from ..obs.trace import tracer_for_spec
+
+    return [tracer_for_spec(spec) for spec in job.specs]
 
 
 class TransportSession:
@@ -129,6 +148,16 @@ class TransportSession:
 
         Empty unless the job ran with ``metrics=True``; the final
         authoritative snapshots travel in the worker reports.
+        """
+        return []
+
+    def trace_spans(self) -> List[dict]:
+        """Spans shipped so far (live, mid-run), all workers flattened.
+
+        Empty unless the job ran with ``trace=True``; the full rings
+        travel in the worker reports, and span ids make the overlap safe
+        to merge.  Remote sessions return spans already normalized onto
+        the driver's clock.
         """
         return []
 
@@ -186,9 +215,10 @@ class InlineSession(TransportSession):
     def __init__(self, job: RuntimeJob) -> None:
         emitter = _InlineEmitter(self)
         registries = _job_registries(job)
+        self._tracers = _job_tracers(job)
         self._workers = [
-            Worker(spec, emitter, metrics=registry)
-            for spec, registry in zip(job.specs, registries)
+            Worker(spec, emitter, metrics=registry, tracer=tracer)
+            for spec, registry, tracer in zip(job.specs, registries, self._tracers)
         ]
         self._remaining = [spec.producers for spec in job.specs]
         self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
@@ -221,6 +251,14 @@ class InlineSession(TransportSession):
                 if snapshot:
                     snapshots.append(snapshot)
         return snapshots
+
+    def trace_spans(self) -> List[dict]:
+        # Single-threaded: reading the live rings directly is safe.
+        spans: List[dict] = []
+        for tracer in self._tracers:
+            if tracer is not None:
+                spans.extend(tracer.dump())
+        return spans
 
 
 class InlineTransport(Transport):
@@ -261,7 +299,9 @@ class ThreadSession(TransportSession):
         self._failures: List[BaseException] = []
         self._reports: List[Optional[WorkerReport]] = [None] * len(job.specs)
         self._registries = _job_registries(job)
+        self._tracers = _job_tracers(job)
         self._live_metrics: List[Optional[dict]] = [None] * len(job.specs)
+        self._live_spans: List[list] = [[] for _ in job.specs]
         self._threads = [
             threading.Thread(
                 target=self._work,
@@ -281,6 +321,9 @@ class ThreadSession(TransportSession):
             def sink(snapshot, index=index) -> None:
                 self._live_metrics[index] = snapshot
 
+            def trace_sink(spans, index=index) -> None:
+                self._live_spans[index].extend(spans)
+
             report = run_worker(
                 spec,
                 self._inboxes[index],
@@ -289,6 +332,8 @@ class ThreadSession(TransportSession):
                 metrics=self._registries[index],
                 metrics_sink=sink if self._job.metrics else None,
                 metrics_interval=self._job.metrics_interval,
+                tracer=self._tracers[index],
+                trace_sink=trace_sink if self._job.trace else None,
             )
             dones_sent = True
             self._reports[index] = report
@@ -328,6 +373,11 @@ class ThreadSession(TransportSession):
             elif self._live_metrics[index] is not None:
                 snapshots.append(self._live_metrics[index])
         return snapshots
+
+    def trace_spans(self) -> List[dict]:
+        # Lists are append-only from the worker side; a live read sees a
+        # consistent prefix under the GIL.
+        return [span for spans in self._live_spans for span in list(spans)]
 
     @property
     def backpressure_blocks(self) -> int:
@@ -443,7 +493,8 @@ class _WorkerQueuePutter:
 
 def _process_worker_main(
     spec, worker_queues, out_queue, micro_batch_size: int, abort,
-    metrics: bool = False, metrics_interval: float = 0.25,
+    metrics: bool = False, metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+    trace: bool = False,
 ) -> None:
     """Process-transport worker entry point: run the loop, report once."""
     try:
@@ -451,6 +502,8 @@ def _process_worker_main(
         emitter = BatchingEmitter(_WorkerQueuePutter(worker_queues, abort), micro_batch_size)
         registry = None
         sink = None
+        tracer = None
+        trace_sink = None
         if metrics:
             from ..obs.metrics import registry_for_spec
 
@@ -461,9 +514,19 @@ def _process_worker_main(
                 # message kind; the driver files them as live metrics.
                 out_queue.put((spec.index, "metrics", snapshot))
 
+        if trace:
+            from ..obs.trace import tracer_for_spec
+
+            tracer = tracer_for_spec(spec)
+
+            def trace_sink(spans) -> None:
+                # Periodic span flushes ride the result queue too.
+                out_queue.put((spec.index, "spans", spans))
+
         report = run_worker(
             spec, inbox, emitter, micro_batch_size,
             metrics=registry, metrics_sink=sink, metrics_interval=metrics_interval,
+            tracer=tracer, trace_sink=trace_sink,
         )
         out_queue.put((spec.index, "ok", encode_report(report)))
     except BaseException:  # noqa: BLE001 - marshalled to the driver
@@ -514,6 +577,7 @@ class ProcessSession(TransportSession):
         self.blocks = 0
         self._results: Dict[int, tuple] = {}
         self._live_metrics: Dict[int, dict] = {}
+        self._live_spans: Dict[int, list] = {}
         self._failure: Optional[BaseException] = None
         context = preferred_context()
         self.workers: List = []
@@ -529,7 +593,7 @@ class ProcessSession(TransportSession):
                     target=_process_worker_main,
                     args=(
                         spec, self.queues, self._out_queue, job.micro_batch_size,
-                        self._abort, job.metrics, job.metrics_interval,
+                        self._abort, job.metrics, job.metrics_interval, job.trace,
                     ),
                     name=f"runtime-worker-{spec.index}",
                     daemon=True,
@@ -558,6 +622,9 @@ class ProcessSession(TransportSession):
         if kind == "metrics":
             self._live_metrics[index] = payload
             return
+        if kind == "spans":
+            self._live_spans.setdefault(index, []).extend(payload)
+            return
         if kind != "ok":
             self._abort.set()
             # Remember the failure: a metrics poll draining the queue may
@@ -582,6 +649,17 @@ class ProcessSession(TransportSession):
         except RuntimeError:
             pass  # stored in self._failure; finish() raises it
         return [self._live_metrics[index] for index in sorted(self._live_metrics)]
+
+    def trace_spans(self) -> List[dict]:
+        try:
+            self.drain_results()
+        except RuntimeError:
+            pass  # stored in self._failure; finish() raises it
+        return [
+            span
+            for index in sorted(self._live_spans)
+            for span in self._live_spans[index]
+        ]
 
     def finish(self) -> List[WorkerReport]:
         self._emitter.flush()

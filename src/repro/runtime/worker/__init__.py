@@ -31,8 +31,11 @@ worker server that joins a placement map (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Hashable, List, Optional, Protocol, Sequence
 
+from ...obs.metrics import DEFAULT_METRICS_INTERVAL
+from ...obs.trace import span_detail
 from ...relation import TPTuple, stable_key_hash
 from ...stream.elements import LEFT, RIGHT, Tagged, Watermark
 from ..channel import ChannelWatermarks
@@ -95,6 +98,14 @@ class WorkerReport:
     #: Final metrics snapshot (``MetricsRegistry.snapshot()`` dict) when the
     #: job ran with metrics enabled; ``None`` otherwise.
     metrics: Optional[dict] = None
+    #: The worker's final flight-recorder ring (span dicts) when the job ran
+    #: with tracing enabled; ``None`` otherwise.
+    spans: Optional[list] = None
+    #: Estimated additive correction mapping this worker's perf-counter
+    #: timestamps onto the driver's scale, from the ``(wall, perf)`` anchor a
+    #: remote socket worker sends in the job handshake.  ``None`` for local
+    #: workers, whose clocks are directly comparable.
+    clock_offset: Optional[float] = None
 
 
 def encode_report(report: WorkerReport) -> tuple:
@@ -109,6 +120,8 @@ def encode_report(report: WorkerReport) -> tuple:
         report.late_dropped,
         report.stats,
         report.metrics,
+        report.spans,
+        report.clock_offset,
     )
 
 
@@ -116,7 +129,7 @@ def decode_report(code: tuple) -> WorkerReport:
     """Rebuild a report from its encoding."""
     from ...parallel.serialize import decode_tuples
 
-    index, outputs, latencies, lags, late, stats, metrics = code
+    index, outputs, latencies, lags, late, stats, metrics = code[:7]
     return WorkerReport(
         index=index,
         outputs=decode_tuples(outputs),
@@ -125,16 +138,26 @@ def decode_report(code: tuple) -> WorkerReport:
         late_dropped=late,
         stats=tuple(stats) if stats is not None else None,
         metrics=metrics,
+        spans=code[7] if len(code) > 7 else None,
+        clock_offset=code[8] if len(code) > 8 else None,
     )
 
 
 class Worker:
     """Spec-driven operator state machine: route → operate → emit → close."""
 
-    def __init__(self, spec: WorkerSpec, emitter: Emitter, metrics=None) -> None:
+    def __init__(
+        self, spec: WorkerSpec, emitter: Emitter, metrics=None, tracer=None
+    ) -> None:
         self.spec = spec
         self.emitter = emitter
         self.join = spec.build_join()
+        # Tracing is optional and per-element: ``tracer`` is a per-worker
+        # ``repro.obs.Tracer`` (or ``None``); spans are recorded only for
+        # elements that arrived carrying a trace context, so with sampling
+        # off the only added cost is one ``is None`` test per element.
+        self.tracer = tracer
+        self._active_trace = None
         # Metrics are optional: ``metrics`` is a per-worker
         # ``repro.obs.MetricsRegistry`` (or ``None``, the fast path).  The
         # three flow counters are bound once so the hot path is a plain
@@ -177,7 +200,40 @@ class Worker:
             tagged = Tagged(tagged.side, Watermark(merged), tagged.ingest_clock)
         if self._m_operated is not None:
             self._m_operated.value += 1
-        self._dispatch(self.join.process(tagged))
+        if tagged.trace is not None and self.tracer is not None:
+            self._accept_traced(channel, tagged)
+        else:
+            self._dispatch(self.join.process(tagged))
+
+    def _accept_traced(self, channel: Hashable, tagged: Tagged) -> None:
+        """The operate step for a sampled element: spans around the operator.
+
+        Records a ``queue_wait`` span (ingest stamp → pickup, when the
+        element was stamped at a routing point) and an ``operate`` span,
+        then dispatches outputs with the operate span as their parent so
+        downstream spans stitch into one causal timeline.
+        """
+        trace_id, parent = tagged.trace
+        start = perf_counter()
+        if tagged.ingest_clock is not None:
+            self.tracer.record(
+                "queue_wait",
+                trace_id,
+                parent,
+                tagged.ingest_clock,
+                start,
+                channel=str(channel) if channel is not None else "data",
+            )
+        outputs = self.join.process(tagged)
+        end = perf_counter()
+        operate = self.tracer.record(
+            "operate", trace_id, parent, start, end, **span_detail(tagged.element)
+        )
+        self._active_trace = (trace_id, operate)
+        try:
+            self._dispatch(outputs)
+        finally:
+            self._active_trace = None
 
     def finish(self) -> WorkerReport:
         """Close the operator, flush, send done sentinels, build the report."""
@@ -192,6 +248,8 @@ class Worker:
         report = self.spec.report(self.join, self._outputs)
         if self.metrics is not None:
             report.metrics = self.metrics_snapshot()
+        if self.tracer is not None:
+            report.spans = self.tracer.dump()
         return report
 
     def metrics_snapshot(self) -> Optional[dict]:
@@ -223,6 +281,9 @@ class Worker:
         if self._tap is not None:
             for element in elements:
                 self._tap(self.spec.channel_id, element)
+        if self._active_trace is not None and elements:
+            self._dispatch_traced(elements)
+            return
         if self._outputs is not None:
             self._outputs.extend(elements)
             return
@@ -240,6 +301,43 @@ class Worker:
                         offset = 0
                     self.emitter.send(first + offset, None, Tagged(side, element))
 
+    def _dispatch_traced(self, elements) -> None:
+        """Emit outputs of a traced operate step, one ``emit`` span each.
+
+        The emit span timestamps the element's departure; its id becomes
+        the parent carried downstream, so the gap to the consumer's
+        ``operate`` span is the inter-worker queue/wire wait.  Sink
+        workers (no downstream, or locally collected outputs) still get
+        the span — that is what closes a timeline source→sink.
+        """
+        trace_id, parent = self._active_trace
+        record = self.tracer.record
+        if self._outputs is not None:
+            now = perf_counter()
+            for element in elements:
+                record("emit", trace_id, parent, now, now, **span_detail(element))
+            self._outputs.extend(elements)
+            return
+        channel = self.spec.channel_id
+        for element in elements:
+            if isinstance(element, Watermark):
+                for first, consumer_parts, side, _key_indices in self.spec.downstream:
+                    for offset in range(consumer_parts):
+                        self.emitter.send(first + offset, channel, Tagged(side, element))
+                continue
+            now = perf_counter()
+            span = record("emit", trace_id, parent, now, now, **span_detail(element))
+            context = (trace_id, span)
+            for first, consumer_parts, side, key_indices in self.spec.downstream:
+                if consumer_parts > 1:
+                    key = tuple(element.tuple.fact[i] for i in key_indices)
+                    offset = stable_key_hash(key) % consumer_parts
+                else:
+                    offset = 0
+                self.emitter.send(
+                    first + offset, None, Tagged(side, element, None, context)
+                )
+
 
 class Inbox(Protocol):
     """A worker's input: batches of ``(channel, tagged)`` until producers end."""
@@ -254,7 +352,9 @@ def run_worker(
     micro_batch_size: int,
     metrics=None,
     metrics_sink=None,
-    metrics_interval: float = 0.25,
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+    tracer=None,
+    trace_sink=None,
 ) -> WorkerReport:
     """Drive one worker to settlement over a pull-based inbox.
 
@@ -266,10 +366,13 @@ def run_worker(
     (blocked in ``take_batch``) vs busy seconds, histograms micro-batch
     sizes, and — when ``metrics_sink`` is given — pushes a periodic
     snapshot every ``metrics_interval`` seconds so the driver can observe
-    the run live.  The metrics-off path is the original tight loop.
+    the run live.  With ``tracer`` (a per-worker ``repro.obs.Tracer``)
+    sampled elements get spans; ``trace_sink`` receives the newly recorded
+    spans on the same periodic cadence.  The telemetry-off path — no
+    metrics *and* no tracer — is the original tight loop.
     """
-    worker = Worker(spec, emitter, metrics=metrics)
-    if metrics is None:
+    worker = Worker(spec, emitter, metrics=metrics, tracer=tracer)
+    if metrics is None and tracer is None:
         while True:
             batch = inbox.take_batch(micro_batch_size)
             if batch is None:
@@ -281,8 +384,6 @@ def run_worker(
         emitter.flush()
         return report
 
-    from time import perf_counter
-
     from ..channel import Channel
 
     # The thread transport's inbox *is* the channel; the socket inbox wraps
@@ -291,10 +392,12 @@ def run_worker(
     if inbox_channel is None and isinstance(inbox, Channel):
         inbox_channel = inbox
     worker.inbox_channel = inbox_channel
-    batch_sizes = metrics.histogram("batch_size")
-    batches = metrics.counter("batches")
-    idle_gauge = metrics.gauge("idle_seconds")
-    busy_gauge = metrics.gauge("busy_seconds")
+    if metrics is not None:
+        batch_sizes = metrics.histogram("batch_size")
+        batches = metrics.counter("batches")
+        idle_gauge = metrics.gauge("idle_seconds")
+        busy_gauge = metrics.gauge("busy_seconds")
+    periodic = metrics_sink is not None or trace_sink is not None
     idle = busy = 0.0
     last_emit = perf_counter()
     while True:
@@ -309,15 +412,22 @@ def run_worker(
         emitter.flush()
         done = perf_counter()
         busy += done - now
-        batch_sizes.observe(len(batch))
-        batches.inc()
-        if metrics_sink is not None and done - last_emit >= metrics_interval:
-            idle_gauge.set(idle)
-            busy_gauge.set(busy)
-            metrics_sink(worker.metrics_snapshot())
+        if metrics is not None:
+            batch_sizes.observe(len(batch))
+            batches.inc()
+        if periodic and done - last_emit >= metrics_interval:
+            if metrics_sink is not None:
+                idle_gauge.set(idle)
+                busy_gauge.set(busy)
+                metrics_sink(worker.metrics_snapshot())
+            if trace_sink is not None:
+                spans = tracer.pending()
+                if spans:
+                    trace_sink(spans)
             last_emit = done
-    idle_gauge.set(idle)
-    busy_gauge.set(busy)
+    if metrics is not None:
+        idle_gauge.set(idle)
+        busy_gauge.set(busy)
     report = worker.finish()
     emitter.flush()
     return report

@@ -22,8 +22,12 @@ stats/telemetry reading, ``--watch SECONDS`` a stats line every interval.
 Observability: the server runs with worker metrics enabled; ``--stats``
 and ``--watch`` read them over NDJSON, and ``--metrics-port PORT``
 additionally exposes a Prometheus text endpoint (``GET /metrics``).
-``--log-level``/``--log-json`` configure stdlib logging (default output
-is unchanged: message-only lines on stdout).
+``--trace`` enables span-per-element tracing (``--trace-sample-rate``
+controls the sampling, default 1%); a client reads the spans live with
+``--trace-dump``, and ``--trace-out PATH`` writes the full Chrome
+trace-event JSON at server shutdown (open it in chrome://tracing or
+Perfetto).  ``--log-level``/``--log-json`` configure stdlib logging
+(default output is unchanged: message-only lines on stdout).
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ import os
 import random
 import signal
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..obs import MetricsAggregator, configure_logging, start_metrics_http_server
@@ -123,7 +128,11 @@ def _render_prometheus(service: StandingQueryService) -> str:
 
 
 async def _serve(
-    service: StandingQueryService, host: str, port: int, metrics_port: Optional[int]
+    service: StandingQueryService,
+    host: str,
+    port: int,
+    metrics_port: Optional[int],
+    trace_out: Optional[str] = None,
 ) -> int:
     server = ServeServer(service, host, port)
     await server.start()
@@ -148,6 +157,15 @@ async def _serve(
         metrics_server.shutdown()
     await server.close()
     service.shutdown()
+    if trace_out is not None:
+        from ..obs import TraceAggregator
+
+        aggregator = TraceAggregator()
+        aggregator.add_spans(service.trace_spans())
+        aggregator.write_chrome_trace(trace_out)
+        _LOGGER.info(
+            "repro serve wrote %d trace span(s) to %s", len(aggregator), trace_out
+        )
     return 0
 
 
@@ -166,6 +184,9 @@ def _run_client(arguments) -> int:
             return 0
         if arguments.stats:
             print(json.dumps(client.stats()))
+            return 0
+        if arguments.trace_dump:
+            print(json.dumps(client.trace()))
             return 0
         if arguments.watch is not None:
             for message in client.watch(arguments.watch):
@@ -228,6 +249,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also expose a Prometheus text endpoint on this port (server mode)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="enable span-per-element tracing of served queries (server mode)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=None, metavar="RATE",
+        help="fraction of elements to trace, 0..1 (default 0.01; implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome trace-event JSON file at server shutdown "
+        "(implies --trace; open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-dump", action="store_true",
+        help="print one live reading of the server's trace spans (client mode)",
+    )
+    parser.add_argument(
         "--log-level", default="info",
         choices=("debug", "info", "warning", "error"),
         help="stdlib logging level for the repro logger tree",
@@ -260,9 +298,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..engine import Catalog
 
         catalog = Catalog()
+    trace_on = (
+        arguments.trace
+        or arguments.trace_out is not None
+        or arguments.trace_sample_rate is not None
+    )
+    config = StreamQueryConfig(early_emit=True, metrics=True, trace=trace_on)
+    if arguments.trace_sample_rate is not None:
+        config = replace(config, trace_sample_rate=arguments.trace_sample_rate)
     service = StandingQueryService(
         catalog,
-        config=StreamQueryConfig(early_emit=True, metrics=True),
+        config=config,
         hub_capacity=arguments.hub_capacity,
         policy=arguments.policy,
         linger_seconds=arguments.linger,
@@ -270,7 +316,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if arguments.demo:
         _register_demo_queries(service)
-    return asyncio.run(_serve(service, host, port, arguments.metrics_port))
+    return asyncio.run(
+        _serve(service, host, port, arguments.metrics_port, arguments.trace_out)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

@@ -44,6 +44,16 @@ from ..stream.elements import Watermark
 #: Slow-subscriber policies, in documentation order.
 POLICIES = ("block", "drop_provisional", "disconnect")
 
+#: First trace id a hub's sampler hands out.  Hub traces are rooted at the
+#: hub (taps strip the per-element context workers propagate), so their id
+#: space is offset far above the driver sampler's sequential ids — both
+#: land in one TraceAggregator without colliding timelines.
+HUB_TRACE_ID_BASE = 1_000_000
+
+#: How many recently published traced sequences a hub remembers, so a
+#: subscriber's cursor advance can be attributed to its publish span.
+_TRACED_SEQ_LIMIT = 64
+
 
 class _EndOfStream:
     """Sentinel a drained, closed hub returns from :meth:`FanoutHub.read`."""
@@ -122,13 +132,27 @@ class HubSubscription:
 class FanoutHub:
     """Bounded shared-ring fan-out of one element stream to N cursors."""
 
-    def __init__(self, capacity: int = 256, policy: str = "block") -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        policy: str = "block",
+        tracer=None,
+        sampler=None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("hub capacity must be positive")
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
         self._capacity = capacity
         self._policy = policy
+        # Optional tracing (repro.obs.trace): the sampler picks published
+        # elements, ``hub_publish`` spans mark ring entry and
+        # ``cursor_advance`` spans mark each subscriber's pickup of a traced
+        # sequence.  Both default to None — the untraced hub path is
+        # unchanged but for one ``is None`` test per publish/read.
+        self._tracer = tracer
+        self._sampler = sampler if tracer is not None else None
+        self._traced: Dict[int, Tuple[int, str]] = {}
         self._ring: Deque[Tuple[int, Any]] = deque()
         self._cond = threading.Condition()
         self._next_seq = 0
@@ -168,6 +192,13 @@ class FanoutHub:
     def ring_size(self) -> int:
         with self._cond:
             return len(self._ring)
+
+    def trace_spans(self) -> List[dict]:
+        """Every span this hub's tracer retains (empty when untraced)."""
+        if self._tracer is None:
+            return []
+        with self._cond:
+            return self._tracer.dump()
 
     def subscriber_lags(self) -> Dict[int, int]:
         """Per-subscriber cursor lag: elements published but not yet read.
@@ -256,6 +287,14 @@ class FanoutHub:
                 if entry is not None:
                     sequence, item = entry
                     state.cursor = sequence + 1  # monotone: sequence >= cursor
+                    if self._traced:
+                        traced = self._traced.get(sequence)
+                        if traced is not None:
+                            now = time.perf_counter()
+                            self._tracer.record(
+                                "cursor_advance", traced[0], traced[1], now, now,
+                                seq=sequence, subscriber=subscriber_id,
+                            )
                     self._evict_consumed()
                     self._cond.notify_all()
                     return item
@@ -327,6 +366,18 @@ class FanoutHub:
             self._ring.append((self._next_seq, item))
             self._next_seq += 1
             self.published += 1
+            if self._sampler is not None:
+                trace_id = self._sampler.sample()
+                if trace_id is not None:
+                    sequence = self._next_seq - 1
+                    now = time.perf_counter()
+                    span = self._tracer.record(
+                        "hub_publish", trace_id, None, now, now,
+                        seq=sequence, ring=len(self._ring),
+                    )
+                    self._traced[sequence] = (trace_id, span)
+                    while len(self._traced) > _TRACED_SEQ_LIMIT:
+                        del self._traced[next(iter(self._traced))]
             if len(self._ring) > self.max_ring:
                 self.max_ring = len(self._ring)
             self._cond.notify_all()

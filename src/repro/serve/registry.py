@@ -91,6 +91,13 @@ class PlanGroup:
             from ..obs.collector import MetricsCollector
 
             self.collector = MetricsCollector()
+        #: Live/final span timelines for this group's run (populated only
+        #: when the shared config enables tracing; ``None`` otherwise).
+        self.trace_collector = None
+        if getattr(config, "trace", False):
+            from ..obs.trace import TraceCollector
+
+            self.trace_collector = TraceCollector()
         self.cancel = threading.Event()
         self.finished = threading.Event()
         self.failure: Optional[BaseException] = None
@@ -164,6 +171,7 @@ class PlanGroup:
                 probes=probes,
                 cancel=self.cancel,
                 collector=self.collector,
+                trace_collector=self.trace_collector,
             )
         except BaseException as error:  # noqa: BLE001 - surfaced via failure
             self.failure = error
@@ -418,8 +426,32 @@ class StandingQueryService:
         group = PlanGroup(
             members, graph, self._config, self._transport, self._merge_seed
         )
-        for member in members:
-            member.hub = FanoutHub(self._hub_capacity, self._policy)
+        trace_on = getattr(self._config, "trace", False)
+        for offset, member in enumerate(members):
+            tracer = sampler = None
+            if trace_on:
+                # Hub traces are rooted at the hub — taps strip the worker
+                # context — so each hub samples its own published elements
+                # at the shared rate.  Ids are offset into the hub id space,
+                # one disjoint block per member, so no two hubs (and no hub
+                # and the driver sampler) ever share a timeline.
+                from ..obs.trace import (
+                    DEFAULT_TRACE_SAMPLE_RATE,
+                    Tracer,
+                    TraceSampler,
+                )
+                from .hub import HUB_TRACE_ID_BASE
+
+                tracer = Tracer(f"hub/{member.name}")
+                sampler = TraceSampler(
+                    getattr(
+                        self._config, "trace_sample_rate", DEFAULT_TRACE_SAMPLE_RATE
+                    ),
+                    first_id=HUB_TRACE_ID_BASE + offset * 100_000,
+                )
+            member.hub = FanoutHub(
+                self._hub_capacity, self._policy, tracer=tracer, sampler=sampler
+            )
             member.cache = ResultCache()
             member.group = group
         return True
@@ -541,6 +573,29 @@ class StandingQueryService:
                 }
             report[name] = entry
         return report
+
+    def trace_spans(self) -> List[dict]:
+        """Every span across running plan groups and member fan-out hubs.
+
+        Worker/driver spans come from each group's trace collector (live
+        mid-run, final after); ``hub_publish``/``cursor_advance`` spans
+        from each member hub's own tracer.  Empty unless the shared config
+        enables tracing.  Spans carry unique ids, so feeding repeated
+        readings into one :class:`repro.obs.TraceAggregator` is safe.
+        """
+        with self._lock:
+            records = list(self._queries.values())
+        groups = {}
+        spans: List[dict] = []
+        for record in records:
+            group = record.group
+            if group is not None and group.trace_collector is not None:
+                groups[id(group)] = group
+            if record.hub is not None:
+                spans.extend(record.hub.trace_spans())
+        for group in groups.values():
+            spans.extend(group.trace_collector.spans())
+        return spans
 
     def worker_snapshots(self) -> List[dict]:
         """Raw labelled worker snapshots across every running plan group.

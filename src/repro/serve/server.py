@@ -19,6 +19,10 @@ request and response is one JSON object per line.  Requests:
   (:meth:`~repro.serve.registry.StandingQueryService.stats`) plus live
   telemetry (hub occupancy, per-subscriber cursor lags, worker metrics —
   :meth:`~repro.serve.registry.StandingQueryService.metrics`);
+* ``{"op": "trace"}`` — one ``trace`` reply: every span the service holds
+  (worker/driver timelines plus hub publish/cursor spans) when the server
+  runs with tracing enabled (``--trace``); repeated readings may overlap —
+  span ids are unique, so an aggregator deduplicates them;
 * ``{"op": "watch", "interval": S}`` — takes over the connection: the
   server acks, then emits one ``stats`` line every ``interval`` seconds
   until a ``{"op": "detach"}`` line arrives or the client disconnects.
@@ -251,6 +255,11 @@ class ServeServer:
             payload["type"] = "stats"
             await self._send(writer, payload)
             return False
+        if op == "trace":
+            loop = asyncio.get_running_loop()
+            spans = await loop.run_in_executor(None, self._service.trace_spans)
+            await self._send(writer, {"type": "trace", "spans": spans})
+            return False
         if op == "watch":
             await self._watch_stats(request, reader, writer)
             return True  # the watch consumed the connection
@@ -449,6 +458,14 @@ class ServeClient:
     def stats(self) -> dict:
         """One serving-stats reading: per-query counters + live telemetry."""
         return self.request({"op": "stats"})
+
+    def trace(self) -> List[dict]:
+        """Every span the service currently holds (live mid-run reading).
+
+        Feed repeated readings into one :class:`repro.obs.TraceAggregator`
+        — spans carry unique ids, so overlap between readings is safe.
+        """
+        return self.request({"op": "trace"})["spans"]
 
     def watch(self, interval: float = 1.0) -> Iterator[dict]:
         """Yield periodic ``stats`` payloads until :meth:`detach` or EOF.

@@ -79,11 +79,18 @@ class Tagged:
     element can sit in a worker's buffer), so emit-latency measurements
     include queueing time.  ``None`` means "stamp at processing time" —
     correct for inline execution, where the two coincide.
+
+    ``trace`` is an optional ``(trace_id, parent_span_id)`` pair: the
+    compact trace context a sampled element carries from the source
+    through worker dispatch, channel hops and the wire codecs (see
+    :mod:`repro.obs.trace`).  ``None`` — the overwhelmingly common case —
+    means the element is unsampled and every tracing branch is skipped.
     """
 
     side: str
     element: StreamElement
     ingest_clock: Optional[float] = None
+    trace: Optional[tuple] = None
 
 
 def tag(side: str, elements: Iterable[StreamElement]) -> Iterator[Tagged]:

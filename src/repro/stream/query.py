@@ -39,6 +39,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..lineage import EventSpace
+from ..obs.metrics import DEFAULT_METRICS_INTERVAL
+from ..obs.trace import DEFAULT_TRACE_SAMPLE_RATE
 from ..relation import Schema, TPRelation, TPTuple, stable_key_hash
 from ..runtime import (
     SOURCE_CHANNEL,
@@ -128,6 +130,15 @@ class StreamQueryConfig:
     :meth:`StreamQuery.metrics` / :meth:`~repro.dataflow.DataflowQuery.metrics`
     during or after a run.  Off by default — the uninstrumented loop is the
     fast path.
+
+    ``trace`` samples elements at the source (``trace_sample_rate`` of them,
+    deterministically) and records span-per-element timelines — queue wait,
+    operate, emit — across every transport boundary into per-worker flight
+    recorders.  Read them via :meth:`StreamQuery.trace` /
+    :meth:`StreamQueryResult.explain_tuple`; export with
+    :meth:`repro.obs.TraceAggregator.write_chrome_trace`.  Off by default
+    for the same reason as ``metrics``: unsampled elements carry no trace
+    context and skip every tracing branch.
     """
 
     partitions: int = 1
@@ -138,7 +149,9 @@ class StreamQueryConfig:
     early_emit: bool = False
     placement: Optional[Placement] = None
     metrics: bool = False
-    metrics_interval: float = 0.25
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL
+    trace: bool = False
+    trace_sample_rate: float = DEFAULT_TRACE_SAMPLE_RATE
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
@@ -146,6 +159,10 @@ class StreamQueryConfig:
         if self.workers not in WORKER_BACKENDS:
             raise ValueError(
                 f"workers must be one of {WORKER_BACKENDS}, got {self.workers!r}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"
             )
 
 
@@ -185,6 +202,8 @@ class StreamQueryResult:
     workers: str = "threads"
     #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
     metrics: List[dict] = field(default_factory=list)
+    #: Every span the run recorded (empty unless ``config.trace``).
+    trace_spans: List[dict] = field(default_factory=list)
 
     @property
     def events_per_second(self) -> float:
@@ -197,6 +216,37 @@ class StreamQueryResult:
         """Mean / p50 / p95 / max emit latency in milliseconds."""
         return summarize_latency_ms(self.emit_latencies)
 
+    def trace(self):
+        """The run's spans as a :class:`repro.obs.TraceAggregator`.
+
+        ``None`` when the run was not traced (or nothing was sampled).
+        """
+        if not self.trace_spans:
+            return None
+        from ..obs.trace import TraceAggregator
+
+        aggregator = TraceAggregator()
+        aggregator.add_spans(self.trace_spans)
+        return aggregator
+
+    def explain_tuple(self, key) -> str:
+        """Provenance of one settled tuple: lineage joined with its trace.
+
+        ``key`` is either a full fact tuple (exact match) or a scalar that
+        any fact attribute may equal.  The report shows the tuple's
+        interval, probability and lineage tree, then every sampled
+        timeline whose spans contributed to it.
+        """
+        from ..obs.trace import find_tuples, render_tuple_explanation
+
+        matches = find_tuples(self.relation, key)
+        if not matches:
+            return f"no settled tuple matches {key!r}"
+        aggregator = self.trace()
+        return "\n\n".join(
+            render_tuple_explanation(tp_tuple, aggregator) for tp_tuple in matches
+        )
+
 
 def run_stream_shards(
     transport_name: str,
@@ -208,8 +258,11 @@ def run_stream_shards(
     buffer_capacity: int = 1024,
     placement: Optional[Placement] = None,
     metrics: bool = False,
-    metrics_interval: float = 0.25,
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL,
     collector: Optional[object] = None,
+    trace: bool = False,
+    trace_sample_rate: float = DEFAULT_TRACE_SAMPLE_RATE,
+    trace_collector: Optional[object] = None,
 ) -> tuple[List[WorkerReport], int, int, str]:
     """The one stream router: feed a merged element sequence into a session.
 
@@ -222,6 +275,10 @@ def run_stream_shards(
     the serialized transports, encoding) time; the inline transport stamps
     at processing time instead, where the two coincide.
 
+    With ``trace`` on, this loop is also the trace *source*: it samples
+    events deterministically, records the root ``source`` span, and attaches
+    the trace context the workers propagate.
+
     Returns ``(reports, events_processed, backpressure_blocks, transport)``
     with reports in worker-index order — deterministic for a fixed partition
     count.
@@ -233,10 +290,20 @@ def run_stream_shards(
         buffer_capacity,
         metrics=metrics or collector is not None,
         metrics_interval=metrics_interval,
+        trace=trace or trace_collector is not None,
     )
+    sampler = None
+    driver_tracer = None
+    if job.trace:
+        from ..obs.trace import Tracer, TraceSampler, span_detail
+
+        sampler = TraceSampler(trace_sample_rate)
+        driver_tracer = Tracer("driver")
     session = get_transport(transport_name).start(job, placement)
     if collector is not None:
         collector.attach(session)
+    if trace_collector is not None:
+        trace_collector.attach(session)
     events_processed = 0
     with session:
         stamp = session.stamps_ingest
@@ -250,6 +317,25 @@ def run_stream_shards(
                     # ingestion stamp for emit latency.
                     if stamp and (tagged.side == LEFT or stamp_right):
                         tagged = Tagged(tagged.side, element, time.perf_counter())
+                    if sampler is not None:
+                        trace_id = sampler.sample()
+                        if trace_id is not None:
+                            now = time.perf_counter()
+                            root = driver_tracer.record(
+                                "source",
+                                trace_id,
+                                None,
+                                now,
+                                now,
+                                side=tagged.side,
+                                **span_detail(element),
+                            )
+                            tagged = Tagged(
+                                tagged.side,
+                                element,
+                                tagged.ingest_clock,
+                                (trace_id, root),
+                            )
                     if partitions > 1:
                         key = (
                             theta.left_key(element.tuple)
@@ -275,6 +361,11 @@ def run_stream_shards(
         collector.complete(
             [report.metrics for report in reports if report.metrics is not None]
         )
+    if trace_collector is not None:
+        span_lists = [report.spans for report in reports if report.spans]
+        if driver_tracer is not None:
+            span_lists.append(driver_tracer.dump())
+        trace_collector.complete(span_lists)
     return reports, events_processed, blocks, session.name
 
 
@@ -316,6 +407,11 @@ class StreamQuery:
             from ..obs.collector import MetricsCollector
 
             self._collector = MetricsCollector()
+        self._trace_collector = None
+        if self._config.trace:
+            from ..obs.trace import TraceCollector
+
+            self._trace_collector = TraceCollector()
 
     @property
     def config(self) -> StreamQueryConfig:
@@ -330,6 +426,16 @@ class StreamQuery:
         if self._collector is None:
             return None
         return self._collector.aggregate()
+
+    def trace(self):
+        """Aggregated span timelines: live during :meth:`run`, final after.
+
+        Returns a :class:`repro.obs.TraceAggregator`, or ``None`` when the
+        config has ``trace=False`` or no span has been recorded yet.
+        """
+        if self._trace_collector is None:
+            return None
+        return self._trace_collector.aggregate()
 
     def describe(self) -> str:
         condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
@@ -405,6 +511,9 @@ class StreamQuery:
                 metrics=self._config.metrics,
                 metrics_interval=self._config.metrics_interval,
                 collector=self._collector,
+                trace=self._config.trace,
+                trace_sample_rate=self._config.trace_sample_rate,
+                trace_collector=self._trace_collector,
             )
         except WorkerStartError as error:
             # Workers unavailable (sandbox without fork, unreachable host):
@@ -427,6 +536,9 @@ class StreamQuery:
                 metrics=self._config.metrics,
                 metrics_interval=self._config.metrics_interval,
                 collector=self._collector,
+                trace=self._config.trace,
+                trace_sample_rate=self._config.trace_sample_rate,
+                trace_collector=self._trace_collector,
             )
         elapsed = time.perf_counter() - started
 
@@ -467,4 +579,9 @@ class StreamQuery:
             metrics=[
                 report.metrics for report in reports if report.metrics is not None
             ],
+            trace_spans=(
+                self._trace_collector.spans()
+                if self._trace_collector is not None
+                else []
+            ),
         )
