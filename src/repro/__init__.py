@@ -80,7 +80,9 @@ from .lineage import (
     var,
 )
 from .dataflow import DataflowQuery, NodeSpec, Revision, RevisionKind
+from .options import ExecutionOptions
 from .parallel import ParallelConfig, parallel_tp_join
+from .recovery import RecoveryEvent
 from .relation import (
     EquiJoinCondition,
     PredicateCondition,
@@ -109,6 +111,7 @@ __all__ = [
     "DataflowQuery",
     "EquiJoinCondition",
     "EventSpace",
+    "ExecutionOptions",
     "Interval",
     "NodeSpec",
     "Revision",
@@ -119,6 +122,7 @@ __all__ = [
     "ParallelConfig",
     "PredicateCondition",
     "ProbabilityComputer",
+    "RecoveryEvent",
     "Schema",
     "StreamDef",
     "StreamQuery",

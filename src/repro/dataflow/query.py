@@ -5,12 +5,15 @@ binds one continuous join to two registered streams, a dataflow query binds
 a whole operator *graph* to the catalog and executes it to settlement on a
 chosen runtime transport — ``inline``, ``threads``, ``processes`` or
 ``sockets`` (:mod:`repro.runtime`), the out-of-process ones degrading to
-threads with a warning when their workers cannot start.  It reuses
-:class:`~repro.stream.StreamQueryConfig` for its knobs: ``workers`` picks
+threads with a warning when their workers cannot start.  It takes the same
+unified :class:`repro.ExecutionOptions` for its knobs: ``transport`` picks
 the backend, ``buffer_capacity``/``micro_batch_size`` shape the
 backpressure seam, ``early_emit`` switches provisional publication on and
 ``materialize_probabilities`` computes output probabilities inline through
-the maintainer-owned per-key computers.
+the maintainer-owned per-key computers.  The recovery knobs
+(``checkpoint_interval``/``restart_limit``) are accepted but inert here:
+dataflow nodes have peer edges, so a dead node is not a self-contained
+shard — :meth:`DataflowResult.recoveries` is always empty.
 """
 
 from __future__ import annotations
@@ -21,10 +24,12 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from ..options import ExecutionOptions
+from ..recovery.types import RecoveryEvent
 from ..relation import TPRelation, TPTuple
 from ..runtime import Channel, ChannelClosed, ChannelWatermarks, WorkerStartError
 from ..stream.elements import Watermark
-from ..stream.query import StreamQueryConfig, summarize_latency_ms as summarize_ms
+from ..stream.query import summarize_latency_ms as summarize_ms
 from .executor import GraphRunOutcome, run_graph
 from .graph import DataflowGraph, NodeSpec
 from .operators import RevisionJoinStats
@@ -95,14 +100,40 @@ class DataflowResult:
     backend: str
     backpressure_blocks: int = 0
     #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
-    metrics: List[dict] = field(default_factory=list)
+    metrics_snapshots: List[dict] = field(default_factory=list)
     #: Every span the run recorded (empty unless ``config.trace``).
     trace_spans: List[dict] = field(default_factory=list)
+    #: Seat recoveries (always empty: graph recovery is unsupported, the
+    #: field exists so dataflow and stream results introspect identically).
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def relation(self) -> TPRelation:
         """The sink node's settled output relation."""
         return self.nodes[self.sink].relation
+
+    def metrics(self):
+        """The run's final snapshots as a :class:`repro.obs.MetricsAggregator`.
+
+        ``None`` when the run was not instrumented (``metrics=False``).
+        """
+        if not self.metrics_snapshots:
+            return None
+        from ..obs.metrics import MetricsAggregator
+
+        aggregator = MetricsAggregator()
+        aggregator.update_all(self.metrics_snapshots)
+        return aggregator
+
+    def recoveries(self) -> List[RecoveryEvent]:
+        """Seat recoveries performed during the run (always empty here).
+
+        Dataflow nodes exchange revisions over peer edges, so a dead node
+        cannot be replayed in isolation — graph recovery is not supported
+        and this list is always empty.  The method exists so dataflow and
+        stream results expose the same introspection surface.
+        """
+        return list(self.recovery_events)
 
     def trace(self):
         """The run's spans as a :class:`repro.obs.TraceAggregator`.
@@ -172,14 +203,14 @@ class DataflowResult:
                 f"retraction_rate={node.retraction_rate:.3f}, "
                 f"p50 latency {latency['p50_ms']:.2f}ms"
             )
-        if self.metrics:
-            from ..obs.metrics import MetricsAggregator
-
-            aggregator = MetricsAggregator()
-            aggregator.update_all(self.metrics)
+        if self.recovery_events:
+            lines.append("recoveries:")
+            lines.extend("  " + event.describe() for event in self.recovery_events)
+        aggregated = self.metrics()
+        if aggregated is not None:
             lines.append("worker metrics:")
             lines.extend(
-                "  " + line for line in aggregator.render_report().splitlines()
+                "  " + line for line in aggregated.render_report().splitlines()
             )
         return "\n".join(lines)
 
@@ -190,7 +221,7 @@ class DataflowQuery:
     Args:
         catalog: any object with ``lookup_stream`` (the engine catalog).
         nodes: node specs in topological order (see :class:`NodeSpec`).
-        config: execution knobs; ``config.workers`` picks the default
+        config: execution knobs; ``config.transport`` picks the default
             backend (``"threads"`` maps to the node-per-thread pipeline).
     """
 
@@ -198,11 +229,11 @@ class DataflowQuery:
         self,
         catalog,
         nodes: Sequence[NodeSpec],
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
     ) -> None:
         self._catalog = catalog
         self._graph = DataflowGraph(catalog, nodes)
-        self._config = config or StreamQueryConfig()
+        self._config = config or ExecutionOptions()
         self._consumer_lock = threading.Lock()
         self._live_consumer = False
         self._collector = None
@@ -221,7 +252,7 @@ class DataflowQuery:
         return self._graph
 
     @property
-    def config(self) -> StreamQueryConfig:
+    def config(self) -> ExecutionOptions:
         return self._config
 
     def metrics(self):
@@ -259,7 +290,7 @@ class DataflowQuery:
         self, merge_seed: Optional[int] = None, backend: Optional[str] = None
     ) -> DataflowResult:
         """Execute the graph over fresh source replays until settlement."""
-        chosen = backend or self._config.workers
+        chosen = backend or self._config.transport
         if chosen not in GRAPH_BACKENDS:
             raise ValueError(f"backend must be one of {GRAPH_BACKENDS}, got {chosen!r}")
         started = time.perf_counter()
@@ -313,7 +344,7 @@ class DataflowQuery:
         :class:`MultipleConsumerError` — fan-out to many subscribers is the
         serving layer's job (:class:`repro.serve.StandingQueryService`).
         """
-        chosen = backend or self._config.workers
+        chosen = backend or self._config.transport
         if backend is not None and backend not in IN_PROCESS_BACKENDS:
             raise ValueError(
                 f"iter_revisions taps the sink in-process; backend must be "
@@ -424,6 +455,6 @@ class DataflowQuery:
             elapsed_seconds=elapsed,
             backend=outcome.backend,
             backpressure_blocks=outcome.backpressure_blocks,
-            metrics=outcome.metrics,
+            metrics_snapshots=outcome.metrics,
             trace_spans=outcome.trace_spans,
         )

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
+from ..options import ExecutionOptions
 from ..relation import Schema, TPTuple
 from ..stream import (
     StreamDef,
     StreamEvent,
     StreamQuery,
-    StreamQueryConfig,
     StreamQueryResult,
     joined_output_schema,
 )
@@ -91,7 +91,7 @@ class ContinuousJoinOperator(PhysicalOperator):
         right_name: str,
         kind: JoinKind,
         on: tuple[tuple[str, str], ...],
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
     ) -> None:
         super().__init__()
         if kind not in CONTINUOUS_KINDS:
@@ -116,12 +116,16 @@ class ContinuousJoinOperator(PhysicalOperator):
         self.parallel_workers = self._query.effective_partitions
         #: Runtime transport the partitions run on; EXPLAIN appends
         #: ``transport=...`` when it is not the default thread transport.
-        self.parallel_transport = self._query.config.workers
+        self.parallel_transport = self._query.config.transport
         #: Read by EXPLAIN to render the ``[traced rate=...]`` marker
         #: (``None`` when the config leaves tracing off).
         self.trace_sample_rate = (
             self._query.config.trace_sample_rate if self._query.config.trace else None
         )
+        #: Read by EXPLAIN to render the ``[recoverable ckpt=Ns]`` marker
+        #: (``False``/``None`` when the options leave seat recovery off).
+        self.recoverable = self._query.config.recovery_enabled
+        self.recovery_checkpoint_interval = self._query.config.checkpoint_interval
         self.last_result: Optional[StreamQueryResult] = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -169,7 +173,7 @@ class DataflowJoinOperator(PhysicalOperator):
         catalog,
         scans: tuple[ContinuousScanOperator, ...],
         nodes: Sequence,
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
     ) -> None:
         super().__init__()
         from ..dataflow import DataflowQuery
@@ -183,12 +187,17 @@ class DataflowJoinOperator(PhysicalOperator):
         self.dataflow_partitions = tuple(self._query.graph.partition_counts)
         #: Runtime transport the graph workers run on; EXPLAIN appends
         #: ``transport=...`` when it is not the default thread transport.
-        self.dataflow_transport = self._query.config.workers
+        self.dataflow_transport = self._query.config.transport
         #: Read by EXPLAIN to render the ``[traced rate=...]`` marker
         #: (``None`` when the config leaves tracing off).
         self.trace_sample_rate = (
             self._query.config.trace_sample_rate if self._query.config.trace else None
         )
+        #: Dataflow nodes have peer edges, so a dead node is not a
+        #: self-contained shard — graph recovery is not supported yet and
+        #: EXPLAIN never marks a dataflow plan recoverable.
+        self.recoverable = False
+        self.recovery_checkpoint_interval = None
         self.last_result = None
 
     @property

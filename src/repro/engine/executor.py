@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..options import ExecutionOptions, deprecated_config_call
 from ..parallel.plan import ParallelConfig
 from ..relation import TPRelation
-from ..stream import StreamDef, StreamQuery, StreamQueryConfig
+from ..stream import StreamDef, StreamQuery
 from .catalog import Catalog
 from .explain import explain_logical, explain_physical
 from .logical import JoinStrategy, LogicalPlan
@@ -24,24 +25,43 @@ from .sql import parse_query
 
 
 class Engine:
-    """An in-memory TP query engine with a SQL-ish front end."""
+    """An in-memory TP query engine with a SQL-ish front end.
+
+    ``options`` is the one execution-knob surface
+    (:class:`repro.ExecutionOptions`): transport, placement, partitions,
+    telemetry and the recovery knobs, applied to every continuous,
+    dataflow and planner-routed stream query the engine runs.
+    ``parallel_config`` keeps the planner *policy* knobs (worker ceiling,
+    state-size targets); its legacy ``transport``/``placement`` kwargs
+    still work but warn.  ``stream_config`` is the deprecated alias for
+    ``options``.
+    """
 
     def __init__(
         self,
         default_strategy: JoinStrategy = JoinStrategy.NJ,
-        stream_config: StreamQueryConfig | None = None,
+        stream_config: ExecutionOptions | None = None,
         parallel_config: ParallelConfig | None = None,
+        options: ExecutionOptions | None = None,
     ) -> None:
+        if stream_config is not None:
+            deprecated_config_call(
+                "Engine(stream_config=...)",
+                "pass the same object as Engine(options=...)",
+                stacklevel=2,
+            )
+            if options is None:
+                options = stream_config
         self._catalog = Catalog()
         self._planner = Planner(
             self._catalog,
             PlannerConfig(
                 default_strategy=default_strategy,
-                stream_config=stream_config,
+                stream_config=options,
                 parallel=parallel_config,
             ),
         )
-        self._stream_config = stream_config
+        self._stream_config = options
 
     # ------------------------------------------------------------------ #
     # catalog management
@@ -66,7 +86,7 @@ class Engine:
         left: str,
         right: str,
         on: Sequence[tuple[str, str]] = (),
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
         replace: bool = False,
     ) -> StreamQuery:
         """Build a :class:`StreamQuery` and register it under ``name``."""
@@ -80,7 +100,7 @@ class Engine:
         self,
         name: str,
         nodes: Sequence,
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
         replace: bool = False,
     ):
         """Build a :class:`repro.dataflow.DataflowQuery` and register it.

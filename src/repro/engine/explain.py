@@ -13,15 +13,18 @@ carries ``[dataflow k-node]``, read from ``dataflow_nodes``; when the
 partition planner fanned stages out, the marker grows the per-node degrees
 as ``[dataflow k-node, parts=K1/K2/...]`` from ``dataflow_partitions``.
 Plans pinned to a non-default runtime transport (``processes`` or
-``sockets``, via ``ParallelConfig(transport=...)`` or a stream config)
-render it too: ``[dataflow k-node, parts=..., transport=sockets]`` and
+``sockets``, via ``ExecutionOptions(transport=...)``) render it too:
+``[dataflow k-node, parts=..., transport=sockets]`` and
 ``[parallel n=K, transport=sockets]``, read from ``dataflow_transport`` /
 ``parallel_transport``.  Standing queries served through
 :class:`repro.serve.StandingQueryService` mark subplans shared with other
 standing queries as ``shared=n1/n2`` (read from ``dataflow_shared``): those
 nodes execute once per plan group, not once per query.  Plans whose config
 enables span-per-element tracing carry ``[traced rate=R]``, read from
-``trace_sample_rate`` (``None`` when tracing is off).
+``trace_sample_rate`` (``None`` when tracing is off); plans whose options
+enable seat recovery carry ``[recoverable ckpt=Ns]`` (or ``[recoverable
+replay-from-zero]`` without checkpointing), read from ``recoverable`` /
+``recovery_checkpoint_interval``.
 """
 
 from __future__ import annotations
@@ -76,6 +79,10 @@ def _render_physical(operator: PhysicalOperator, depth: int, lines: list[str]) -
     trace_rate = getattr(operator, "trace_sample_rate", None)
     if trace_rate is not None:
         annotation += f" [traced rate={trace_rate:g}]"
+    if getattr(operator, "recoverable", False):
+        interval = getattr(operator, "recovery_checkpoint_interval", None)
+        mode = f"ckpt={interval:g}s" if interval is not None else "replay-from-zero"
+        annotation += f" [recoverable {mode}]"
     lines.append("  " * depth + f"{operator.describe()}  {annotation}")
     for child in operator.children():
         _render_physical(child, depth + 1, lines)
@@ -85,7 +92,7 @@ def explain_analyze(operator: PhysicalOperator) -> str:
     """The physical plan plus runtime telemetry from the last execution.
 
     Works on any operator tree; nodes that ran a continuous/dataflow query
-    with metrics enabled (``StreamQueryConfig(metrics=True)``) contribute
+    with metrics enabled (``ExecutionOptions(metrics=True)``) contribute
     their last result's per-node report
     (:meth:`~repro.dataflow.query.DataflowResult.explain_analyze`), read
     from the ``last_result`` attribute the continuous operators maintain.
@@ -104,8 +111,13 @@ def _append_analysis(operator: PhysicalOperator, lines: list[str]) -> None:
             lines.append("")
             lines.append(analyze())
         else:
-            snapshots = getattr(result, "metrics", None)
-            if snapshots:
+            # Foreign result types: accept raw snapshot lists under either
+            # the current field name or the pre-redesign ``metrics`` one
+            # (skipping bound methods — ``metrics()`` is an aggregate now).
+            snapshots = getattr(result, "metrics_snapshots", None)
+            if snapshots is None:
+                snapshots = getattr(result, "metrics", None)
+            if snapshots and not callable(snapshots):
                 from ..obs import MetricsAggregator
 
                 aggregator = MetricsAggregator()

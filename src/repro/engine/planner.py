@@ -21,7 +21,7 @@ from typing import Optional
 
 from ..parallel.plan import ParallelConfig, choose_partitions
 from ..relation import TPRelation
-from ..stream import StreamQueryConfig
+from ..options import ExecutionOptions
 from .catalog import Catalog
 from .continuous import ContinuousJoinOperator, ContinuousScanOperator
 from .errors import PlanError
@@ -56,7 +56,7 @@ class PlannerConfig:
     push_down_selections: bool = True
     #: Execution knobs handed to continuous (stream) joins; ``None`` means
     #: single-partition inline execution.
-    stream_config: Optional[StreamQueryConfig] = None
+    stream_config: Optional[ExecutionOptions] = None
     #: Shard-planner knobs for process-parallel batch joins; ``None`` (the
     #: default) disables parallel planning and every join runs serially.
     parallel: Optional[ParallelConfig] = None
@@ -312,14 +312,14 @@ class Planner:
             for left_attribute, right_attribute in on
         )
 
-    def _stream_exec_config(self) -> Optional[StreamQueryConfig]:
-        """The stream config continuous/dataflow plans execute under.
+    def _stream_exec_config(self) -> Optional[ExecutionOptions]:
+        """The execution options continuous/dataflow plans run under.
 
-        A :class:`~repro.parallel.plan.ParallelConfig` that pins a runtime
-        ``transport`` (and optionally a ``placement``) overrides the stream
-        config's ``workers`` choice — ``Engine(parallel_config=
-        ParallelConfig(transport="sockets", placement=...))`` is the one-stop
-        switch to distributed execution.
+        ``Engine(options=ExecutionOptions(transport="sockets",
+        placement=...))`` is the one-stop switch to distributed execution;
+        a legacy :class:`~repro.parallel.plan.ParallelConfig` that pins a
+        runtime ``transport`` (and optionally a ``placement``) still
+        overrides the options' own choice for compatibility.
         """
         config = self._config.stream_config
         parallel = self._config.parallel
@@ -327,10 +327,10 @@ class Planner:
             return config
         from dataclasses import replace
 
-        base = config or StreamQueryConfig()
+        base = config or ExecutionOptions()
         return replace(
             base,
-            workers=parallel.transport,
+            transport=parallel.transport,
             placement=parallel.placement or base.placement,
         )
 

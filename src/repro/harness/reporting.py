@@ -130,7 +130,7 @@ def bench_payload_base(
       baselines (``*_count`` keys exactly, ``*_seconds`` within the
       wall-clock tolerance band);
     * ``metrics_enabled`` — whether the run had the engine telemetry
-      subsystem (``StreamQueryConfig(metrics=True)``) switched on, so a
+      subsystem (``ExecutionOptions(metrics=True)``) switched on, so a
       figure measured with instrumentation live is never compared against
       an uninstrumented baseline without the difference being visible.
     """

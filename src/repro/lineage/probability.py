@@ -116,6 +116,46 @@ class ProbabilityComputer:
         return self._probability(lineage)
 
     # ------------------------------------------------------------------ #
+    # cache export / import (checkpointed recovery)
+    # ------------------------------------------------------------------ #
+    def cache_entries(self) -> list:
+        """Every memoised ``(lineage, probability)`` pair this computer holds.
+
+        Under hash-consing the pairs carry the canonical interned nodes; a
+        fresh computer seeded with them (:meth:`seed_cache`) re-interns the
+        structures and lands in the same memo state.  Used by the recovery
+        checkpoint codec — exporting then re-seeding is bitwise-safe
+        because the cached floats *are* the values the uncached path would
+        recompute.
+        """
+        if not self._hash_cons:
+            return [
+                (expr, value)
+                for expr, value in self._cache.items()
+                if isinstance(expr, LineageExpr)
+            ]
+        entries = []
+        for canonical in self._intern_table.values():
+            value = self._cache.get(id(canonical))
+            if value is not None:
+                entries.append((canonical, value))
+        return entries
+
+    def seed_cache(self, pairs) -> None:
+        """Warm the memo cache from :meth:`cache_entries` output.
+
+        Each lineage is interned (under hash-consing) so later structurally
+        equal expressions hit the seeded value by identity, exactly as they
+        would have hit the original computer's cache.
+        """
+        for expr, value in pairs:
+            if self._hash_cons:
+                canonical = self._intern(expr)
+                self._cache[id(canonical)] = value
+            else:
+                self._cache[expr] = value
+
+    # ------------------------------------------------------------------ #
     # hash-consing
     # ------------------------------------------------------------------ #
     def _intern(self, expr: LineageExpr) -> LineageExpr:

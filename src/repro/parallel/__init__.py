@@ -16,7 +16,7 @@ queries:
 * :mod:`repro.parallel.batch` — :func:`parallel_tp_join`: any Table II join
   executed shard-wise with an order-stable canonical merge.
 * :mod:`repro.parallel.stream_exec` — the process backend behind
-  ``StreamQueryConfig(workers="processes")``: per-partition worker
+  ``ExecutionOptions(transport="processes")``: per-partition worker
   processes, broadcast watermarks, bounded queues for backpressure.
 
 Correctness invariant: with an equi-θ, every window of a tuple derives only

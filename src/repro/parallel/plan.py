@@ -53,12 +53,12 @@ class ParallelConfig:
             per worker; the planner adds workers until shards fall under it.
         min_tuples: inputs smaller than this (left side) always run serially
             — process start-up and shard serialization would dominate.
-        transport: runtime transport continuous/dataflow plans execute on
-            (``threads`` / ``processes`` / ``sockets``); ``None`` (the
-            default) leaves the stream config's own ``workers`` choice
-            untouched.
-        placement: worker index → ``host:port`` map for the socket
-            transport; ``None`` spawns every socket worker locally.
+        transport: **deprecated** — runtime transport continuous/dataflow
+            plans execute on.  The knob moved to
+            :class:`repro.ExecutionOptions`; passing it here still works
+            but emits a :class:`DeprecationWarning`.
+        placement: **deprecated** — worker index → ``host:port`` map for
+            the socket transport; moved to ``ExecutionOptions`` likewise.
     """
 
     max_workers: int = DEFAULT_MAX_WORKERS
@@ -75,6 +75,18 @@ class ParallelConfig:
         if self.transport is not None and self.transport not in PLANNER_TRANSPORTS:
             raise ValueError(
                 f"transport must be one of {PLANNER_TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.transport is not None or self.placement is not None:
+            # Imported here, not at module top: repro.options is a layer
+            # above the parallel planner.
+            from ..options import deprecated_config_call
+
+            deprecated_config_call(
+                "ParallelConfig(transport=/placement=)",
+                "those execution knobs moved to repro.ExecutionOptions "
+                "(Engine(options=...)); ParallelConfig keeps only the "
+                "planner policy knobs",
+                stacklevel=4,
             )
 
 

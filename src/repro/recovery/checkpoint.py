@@ -1,0 +1,290 @@
+"""Checkpoint codec: snapshot and restore one stream-shard worker's state.
+
+A checkpoint captures everything a replacement worker needs to continue a
+continuous-join shard from a micro-batch boundary instead of from element
+zero: the collected settled outputs, the per-side channel-watermark merges,
+the operator's emit latencies and counters, and — the bulk — the forward
+(and, for right/full outer joins, the mirrored reverse)
+:class:`~repro.stream.incremental.IncrementalWindowMaintainer`: open
+positives with their accrued overlap records, indexed negatives, watermark
+horizons, serial counter, stats, and the per-key probability computers'
+memoised ``(lineage, probability)`` caches.
+
+Payloads are nested tuples of primitives built on the compact codecs of
+:mod:`repro.parallel.serialize` (``encode_tuple`` / ``encode_lineage`` and
+inverses), so a checkpoint frame rides the socket transport's pickle framing
+at the same cost profile as the shard inputs themselves — no class metadata
+per node.  The codec is a bijection on the state it covers: restoring a
+snapshot and replaying the post-checkpoint input suffix yields settled
+output tuple-for-tuple, bitwise-probability equal to an unfailed run,
+because
+
+* floats (watermarks, intervals, cached probabilities) round-trip exactly
+  through pickle;
+* cached probabilities are re-seeded *as values* — the replacement computer
+  answers repeated lineages from the seeded memo exactly as the original
+  would have from its own; and
+* lineage expressions re-intern structurally, landing in an equivalent
+  hash-cons state.
+
+Only output-collecting shard workers (``spec.collect_outputs``) are
+checkpointable: dataflow node workers have peer edges whose in-flight
+elements a single-worker snapshot cannot capture, so graph recovery is out
+of scope (see :mod:`repro.recovery`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.overlap import OverlapRecord
+from ..parallel.serialize import (
+    decode_lineage,
+    decode_tuple,
+    decode_tuples,
+    encode_lineage,
+    encode_tuple,
+    encode_tuples,
+)
+from ..stream.elements import LEFT, RIGHT
+from ..stream.incremental import IncrementalWindowMaintainer, OpenPositive
+from ..temporal import Interval
+
+#: Bumped whenever the payload shape changes; restore rejects mismatches
+#: loudly instead of mis-decoding a stale frame.
+CHECKPOINT_VERSION = 1
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "checkpoint_elements",
+    "encode_maintainer",
+    "restore_maintainer",
+    "restore_worker",
+    "snapshot_worker",
+]
+
+
+# --------------------------------------------------------------------------- #
+# maintainer codec
+# --------------------------------------------------------------------------- #
+def encode_maintainer(maintainer: IncrementalWindowMaintainer) -> tuple:
+    """Flatten one incremental window maintainer into primitives.
+
+    Partition keys travel verbatim (they are tuples of fact values, already
+    pickle-clean on the tuple path); each overlap record ships only the
+    negative tuple and the overlap interval — the positive side is the open
+    entry's own tuple and is rebound on decode.
+    """
+    stats = maintainer.stats
+    open_code = []
+    for key, entries in maintainer._open.items():
+        entry_codes = []
+        for entry in entries:
+            entry_codes.append(
+                (
+                    encode_tuple(entry.tuple),
+                    entry.ingest_clock,
+                    entry.serial,
+                    [
+                        (encode_tuple(record.s), record.interval.start, record.interval.end)
+                        for record in entry.matches
+                    ],
+                )
+            )
+        open_code.append((key, entry_codes))
+    negative_code = [
+        (key, encode_tuples(bucket)) for key, bucket in maintainer._negatives.items()
+    ]
+    computer_code = [
+        (
+            key,
+            [
+                (encode_lineage(expr), value)
+                for expr, value in computer.cache_entries()
+            ],
+        )
+        for key, computer in maintainer._computers.items()
+    ]
+    return (
+        maintainer._watermark_left,
+        maintainer._watermark_right,
+        maintainer._finalized_through,
+        maintainer._min_open_end,
+        maintainer._min_negative_end,
+        maintainer._serial,
+        (
+            stats.positives_in,
+            stats.negatives_in,
+            stats.late_positives_dropped,
+            stats.late_negatives_dropped,
+            stats.groups_finalized,
+            stats.negatives_evicted,
+            stats.peak_open_positives,
+            stats.peak_indexed_negatives,
+            stats.positives_retracted,
+            stats.negatives_retracted,
+        ),
+        open_code,
+        negative_code,
+        computer_code,
+    )
+
+
+def restore_maintainer(maintainer: IncrementalWindowMaintainer, code: tuple) -> None:
+    """Load an :func:`encode_maintainer` payload into a fresh maintainer.
+
+    The maintainer must come straight out of the spec's operator
+    constructor (same θ, same event space) with no elements ingested.
+    """
+    (
+        watermark_left,
+        watermark_right,
+        finalized_through,
+        min_open_end,
+        min_negative_end,
+        serial,
+        stats_code,
+        open_code,
+        negative_code,
+        computer_code,
+    ) = code
+    maintainer._watermark_left = watermark_left
+    maintainer._watermark_right = watermark_right
+    maintainer._finalized_through = finalized_through
+    maintainer._min_open_end = min_open_end
+    maintainer._min_negative_end = min_negative_end
+    maintainer._serial = serial
+    stats = maintainer.stats
+    (
+        stats.positives_in,
+        stats.negatives_in,
+        stats.late_positives_dropped,
+        stats.late_negatives_dropped,
+        stats.groups_finalized,
+        stats.negatives_evicted,
+        stats.peak_open_positives,
+        stats.peak_indexed_negatives,
+        stats.positives_retracted,
+        stats.negatives_retracted,
+    ) = stats_code
+    open_count = 0
+    for key, entry_codes in open_code:
+        entries: List[OpenPositive] = []
+        for tuple_code, ingest_clock, entry_serial, match_codes in entry_codes:
+            positive = decode_tuple(tuple_code)
+            entry = OpenPositive(
+                positive, ingest_clock=ingest_clock, key=key, serial=entry_serial
+            )
+            for s_code, overlap_start, overlap_end in match_codes:
+                entry.matches.append(
+                    OverlapRecord(
+                        positive,
+                        decode_tuple(s_code),
+                        Interval(overlap_start, overlap_end),
+                    )
+                )
+            entries.append(entry)
+        maintainer._open[key] = entries
+        open_count += len(entries)
+    maintainer._open_count = open_count
+    negative_count = 0
+    for key, bucket_code in negative_code:
+        bucket = decode_tuples(bucket_code)
+        maintainer._negatives[key] = bucket
+        negative_count += len(bucket)
+    maintainer._negative_count = negative_count
+    for key, pairs in computer_code:
+        computer = maintainer.computer_for(key)
+        computer.seed_cache(
+            (decode_lineage(expr_code), value) for expr_code, value in pairs
+        )
+
+
+# --------------------------------------------------------------------------- #
+# worker snapshot / restore
+# --------------------------------------------------------------------------- #
+def _encode_trackers(worker) -> tuple:
+    side_codes = []
+    for side in (LEFT, RIGHT):
+        tracker = worker._trackers[side]
+        side_codes.append((list(tracker._values.items()), tracker._merged))
+    return tuple(side_codes)
+
+
+def _restore_trackers(worker, code: tuple) -> None:
+    for side, (items, merged) in zip((LEFT, RIGHT), code):
+        tracker = worker._trackers[side]
+        for channel, value in items:
+            tracker._values[channel] = value
+        tracker._merged = merged
+
+
+def snapshot_worker(worker, elements_seen: int) -> tuple:
+    """Capture one stream-shard worker's full state at a batch boundary.
+
+    ``elements_seen`` is the count of delivered elements (events *and*
+    watermarks, in per-seat send order) the worker has consumed; recovery
+    replays exactly the input suffix after it.
+    """
+    join = worker.join
+    if worker._outputs is None:
+        raise ValueError(
+            "only output-collecting stream shards are checkpointable; "
+            "dataflow node workers have peer edges a single-worker "
+            "snapshot cannot capture"
+        )
+    reverse = join.reverse_maintainer
+    return (
+        CHECKPOINT_VERSION,
+        elements_seen,
+        encode_tuples(worker._outputs),
+        list(join.emit_latencies),
+        (join.stats.outputs_emitted, join.stats.groups_finalized),
+        _encode_trackers(worker),
+        encode_maintainer(join.maintainer),
+        encode_maintainer(reverse) if reverse is not None else None,
+    )
+
+
+def checkpoint_elements(payload: Optional[tuple]) -> int:
+    """The delivered-element count a checkpoint covers (0 for ``None``)."""
+    if payload is None:
+        return 0
+    return payload[1]
+
+
+def restore_worker(worker, payload: tuple) -> int:
+    """Load a :func:`snapshot_worker` payload into a fresh worker.
+
+    Must run before the worker consumes any element.  Returns the
+    ``elements_seen`` count the driver's replay skips past.
+    """
+    (
+        version,
+        elements_seen,
+        outputs_code,
+        emit_latencies,
+        (outputs_emitted, groups_finalized),
+        tracker_code,
+        forward_code,
+        reverse_code,
+    ) = payload
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {version} does not match "
+            f"CHECKPOINT_VERSION {CHECKPOINT_VERSION}"
+        )
+    join = worker.join
+    if worker._outputs is None:
+        raise ValueError("cannot restore a checkpoint into a non-collecting worker")
+    worker._outputs[:] = decode_tuples(outputs_code)
+    join.emit_latencies[:] = emit_latencies
+    join.stats.outputs_emitted = outputs_emitted
+    join.stats.groups_finalized = groups_finalized
+    _restore_trackers(worker, tracker_code)
+    restore_maintainer(join.maintainer, forward_code)
+    if reverse_code is not None:
+        if join.reverse_maintainer is None:
+            raise ValueError("checkpoint has reverse-maintainer state but the join has none")
+        restore_maintainer(join.reverse_maintainer, reverse_code)
+    return elements_seen

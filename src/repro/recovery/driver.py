@@ -1,0 +1,384 @@
+"""The recovering stream router: socket shards that survive seat loss.
+
+A drop-in sibling of :func:`repro.stream.query.run_stream_shards`,
+activated by :attr:`repro.options.ExecutionOptions.recovery_enabled`
+(``restart_limit > 0`` on the socket transport).  The routing loop is the
+same — hash-route events, broadcast watermarks — with three additions:
+
+* every element is appended to a per-seat **replay buffer** at send time,
+  so the driver can re-send any seat's input suffix verbatim;
+* a :class:`~repro.recovery.types.SeatFailure` (send broke, connection
+  EOF without a result, result-frame timeout, marshalled worker error)
+  triggers **re-execution**: the failed shard's picklable spec is
+  dispatched to a fresh seat — a spare placement address when the
+  :class:`~repro.runtime.placement.Placement` has one left, a fresh local
+  spawn otherwise — as a single-spec :class:`~repro.runtime.sockets.
+  SocketSession`, restored from the seat's **latest checkpoint** frame,
+  and only the post-checkpoint buffer suffix is replayed;
+* the dead seat's result is abandoned and the replacement's report is
+  spliced in by seat index — **at-most-once**, because the checkpoint
+  carries the restored outputs and replayed elements re-derive exactly
+  the windows the checkpoint had not yet finalized.  Settled output stays
+  tuple-for-tuple, bitwise-probability equal to an unfailed run.
+
+Stream shards are shared-nothing (no worker→worker edges), which is what
+makes single-seat re-execution sound; dataflow graphs have peer edges
+whose in-flight elements a per-seat snapshot cannot capture, so graph
+runs do not use this router (``DataflowResult.recoveries()`` is always
+empty).
+
+Each recovery increments the driver-side ``recovery`` metrics registry
+and records one ``recovery`` span, both merged into the run's collectors
+alongside the worker telemetry.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer, TraceSampler, span_detail
+from ..relation import stable_key_hash
+from ..runtime import RuntimeJob, WorkerReport
+from ..runtime.placement import Placement
+from ..runtime.sockets import SocketSession
+from ..runtime.worker import SOURCE_CHANNEL
+from ..stream.elements import LEFT, StreamEvent, Tagged, Watermark
+from .checkpoint import checkpoint_elements
+from .types import RecoveryEvent, SeatFailure
+
+_LOGGER = logging.getLogger(__name__)
+
+__all__ = ["RecoveringStreamRouter", "run_recovering_stream_shards"]
+
+
+class RecoveringStreamRouter:
+    """Per-seat send/recover state of one recovering socket run.
+
+    Seats start on one multi-spec :class:`SocketSession`; each recovery
+    moves a seat onto its own single-spec replacement session.  The
+    router tracks, per seat, the session currently owning it, the replay
+    buffer, whether its done sentinel was sent, and how many
+    re-executions it has consumed against ``options.restart_limit``.
+    """
+
+    def __init__(self, specs: Sequence, options, job: RuntimeJob) -> None:
+        self._specs = tuple(specs)
+        self._options = options
+        self._job = job
+        count = len(self._specs)
+        session = SocketSession(job, options.placement)
+        #: Every session ever started, newest last — released together.
+        self.sessions: List[SocketSession] = [session]
+        self._seat_session: List[SocketSession] = [session] * count
+        self._seat_target: List[int] = list(range(count))
+        self._buffers: List[List[tuple]] = [[] for _ in range(count)]
+        self._done_sent = [False] * count
+        self._attempts = [0] * count
+        # Spare placement addresses (indices beyond the spec count) are
+        # consumed left to right by successive recoveries.
+        self._spare_cursor = count
+        self.recoveries: List[RecoveryEvent] = []
+        #: Driver-side recovery telemetry, merged into the run's metrics.
+        self.registry = MetricsRegistry(worker="driver", component="recovery")
+        self.tracer = Tracer("recovery")
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    @property
+    def seat_count(self) -> int:
+        return len(self._specs)
+
+    def route_event(self, seat: int, tagged: Tagged) -> None:
+        """Send one key-routed event to its seat (recovering on failure)."""
+        self._buffers[seat].append((None, tagged))
+        self._deliver(seat, None, tagged)
+
+    def route_watermark(self, tagged: Tagged) -> None:
+        """Broadcast one watermark to every seat (recovering on failure)."""
+        for seat in range(len(self._specs)):
+            self._buffers[seat].append((SOURCE_CHANNEL, tagged))
+            self._deliver(seat, SOURCE_CHANNEL, tagged)
+
+    def done(self, seat: int) -> None:
+        """Send one seat's done sentinel (recovering on failure)."""
+        self._done_sent[seat] = True
+        try:
+            self._seat_session[seat].done(self._seat_target[seat])
+        except SeatFailure as failure:
+            self._recover(seat, failure)
+
+    def finish_seat(self, seat: int) -> WorkerReport:
+        """One seat's settled report, re-executing it as often as allowed."""
+        while True:
+            try:
+                return self._seat_session[seat].finish_seat(self._seat_target[seat])
+            except SeatFailure as failure:
+                self._recover(seat, failure)
+
+    def _deliver(self, seat: int, channel, tagged: Tagged) -> None:
+        try:
+            self._seat_session[seat].send(self._seat_target[seat], channel, tagged)
+        except SeatFailure as failure:
+            self._recover(seat, failure)
+
+    # ------------------------------------------------------------------ #
+    # chaos seam
+    # ------------------------------------------------------------------ #
+    def latest_checkpoint(self, seat: int):
+        """The last checkpoint payload the driver holds for ``seat``
+        (``None`` when the seat never checkpointed or checkpointing is
+        off).  A kill landing before this is non-``None`` recovers from
+        zero — see ``ChaosInjector(wait_for_checkpoint=True)``."""
+        return self._seat_session[seat].latest_checkpoint(self._seat_target[seat])
+
+    def kill_seat(self, seat: int, signum: int = signal.SIGKILL) -> bool:
+        """SIGKILL the local process currently hosting ``seat`` (chaos).
+
+        Returns whether a process was actually signalled — remote
+        placement seats have no local process to kill.
+        """
+        session = self._seat_session[seat]
+        process = session.seat_processes.get(self._seat_target[seat])
+        if process is None or process.pid is None or not process.is_alive():
+            return False
+        os.kill(process.pid, signum)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def _recover(self, seat: int, failure: SeatFailure) -> None:
+        """Re-execute one failed seat until it accepts its input suffix.
+
+        Each attempt (including a replacement that itself dies mid-replay)
+        counts against ``restart_limit``; exhausting it re-raises the
+        last :class:`SeatFailure` with every earlier cause in its chain.
+        """
+        spec = self._specs[seat]
+        while True:
+            self._attempts[seat] += 1
+            self.registry.counter("seat_failures").inc()
+            if self._attempts[seat] > self._options.restart_limit:
+                raise failure
+            started = time.perf_counter()
+            failed_session = self._seat_session[seat]
+            checkpoint = failed_session.latest_checkpoint(self._seat_target[seat])
+            skip = checkpoint_elements(checkpoint)
+            suffix = self._buffers[seat][skip:]
+            _LOGGER.warning(
+                "seat %d (%s) %s: re-executing from %s, replaying %d element(s)",
+                seat,
+                failure.address or "local-spawn",
+                failure.cause,
+                f"checkpoint@{skip}" if skip else "zero",
+                len(suffix),
+            )
+            session = self._start_replacement(spec, checkpoint)
+            self._seat_session[seat] = session
+            self._seat_target[seat] = 0
+            try:
+                for channel, tagged in suffix:
+                    session.send(0, channel, tagged)
+                if self._done_sent[seat]:
+                    session.done(0)
+            except SeatFailure as next_failure:
+                # The replacement died during replay: loop with its own
+                # latest checkpoint (it may have checkpointed mid-replay).
+                next_failure.__cause__ = failure
+                failure = next_failure
+                continue
+            elapsed = time.perf_counter() - started
+            event = RecoveryEvent(
+                seat=seat,
+                cause=failure.cause,
+                address=failure.address,
+                checkpoint_elements=skip,
+                elements_replayed=len(suffix),
+                recovery_seconds=elapsed,
+            )
+            self.recoveries.append(event)
+            self.registry.counter("recoveries").inc()
+            self.registry.counter("elements_replayed").inc(len(suffix))
+            self.registry.gauge("last_checkpoint_elements").set(skip)
+            self.tracer.record(
+                "recovery",
+                0,
+                None,
+                started,
+                started + elapsed,
+                seat=seat,
+                cause=failure.cause,
+                checkpoint_elements=skip,
+                elements_replayed=len(suffix),
+            )
+            _LOGGER.info("recovered: %s", event.describe())
+            return
+
+    def _start_replacement(self, spec, checkpoint) -> SocketSession:
+        """One fresh single-spec session for a re-executed shard."""
+        address: Optional[str] = None
+        placement = self._options.placement
+        if placement is not None:
+            while self._spare_cursor < len(placement.addresses):
+                candidate = placement.addresses[self._spare_cursor]
+                self._spare_cursor += 1
+                if candidate:
+                    address = candidate
+                    break
+        sub_job = replace(self._job, specs=(spec,))
+        sub_placement = Placement((address,)) if address is not None else None
+        restores = {0: checkpoint} if checkpoint is not None else None
+        try:
+            session = SocketSession(sub_job, sub_placement, restores=restores)
+        except Exception as error:
+            # Mid-run there is no safe transport fallback (the merged input
+            # iterator is partially consumed), so a replacement that cannot
+            # start is fatal — never a WorkerStartError the query layer
+            # would degrade on.
+            raise RuntimeError(
+                f"cannot start replacement seat for shard {spec.index}: {error}"
+            ) from error
+        self.sessions.append(session)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> List[dict]:
+        """Live per-worker snapshots across every session (collector API)."""
+        snapshots: List[dict] = []
+        for session in self.sessions:
+            snapshots.extend(session.metrics())
+        return snapshots
+
+    def trace_spans(self) -> List[dict]:
+        """Live spans across every session (collector API)."""
+        spans: List[dict] = []
+        for session in self.sessions:
+            spans.extend(session.trace_spans())
+        return spans
+
+    @property
+    def backpressure_blocks(self) -> int:
+        return sum(session.backpressure_blocks for session in self.sessions)
+
+    def release(self) -> None:
+        for session in self.sessions:
+            session.release()
+
+
+def run_recovering_stream_shards(
+    specs: Sequence,
+    merged: Iterable[Tagged],
+    theta,
+    stamp_right: bool,
+    *,
+    options,
+    collector: Optional[object] = None,
+    trace_collector: Optional[object] = None,
+    chaos: Optional[object] = None,
+) -> tuple[List[WorkerReport], int, int, str, List[RecoveryEvent]]:
+    """Route a merged element sequence through recovering socket shards.
+
+    The fault-tolerant sibling of
+    :func:`repro.stream.query.run_stream_shards` (same routing rules, same
+    determinism), returning one extra element: the ordered list of
+    :class:`RecoveryEvent` for every seat re-execution the run survived.
+
+    ``chaos`` is an optional failure injector (see
+    :class:`repro.recovery.chaos.ChaosInjector`): it is attached to the
+    router and notified once per routed event, and may kill seats through
+    :meth:`RecoveringStreamRouter.kill_seat`.
+    """
+    partitions = len(specs)
+    job = RuntimeJob(
+        tuple(specs),
+        options.micro_batch_size,
+        options.buffer_capacity,
+        metrics=options.metrics or collector is not None,
+        metrics_interval=options.metrics_interval,
+        trace=options.trace or trace_collector is not None,
+        result_timeout=options.seat_timeout,
+        checkpoint_interval=options.checkpoint_interval,
+    )
+    sampler = None
+    driver_tracer = None
+    if job.trace:
+        sampler = TraceSampler(options.trace_sample_rate)
+        driver_tracer = Tracer("driver")
+    router = RecoveringStreamRouter(specs, options, job)
+    if collector is not None:
+        collector.attach(router)
+    if trace_collector is not None:
+        trace_collector.attach(router)
+    if chaos is not None:
+        chaos.attach(router)
+    events_processed = 0
+    try:
+        for tagged in merged:
+            element = tagged.element
+            if isinstance(element, StreamEvent):
+                events_processed += 1
+                # Right/full outer joins treat right events as positives
+                # too (mirrored maintainer), so both sides get an
+                # ingestion stamp for emit latency.
+                if tagged.side == LEFT or stamp_right:
+                    tagged = Tagged(tagged.side, element, time.perf_counter())
+                if sampler is not None:
+                    trace_id = sampler.sample()
+                    if trace_id is not None:
+                        now = time.perf_counter()
+                        root = driver_tracer.record(
+                            "source",
+                            trace_id,
+                            None,
+                            now,
+                            now,
+                            side=tagged.side,
+                            **span_detail(element),
+                        )
+                        tagged = Tagged(
+                            tagged.side, element, tagged.ingest_clock, (trace_id, root)
+                        )
+                if partitions > 1:
+                    key = (
+                        theta.left_key(element.tuple)
+                        if tagged.side == LEFT
+                        else theta.right_key(element.tuple)
+                    )
+                    seat = stable_key_hash(key) % partitions
+                else:
+                    seat = 0
+                router.route_event(seat, tagged)
+                if chaos is not None:
+                    chaos.on_event(events_processed)
+            elif isinstance(element, Watermark):
+                router.route_watermark(tagged)
+        for seat in range(partitions):
+            router.done(seat)
+        reports = [router.finish_seat(seat) for seat in range(partitions)]
+        blocks = router.backpressure_blocks
+    finally:
+        router.release()
+    if collector is not None:
+        snapshots = [
+            report.metrics for report in reports if report.metrics is not None
+        ]
+        if router.recoveries:
+            snapshots.append(router.registry.snapshot())
+        collector.complete(snapshots)
+    if trace_collector is not None:
+        span_lists = [report.spans for report in reports if report.spans]
+        if driver_tracer is not None:
+            span_lists.append(driver_tracer.dump())
+        if router.recoveries:
+            span_lists.append(router.tracer.dump())
+        trace_collector.complete(span_lists)
+    return reports, events_processed, blocks, "sockets", router.recoveries

@@ -1,0 +1,60 @@
+"""Recovery vocabulary shared by the driver, results and observability.
+
+Kept dependency-free: :mod:`repro.stream.query` re-exports
+:class:`RecoveryEvent` on its results, so this module must not import
+anything that imports the stream package back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RecoveryEvent", "SeatFailure"]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovered seat: who died, why, and what the recovery replayed.
+
+    ``checkpoint_elements`` is the element count the restored checkpoint
+    covered (0 when the seat had shipped no checkpoint and the shard was
+    replayed from zero); ``elements_replayed`` is the post-checkpoint
+    suffix the driver re-sent to the replacement seat.
+    """
+
+    seat: int
+    cause: str
+    address: Optional[str]
+    checkpoint_elements: int
+    elements_replayed: int
+    recovery_seconds: float
+
+    def describe(self) -> str:
+        where = self.address or "local-spawn"
+        mode = (
+            f"checkpoint@{self.checkpoint_elements}"
+            if self.checkpoint_elements
+            else "from-zero"
+        )
+        return (
+            f"seat {self.seat} ({where}) {self.cause}: restored {mode}, "
+            f"replayed {self.elements_replayed} element(s) "
+            f"in {self.recovery_seconds:.3f}s"
+        )
+
+
+class SeatFailure(RuntimeError):
+    """A socket seat died or timed out before delivering its result frame.
+
+    Carries enough context for the recovery driver to act on (which seat,
+    where it lived, why it is considered dead) and for the un-recovered
+    error path to report precisely (the flight-recorder dump rides in the
+    message, the placement address in :attr:`address`).
+    """
+
+    def __init__(self, seat: int, address: Optional[str], cause: str, message: str):
+        super().__init__(message)
+        self.seat = seat
+        self.address = address
+        self.cause = cause

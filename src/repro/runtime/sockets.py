@@ -45,6 +45,7 @@ from typing import Dict, Hashable, List, Optional
 
 from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..obs.trace import clock_anchor, estimate_clock_offset, shift_spans
+from ..recovery.types import SeatFailure
 from ..stream.elements import Tagged
 from .channel import Channel, ChannelClosed
 from .placement import Placement, parse_host_port
@@ -177,6 +178,8 @@ class _ServerJob:
         metrics_interval: float = DEFAULT_METRICS_INTERVAL,
         trace_on: bool = False,
         reply: Optional[_ReplySender] = None,
+        checkpoint_interval: Optional[float] = None,
+        restore=None,
     ) -> None:
         self.key = key
         self.spec = spec
@@ -190,6 +193,8 @@ class _ServerJob:
         self._metrics_interval = metrics_interval
         self._trace_on = trace_on
         self._reply = reply
+        self._checkpoint_interval = checkpoint_interval
+        self._restore = restore
         self._thread = threading.Thread(
             target=self._run,
             args=(addresses, micro_batch_size),
@@ -234,6 +239,17 @@ class _ServerJob:
                     def trace_sink(spans) -> None:
                         self._reply.send(("spans", self.key, self.spec.index, spans))
 
+            checkpoint_sink = None
+            if self._checkpoint_interval is not None and self._reply is not None:
+
+                def checkpoint_sink(payload) -> None:
+                    # Checkpoint frames ride the metrics-frame path: the
+                    # locked reply sender serialises them with metrics/span
+                    # frames on the one driver connection.
+                    self._reply.send(
+                        ("checkpoint", self.key, self.spec.index, payload)
+                    )
+
             report = run_worker(
                 self.spec,
                 _EncodedChannelInbox(self.inbox),
@@ -244,6 +260,9 @@ class _ServerJob:
                 metrics_interval=self._metrics_interval,
                 tracer=tracer,
                 trace_sink=trace_sink,
+                restore=self._restore,
+                checkpoint_sink=checkpoint_sink,
+                checkpoint_interval=self._checkpoint_interval,
             )
             if report.metrics:
                 self.latest_metrics[self.spec.index] = report.metrics
@@ -295,6 +314,8 @@ class _JobRegistry:
         metrics_interval: float = DEFAULT_METRICS_INTERVAL,
         trace_on: bool = False,
         reply: Optional[_ReplySender] = None,
+        checkpoint_interval: Optional[float] = None,
+        restore=None,
     ) -> _ServerJob:
         job = _ServerJob(
             key,
@@ -306,6 +327,8 @@ class _JobRegistry:
             metrics_interval=metrics_interval,
             trace_on=trace_on,
             reply=reply,
+            checkpoint_interval=checkpoint_interval,
+            restore=restore,
         )
         with self._condition:
             self._jobs[key] = job
@@ -380,6 +403,8 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
             metrics_on = first[6] if len(first) > 6 else False
             metrics_interval = first[7] if len(first) > 7 else DEFAULT_METRICS_INTERVAL
             trace_on = first[8] if len(first) > 8 else False
+            checkpoint_interval = first[9] if len(first) > 9 else None
+            restore = first[10] if len(first) > 10 else None
             reply = _ReplySender(connection)
             job = registry.create(
                 key,
@@ -391,6 +416,8 @@ def _handle_connection(connection: socket.socket, registry: _JobRegistry, served
                 metrics_interval=metrics_interval,
                 trace_on=trace_on,
                 reply=reply,
+                checkpoint_interval=checkpoint_interval,
+                restore=restore,
             )
             reader = threading.Thread(
                 target=_read_into_job, args=(file, job, True), daemon=True
@@ -550,7 +577,12 @@ class SocketSession(TransportSession):
 
     name = "sockets"
 
-    def __init__(self, job: RuntimeJob, placement: Optional[Placement] = None) -> None:
+    def __init__(
+        self,
+        job: RuntimeJob,
+        placement: Optional[Placement] = None,
+        restores: Optional[Dict[int, object]] = None,
+    ) -> None:
         self._job = job
         self.job_key = uuid.uuid4().hex
         count = len(job.specs)
@@ -559,6 +591,9 @@ class SocketSession(TransportSession):
             for index in range(count)
         ]
         self._processes: List = []
+        #: Seat index → spawned local worker process (empty entries for
+        #: placement-named remote seats).  The chaos harness kills these.
+        self.seat_processes: Dict[int, object] = {}
         self.connections: List[socket.socket] = []
         self._files: List = []
         # One reader thread per connection owns all inbound frames: periodic
@@ -573,6 +608,8 @@ class SocketSession(TransportSession):
         self._live_metrics: Dict[int, dict] = {}
         self._live_spans: Dict[int, list] = {}
         self._clock_offsets: Dict[int, float] = {}
+        #: Seat index → latest checkpoint payload frame received.
+        self._latest_checkpoints: Dict[int, object] = {}
         try:
             context = preferred_context()
             ready_queue = context.Queue()
@@ -586,6 +623,7 @@ class SocketSession(TransportSession):
                 )
                 process.start()
                 self._processes.append(process)
+                self.seat_processes[seat] = process
             for _ in seats:
                 seat, port = ready_queue.get(timeout=_SPAWN_WAIT_SECONDS)
                 addresses[seat] = f"127.0.0.1:{port}"
@@ -610,6 +648,8 @@ class SocketSession(TransportSession):
                         job.metrics,
                         job.metrics_interval,
                         job.trace,
+                        job.checkpoint_interval,
+                        restores.get(index) if restores else None,
                     ),
                 )
             for index in range(count):
@@ -648,6 +688,10 @@ class SocketSession(TransportSession):
                         shift_spans(frame[3], self._clock_offsets.get(index, 0.0))
                     )
                     continue
+                if frame[0] == "checkpoint":
+                    # Later frames carry strictly later state; keep the last.
+                    self._latest_checkpoints[index] = frame[3]
+                    continue
                 result = frame
                 break
         except (OSError, ValueError, EOFError):  # pragma: no cover - torn read
@@ -679,58 +723,147 @@ class SocketSession(TransportSession):
         )
 
     def connection_failure(self, target: int, error: OSError) -> RuntimeError:
-        """A send broke: wait briefly for the worker's marshalled failure."""
+        """A send broke: wait briefly for the worker's marshalled failure.
+
+        Returns a :class:`repro.recovery.types.SeatFailure` (a
+        ``RuntimeError``) naming the seat and its placement address, so the
+        recovering driver can tell *which* seat to re-execute and operators
+        can tell *which* host to look at.
+        """
         self._result_events[target].wait(timeout=2.0)
         frame = self._result_frames[target]
+        address = self.addresses[target]
         if frame is not None and frame[0] == "error":
-            return RuntimeError(f"worker {target} failed:\n{frame[3]}")
-        return RuntimeError(f"worker {target} connection failed: {error}")
+            return SeatFailure(
+                target,
+                address,
+                "worker_error",
+                f"worker {target} ({address}) failed:\n{frame[3]}",
+            )
+        return SeatFailure(
+            target,
+            address,
+            "connection_failure",
+            f"worker {target} ({address}) connection failed: {error}",
+        )
+
+    def _check_seat_alive(self, target: int) -> None:
+        """Raise eagerly when the reader already saw the seat die.
+
+        Send-side failure detection alone is unreliable: a SIGKILLed local
+        worker leaves its socket orphaned in FIN-WAIT-2, where the kernel
+        keeps ACKing the driver's frames (until the buffer fills or the
+        FIN timeout strikes) even though nothing will ever read them.  The
+        reader thread, however, observes the FIN immediately — so every
+        send first consults its verdict and fails the seat while recovery
+        can still replay a short suffix.
+        """
+        if not self._result_events[target].is_set():
+            return
+        frame = self._result_frames[target]
+        if frame is not None and frame[0] != "error":
+            return  # settled normally; finish_seat() consumes the result
+        address = self.addresses[target]
+        if frame is None:
+            reason = f"worker {target} ({address}) closed its connection mid-run"
+            dump = self._flight_dump(target)
+            if dump:
+                reason = f"{reason}\n{dump}"
+            raise SeatFailure(target, address, "connection_lost", reason)
+        raise SeatFailure(
+            target,
+            address,
+            "worker_error",
+            f"worker {frame[2]} ({address}) failed:\n{frame[3]}",
+        )
 
     def send(self, target: int, channel: Hashable, tagged: Tagged) -> None:
+        self._check_seat_alive(target)
         self._emitter.send(target, channel, tagged)
 
     def done(self, target: int) -> None:
+        self._check_seat_alive(target)
         self._emitter.done(target)
+
+    def latest_checkpoint(self, index: int):
+        """The last checkpoint payload seat ``index`` shipped (``None`` when
+        it never checkpointed or checkpointing was off)."""
+        return self._latest_checkpoints.get(index)
+
+    def finish_seat(self, index: int) -> WorkerReport:
+        """Wait for one seat's result frame; its report, clock-normalized.
+
+        Raises :class:`repro.recovery.types.SeatFailure` — carrying the
+        seat index, its placement address and a cause tag — when the seat
+        closed its connection without a result (a killed worker), stayed
+        silent past ``result_timeout``, or marshalled a failure.  The
+        flight-recorder dump of an instrumented run is appended to the
+        message.
+        """
+        timeout = self._job.result_timeout
+        arrived = self._result_events[index].wait(timeout)
+        frame = self._result_frames[index] if arrived else None
+        address = self.addresses[index]
+        if frame is None:
+            # A seat died (EOF before its result) or went silent past
+            # the result timeout: dump its flight recorder — the last
+            # spans and counters it shipped — before failing the seat.
+            if arrived:
+                cause = "connection_lost"
+                reason = (
+                    f"worker {index} ({address}) closed its connection "
+                    "without a result"
+                )
+            else:
+                cause = "timeout"
+                reason = (
+                    f"worker {index} ({address}) produced no result "
+                    f"within {timeout}s"
+                )
+            dump = self._flight_dump(index)
+            if dump:
+                _LOGGER.error("%s\n%s", reason, dump)
+                reason = f"{reason}\n{dump}"
+            raise SeatFailure(index, address, cause, reason)
+        if frame[0] == "error":
+            raise SeatFailure(
+                index,
+                address,
+                "worker_error",
+                f"worker {frame[2]} ({address}) failed:\n{frame[3]}",
+            )
+        report = decode_report(frame[3])
+        offset = self._clock_offsets.get(index)
+        if offset is not None:
+            # Normalize the worker's perf-counter readings onto the
+            # driver clock: span timestamps shift directly; recorded
+            # emit latencies were measured against driver-stamped
+            # ingest clocks, so the same offset corrects them.
+            report.clock_offset = offset
+            if report.spans:
+                report.spans = shift_spans(report.spans, offset)
+            if offset and report.emit_latencies:
+                report.emit_latencies = [
+                    latency + offset for latency in report.emit_latencies
+                ]
+        return report
 
     def finish(self) -> List[WorkerReport]:
         self._emitter.flush()
-        timeout = self._job.result_timeout
-        reports: List[Optional[WorkerReport]] = [None] * len(self._job.specs)
-        for index in range(len(self._job.specs)):
-            arrived = self._result_events[index].wait(timeout)
-            frame = self._result_frames[index] if arrived else None
-            if frame is None:
-                # A seat died (EOF before its result) or went silent past
-                # the result timeout: dump its flight recorder — the last
-                # spans and counters it shipped — before failing the run.
-                if arrived:
-                    reason = f"worker {index} closed its connection without a result"
-                else:
-                    reason = f"worker {index} produced no result within {timeout}s"
-                dump = self._flight_dump(index)
-                if dump:
-                    _LOGGER.error("%s\n%s", reason, dump)
-                    reason = f"{reason}\n{dump}"
-                raise RuntimeError(reason)
-            if frame[0] == "error":
-                raise RuntimeError(f"worker {frame[2]} failed:\n{frame[3]}")
-            report = decode_report(frame[3])
-            offset = self._clock_offsets.get(index)
-            if offset is not None:
-                # Normalize the worker's perf-counter readings onto the
-                # driver clock: span timestamps shift directly; recorded
-                # emit latencies were measured against driver-stamped
-                # ingest clocks, so the same offset corrects them.
-                report.clock_offset = offset
-                if report.spans:
-                    report.spans = shift_spans(report.spans, offset)
-                if offset and report.emit_latencies:
-                    report.emit_latencies = [
-                        latency + offset for latency in report.emit_latencies
-                    ]
-            reports[index] = report
+        reports = [
+            self.finish_seat(index) for index in range(len(self._job.specs))
+        ]
         self._release()
-        return [report for report in reports]
+        return reports
+
+    def release(self) -> None:
+        """Close every connection and reap local workers.
+
+        The recovering driver finishes seats one by one across several
+        sessions, so it releases each session explicitly instead of going
+        through :meth:`finish`.
+        """
+        self._release()
 
     def _release(self) -> None:
         for connection in self.connections:

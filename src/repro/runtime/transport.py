@@ -95,6 +95,12 @@ class RuntimeJob:
     #: before declaring the seat lost (``None`` waits forever, the
     #: historical behaviour).  A timeout triggers a flight-recorder dump.
     result_timeout: Optional[float] = None
+    #: Socket transport only: seconds between worker state checkpoints
+    #: (window-maintainer snapshots shipped to the driver as checkpoint
+    #: frames).  ``0.0`` checkpoints at every micro-batch boundary;
+    #: ``None`` (default) disables checkpointing — recovery, when enabled,
+    #: then replays the failed shard from zero.
+    checkpoint_interval: Optional[float] = None
 
     @property
     def queue_batches(self) -> int:

@@ -355,6 +355,9 @@ def run_worker(
     metrics_interval: float = DEFAULT_METRICS_INTERVAL,
     tracer=None,
     trace_sink=None,
+    restore=None,
+    checkpoint_sink=None,
+    checkpoint_interval: Optional[float] = None,
 ) -> WorkerReport:
     """Drive one worker to settlement over a pull-based inbox.
 
@@ -368,11 +371,27 @@ def run_worker(
     snapshot every ``metrics_interval`` seconds so the driver can observe
     the run live.  With ``tracer`` (a per-worker ``repro.obs.Tracer``)
     sampled elements get spans; ``trace_sink`` receives the newly recorded
-    spans on the same periodic cadence.  The telemetry-off path — no
-    metrics *and* no tracer — is the original tight loop.
+    spans on the same periodic cadence.
+
+    ``checkpoint_sink``/``checkpoint_interval`` add fault-tolerance state
+    capture: every ``checkpoint_interval`` seconds (``0.0`` = every batch)
+    the worker's full state — operator, collected outputs, the count of
+    elements consumed — is snapshotted at a micro-batch boundary
+    (:func:`repro.recovery.checkpoint.snapshot_worker`) and pushed to the
+    sink.  ``restore`` seeds a replacement worker from such a snapshot
+    before any element is consumed, returning the element count replay
+    must skip past.  The telemetry-off, checkpoint-off path is the
+    original tight loop.
     """
     worker = Worker(spec, emitter, metrics=metrics, tracer=tracer)
-    if metrics is None and tracer is None:
+    elements_seen = 0
+    snapshot_worker = None
+    if restore is not None or checkpoint_sink is not None:
+        from ...recovery.checkpoint import restore_worker, snapshot_worker
+    if restore is not None:
+        elements_seen = restore_worker(worker, restore)
+    checkpointing = checkpoint_sink is not None and checkpoint_interval is not None
+    if metrics is None and tracer is None and not checkpointing:
         while True:
             batch = inbox.take_batch(micro_batch_size)
             if batch is None:
@@ -399,7 +418,7 @@ def run_worker(
         busy_gauge = metrics.gauge("busy_seconds")
     periodic = metrics_sink is not None or trace_sink is not None
     idle = busy = 0.0
-    last_emit = perf_counter()
+    last_emit = last_checkpoint = perf_counter()
     while True:
         mark = perf_counter()
         batch = inbox.take_batch(micro_batch_size)
@@ -409,12 +428,20 @@ def run_worker(
             break
         for channel, tagged in batch:
             worker.accept(channel, tagged)
+        elements_seen += len(batch)
         emitter.flush()
         done = perf_counter()
         busy += done - now
         if metrics is not None:
             batch_sizes.observe(len(batch))
             batches.inc()
+        if checkpointing and done - last_checkpoint >= checkpoint_interval:
+            # Micro-batch boundaries are the only consistent points: the
+            # operator holds no half-processed element here, so the
+            # snapshot plus the post-``elements_seen`` input suffix is
+            # exactly equivalent to the full input prefix.
+            checkpoint_sink(snapshot_worker(worker, elements_seen))
+            last_checkpoint = done
         if periodic and done - last_emit >= metrics_interval:
             if metrics_sink is not None:
                 idle_gauge.set(idle)

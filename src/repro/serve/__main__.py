@@ -44,8 +44,8 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..obs import MetricsAggregator, configure_logging, start_metrics_http_server
+from ..options import ExecutionOptions
 from ..runtime.placement import parse_host_port
-from ..stream.query import StreamQueryConfig
 from .registry import StandingQueryService
 from .server import ServeClient, ServeServer
 
@@ -266,6 +266,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print one live reading of the server's trace spans (client mode)",
     )
     parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between worker state checkpoints "
+        "(ExecutionOptions.checkpoint_interval; 0 checkpoints every batch)",
+    )
+    parser.add_argument(
+        "--restart-limit", type=int, default=0, metavar="N",
+        help="max seat re-executions before a failure is fatal "
+        "(ExecutionOptions.restart_limit; recovery applies to socket runs)",
+    )
+    parser.add_argument(
+        "--seat-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-seat result-frame timeout (ExecutionOptions.seat_timeout)",
+    )
+    parser.add_argument(
         "--log-level", default="info",
         choices=("debug", "info", "warning", "error"),
         help="stdlib logging level for the repro logger tree",
@@ -303,7 +317,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         or arguments.trace_out is not None
         or arguments.trace_sample_rate is not None
     )
-    config = StreamQueryConfig(early_emit=True, metrics=True, trace=trace_on)
+    config = ExecutionOptions(
+        early_emit=True,
+        metrics=True,
+        trace=trace_on,
+        checkpoint_interval=arguments.checkpoint_interval,
+        restart_limit=arguments.restart_limit,
+        seat_timeout=arguments.seat_timeout,
+    )
     if arguments.trace_sample_rate is not None:
         config = replace(config, trace_sample_rate=arguments.trace_sample_rate)
     service = StandingQueryService(

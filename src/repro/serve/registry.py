@@ -39,7 +39,7 @@ from ..dataflow.query import IN_PROCESS_BACKENDS, DataflowQuery
 from ..relation import TPTuple
 from ..runtime import ChannelWatermarks
 from ..stream.elements import Watermark
-from ..stream.query import StreamQueryConfig
+from ..options import ExecutionOptions
 from .cache import ResultCache
 from .hub import POLICIES, FanoutHub, HubSubscription
 from .subplan import SubplanRegistry
@@ -75,7 +75,7 @@ class PlanGroup:
         self,
         members: Sequence[StandingQuery],
         graph: DataflowGraph,
-        config: StreamQueryConfig,
+        config: ExecutionOptions,
         transport: str,
         merge_seed: Optional[int],
     ) -> None:
@@ -276,7 +276,7 @@ class StandingQueryService:
     def __init__(
         self,
         catalog,
-        config: Optional[StreamQueryConfig] = None,
+        config: Optional[ExecutionOptions] = None,
         hub_capacity: int = 256,
         policy: str = "block",
         linger_seconds: float = 0.0,
@@ -291,7 +291,7 @@ class StandingQueryService:
                 f"of {IN_PROCESS_BACKENDS}, got {transport!r}"
             )
         self._catalog = catalog
-        self._config = config or StreamQueryConfig(early_emit=True)
+        self._config = config or ExecutionOptions(early_emit=True)
         self._hub_capacity = hub_capacity
         self._policy = policy
         self._linger_seconds = linger_seconds

@@ -41,6 +41,8 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from ..lineage import EventSpace
 from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..obs.trace import DEFAULT_TRACE_SAMPLE_RATE
+from ..options import TRANSPORTS, ExecutionOptions, deprecated_config_call
+from ..recovery.types import RecoveryEvent
 from ..relation import Schema, TPRelation, TPTuple, stable_key_hash
 from ..runtime import (
     SOURCE_CHANNEL,
@@ -95,75 +97,52 @@ class StreamDef:
     stats: Optional[StreamStats] = None
 
 
-#: Valid values of :attr:`StreamQueryConfig.workers`.
-WORKER_BACKENDS = ("threads", "processes", "sockets")
+#: Valid transports of a partitioned run (legacy name: the knob that picks
+#: one was historically called ``workers``).
+WORKER_BACKENDS = TRANSPORTS
 
 
-@dataclass(frozen=True)
-class StreamQueryConfig:
-    """Execution knobs of a continuous query.
+def StreamQueryConfig(
+    partitions: int = 1,
+    micro_batch_size: int = 64,
+    buffer_capacity: int = 1024,
+    workers: str = "threads",
+    materialize_probabilities: bool = False,
+    early_emit: bool = False,
+    placement: Optional[Placement] = None,
+    metrics: bool = False,
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+    trace: bool = False,
+    trace_sample_rate: float = DEFAULT_TRACE_SAMPLE_RATE,
+    **new_knobs,
+) -> ExecutionOptions:
+    """Deprecated: the historical config constructor of a continuous query.
 
-    ``workers`` picks the transport for ``partitions > 1``: ``"threads"``
-    shares one interpreter (cheap, but the GIL caps CPU-bound lineage work
-    at one core), ``"processes"`` runs each partition in its own OS process
-    (true multi-core speedup, paid for with per-element serialization), and
-    ``"sockets"`` runs each partition behind a TCP endpoint — locally
-    spawned by default, or on the hosts a ``placement`` names (start them
-    with ``python -m repro.runtime.worker --listen HOST:PORT``).  The
-    process and socket transports degrade to threads with a warning when
-    their workers cannot start.
-
-    ``materialize_probabilities`` computes output probabilities inline with
-    the maintainer-owned per-key hash-consed computers (carried across all
-    windows of a live query) instead of leaving them for a later
-    ``with_probabilities`` pass.
-
-    ``early_emit`` publishes provisional windows before the watermark closes
-    them, retracting/refining on later data.  It is honoured by the dataflow
-    graph executor (:mod:`repro.dataflow`); the planner routes stream joins
-    through a dataflow plan whenever it is set.
-
-    ``metrics`` instruments the run with per-worker registries
-    (:mod:`repro.obs`): flow counters, loop idle/busy time, watermark lag,
-    probability-cache hit rates.  Snapshots cross every transport boundary
-    (periodic live frames plus one final per worker report); read them via
-    :meth:`StreamQuery.metrics` / :meth:`~repro.dataflow.DataflowQuery.metrics`
-    during or after a run.  Off by default — the uninstrumented loop is the
-    fast path.
-
-    ``trace`` samples elements at the source (``trace_sample_rate`` of them,
-    deterministically) and records span-per-element timelines — queue wait,
-    operate, emit — across every transport boundary into per-worker flight
-    recorders.  Read them via :meth:`StreamQuery.trace` /
-    :meth:`StreamQueryResult.explain_tuple`; export with
-    :meth:`repro.obs.TraceAggregator.write_chrome_trace`.  Off by default
-    for the same reason as ``metrics``: unsampled elements carry no trace
-    context and skip every tracing branch.
+    Returns a :class:`repro.ExecutionOptions` carrying the same knobs —
+    ``workers=`` maps onto the canonical ``transport=`` field, and any
+    new-style knob (``checkpoint_interval``, ``restart_limit``,
+    ``seat_timeout``) passes through — so every old call site keeps
+    working while emitting a :class:`DeprecationWarning`.
     """
-
-    partitions: int = 1
-    micro_batch_size: int = 64
-    buffer_capacity: int = 1024
-    workers: str = "threads"
-    materialize_probabilities: bool = False
-    early_emit: bool = False
-    placement: Optional[Placement] = None
-    metrics: bool = False
-    metrics_interval: float = DEFAULT_METRICS_INTERVAL
-    trace: bool = False
-    trace_sample_rate: float = DEFAULT_TRACE_SAMPLE_RATE
-
-    def __post_init__(self) -> None:
-        if self.partitions <= 0:
-            raise ValueError("partitions must be positive")
-        if self.workers not in WORKER_BACKENDS:
-            raise ValueError(
-                f"workers must be one of {WORKER_BACKENDS}, got {self.workers!r}"
-            )
-        if not 0.0 <= self.trace_sample_rate <= 1.0:
-            raise ValueError(
-                f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"
-            )
+    deprecated_config_call(
+        "StreamQueryConfig",
+        "construct repro.ExecutionOptions instead (the workers= kwarg is "
+        "now transport=)",
+    )
+    return ExecutionOptions(
+        transport=workers,
+        partitions=partitions,
+        micro_batch_size=micro_batch_size,
+        buffer_capacity=buffer_capacity,
+        materialize_probabilities=materialize_probabilities,
+        early_emit=early_emit,
+        placement=placement,
+        metrics=metrics,
+        metrics_interval=metrics_interval,
+        trace=trace,
+        trace_sample_rate=trace_sample_rate,
+        **new_knobs,
+    )
 
 
 def summarize_latency_ms(samples: Sequence[float]) -> dict:
@@ -201,9 +180,12 @@ class StreamQueryResult:
     #: runs; the fallback transport when workers could not start).
     workers: str = "threads"
     #: Final per-worker metrics snapshots (empty unless ``config.metrics``).
-    metrics: List[dict] = field(default_factory=list)
+    metrics_snapshots: List[dict] = field(default_factory=list)
     #: Every span the run recorded (empty unless ``config.trace``).
     trace_spans: List[dict] = field(default_factory=list)
+    #: Seat recoveries the run performed (empty on an unfailed run, and
+    #: always empty unless ``options.restart_limit`` enabled recovery).
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def events_per_second(self) -> float:
@@ -215,6 +197,53 @@ class StreamQueryResult:
     def latency_summary(self) -> dict:
         """Mean / p50 / p95 / max emit latency in milliseconds."""
         return summarize_latency_ms(self.emit_latencies)
+
+    def metrics(self):
+        """The run's final worker metrics as a
+        :class:`repro.obs.MetricsAggregator` (``None`` when the run was
+        not instrumented)."""
+        if not self.metrics_snapshots:
+            return None
+        from ..obs.metrics import MetricsAggregator
+
+        aggregator = MetricsAggregator()
+        aggregator.update_all(self.metrics_snapshots)
+        return aggregator
+
+    def recoveries(self) -> List[RecoveryEvent]:
+        """Seat recoveries the run performed: who died, which checkpoint
+        the replacement restored, how many elements were replayed."""
+        return list(self.recovery_events)
+
+    def explain_analyze(self) -> str:
+        """``EXPLAIN ANALYZE``-style report of the finished run.
+
+        Run shape and latency percentiles always; worker metrics when the
+        run was instrumented; one line per seat recovery when any failure
+        was survived.
+        """
+        latency = self.latency_summary()
+        lines = [
+            f"StreamQuery run: backend={self.workers} "
+            f"partitions={self.partitions} "
+            f"events={self.events_processed} outputs={self.outputs_emitted} "
+            f"elapsed={self.elapsed_seconds:.3f}s "
+            f"({self.events_per_second:.0f} ev/s) "
+            f"late_dropped={self.late_dropped} "
+            f"backpressure_blocks={self.backpressure_blocks}",
+            f"  emit latency: p50 {latency['p50_ms']:.2f}ms "
+            f"p95 {latency['p95_ms']:.2f}ms max {latency['max_ms']:.2f}ms",
+        ]
+        if self.recovery_events:
+            lines.append(f"recoveries: {len(self.recovery_events)}")
+            lines.extend(f"  {event.describe()}" for event in self.recovery_events)
+        aggregated = self.metrics()
+        if aggregated is not None:
+            lines.append("worker metrics:")
+            lines.extend(
+                "  " + line for line in aggregated.render_report().splitlines()
+            )
+        return "\n".join(lines)
 
     def trace(self):
         """The run's spans as a :class:`repro.obs.TraceAggregator`.
@@ -263,6 +292,7 @@ def run_stream_shards(
     trace: bool = False,
     trace_sample_rate: float = DEFAULT_TRACE_SAMPLE_RATE,
     trace_collector: Optional[object] = None,
+    result_timeout: Optional[float] = None,
 ) -> tuple[List[WorkerReport], int, int, str]:
     """The one stream router: feed a merged element sequence into a session.
 
@@ -291,6 +321,7 @@ def run_stream_shards(
         metrics=metrics or collector is not None,
         metrics_interval=metrics_interval,
         trace=trace or trace_collector is not None,
+        result_timeout=result_timeout,
     )
     sampler = None
     driver_tracer = None
@@ -379,7 +410,9 @@ class StreamQuery:
         left: name of the positive (left) registered stream.
         right: name of the negative (right) registered stream.
         on: ``(left_attribute, right_attribute)`` equality pairs (θ).
-        config: execution knobs; defaults to single-partition inline runs.
+        config: :class:`repro.ExecutionOptions` (legacy
+            ``StreamQueryConfig(...)`` calls still produce one); defaults
+            to single-partition inline runs.
     """
 
     def __init__(
@@ -389,14 +422,14 @@ class StreamQuery:
         left: str,
         right: str,
         on: Sequence[tuple[str, str]] = (),
-        config: StreamQueryConfig | None = None,
+        config: ExecutionOptions | None = None,
     ) -> None:
         self._catalog = catalog
         self._kind = kind
         self._left_name = left
         self._right_name = right
         self._on = tuple(on)
-        self._config = config or StreamQueryConfig()
+        self._config = config or ExecutionOptions()
         # Validate eagerly: unknown streams and bad θ fail at registration.
         left_def = catalog.lookup_stream(left)
         right_def = catalog.lookup_stream(right)
@@ -414,7 +447,7 @@ class StreamQuery:
             self._trace_collector = TraceCollector()
 
     @property
-    def config(self) -> StreamQueryConfig:
+    def config(self) -> ExecutionOptions:
         return self._config
 
     def metrics(self):
@@ -440,8 +473,8 @@ class StreamQuery:
     def describe(self) -> str:
         condition = " AND ".join(f"{left} = {right}" for left, right in self._on) or "true"
         backend = ""
-        if self.effective_partitions > 1 and self._config.workers != "threads":
-            backend = f", workers={self._config.workers}"
+        if self.effective_partitions > 1 and self._config.transport != "threads":
+            backend = f", workers={self._config.transport}"
         return (
             f"StreamQuery[{self._kind}] {self._left_name} × {self._right_name} "
             f"on {condition} (partitions={self.effective_partitions}{backend})"
@@ -485,36 +518,67 @@ class StreamQuery:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def run(self, merge_seed: Optional[int] = None) -> StreamQueryResult:
-        """Execute the query over a fresh replay of both streams."""
+    def run(
+        self, merge_seed: Optional[int] = None, chaos: Optional[object] = None
+    ) -> StreamQueryResult:
+        """Execute the query over a fresh replay of both streams.
+
+        ``chaos`` is the failure-injection seam of the recovering sockets
+        router (see :class:`repro.recovery.chaos.ChaosInjector`): a hook
+        called once per routed element, used by the chaos tests and
+        ``bench_recovery`` to kill seats mid-run.  Ignored — no failure
+        is injected — on every other execution path.
+        """
         left_def = self._catalog.lookup_stream(self._left_name)
         right_def = self._catalog.lookup_stream(self._right_name)
         left_elements = left_def.replay()
         right_elements = right_def.replay()
         merged = merge_tagged(left_elements, right_elements, seed=merge_seed)
         partitions = self.effective_partitions
-        transport = self._config.workers if partitions > 1 else "inline"
+        transport = self._config.transport if partitions > 1 else "inline"
         spec = self._shard_spec()
         specs = tuple(replace(spec, index=index) for index in range(partitions))
         stamp_right = self._kind in ("right_outer", "full_outer")
+        recoveries: List[RecoveryEvent] = []
         started = time.perf_counter()
         try:
-            reports, events_processed, blocks, backend = run_stream_shards(
-                transport,
-                specs,
-                merged,
-                self._theta,
-                stamp_right,
-                micro_batch_size=self._config.micro_batch_size,
-                buffer_capacity=self._config.buffer_capacity,
-                placement=self._config.placement,
-                metrics=self._config.metrics,
-                metrics_interval=self._config.metrics_interval,
-                collector=self._collector,
-                trace=self._config.trace,
-                trace_sample_rate=self._config.trace_sample_rate,
-                trace_collector=self._trace_collector,
-            )
+            if transport == "sockets" and self._config.recovery_enabled:
+                from ..recovery.driver import run_recovering_stream_shards
+
+                (
+                    reports,
+                    events_processed,
+                    blocks,
+                    backend,
+                    recoveries,
+                ) = run_recovering_stream_shards(
+                    specs,
+                    merged,
+                    self._theta,
+                    stamp_right,
+                    options=self._config,
+                    collector=self._collector,
+                    trace_collector=self._trace_collector,
+                    chaos=chaos,
+                )
+            else:
+                reports, events_processed, blocks, backend = run_stream_shards(
+                    transport,
+                    specs,
+                    merged,
+                    self._theta,
+                    stamp_right,
+                    micro_batch_size=self._config.micro_batch_size,
+                    buffer_capacity=self._config.buffer_capacity,
+                    placement=self._config.placement,
+                    metrics=self._config.metrics,
+                    metrics_interval=self._config.metrics_interval,
+                    collector=self._collector,
+                    trace=self._config.trace,
+                    trace_sample_rate=self._config.trace_sample_rate,
+                    trace_collector=self._trace_collector,
+                    result_timeout=self._config.seat_timeout,
+                )
         except WorkerStartError as error:
             # Workers unavailable (sandbox without fork, unreachable host):
             # degrade to the thread transport — safe, no element was
@@ -576,7 +640,7 @@ class StreamQuery:
             late_dropped=late,
             backpressure_blocks=blocks,
             workers=backend,
-            metrics=[
+            metrics_snapshots=[
                 report.metrics for report in reports if report.metrics is not None
             ],
             trace_spans=(
@@ -584,4 +648,5 @@ class StreamQuery:
                 if self._trace_collector is not None
                 else []
             ),
+            recovery_events=recoveries,
         )

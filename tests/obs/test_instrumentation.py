@@ -101,7 +101,8 @@ def test_metrics_off_is_the_default_and_returns_none():
     query = DataflowQuery(catalog, TREE, StreamQueryConfig(early_emit=True))
     result = query.run(backend="inline", merge_seed=11)
     assert query.metrics() is None
-    assert result.metrics == []
+    assert result.metrics_snapshots == []
+    assert result.metrics() is None
 
 
 def test_stream_query_metrics_across_partitions():

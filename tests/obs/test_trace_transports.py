@@ -252,10 +252,10 @@ def test_killed_socket_worker_yields_a_flight_dump():
         with pytest.raises(RuntimeError) as excinfo:
             session.finish()
         message = str(excinfo.value)
-        # The historical first line survives as the error's prefix ...
-        assert message.startswith(
-            "worker 0 closed its connection without a result"
-        )
+        # The first line names the seat and where it lived ...
+        first_line = message.splitlines()[0]
+        assert first_line.startswith("worker 0 (127.0.0.1:")
+        assert first_line.endswith("closed its connection without a result")
         # ... and the flight recorder's last-known spans ride along.
         assert "flight recorder dump for worker 0" in message
         assert "span(s) retained" in message

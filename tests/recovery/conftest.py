@@ -1,0 +1,58 @@
+"""Shared helpers for the recovery test suite.
+
+Chaos tests compare a failure-injected run against an unfailed one, so the
+referee must be exact: :func:`settled_rows` renders every settled tuple —
+fact, canonical lineage, interval and probability — through ``repr``, which
+round-trips floats bit-for-bit.  Two runs agree here iff their settled
+outputs are tuple-for-tuple, bitwise-probability identical.
+
+(``repr`` keys rather than raw tuples because outer-join padding puts
+``None`` next to strings in the fact, which plain tuple ordering rejects.)
+"""
+
+from __future__ import annotations
+
+from repro.datasets import ReplayConfig, stream_def
+from repro.engine import Catalog
+from repro.lineage import canonical
+from tests.conftest import make_random_relations
+
+
+def query_catalog(
+    seed: int,
+    left_size: int = 90,
+    right_size: int = 90,
+    num_keys: int = 5,
+    disorder: int = 4,
+    watermark_every: int = 4,
+):
+    """A catalog with two registered streams ``l``/``r`` over random data."""
+    left, right, _theta = make_random_relations(
+        seed, left_size=left_size, right_size=right_size, num_keys=num_keys
+    )
+    catalog = Catalog()
+    catalog.register_stream(
+        "l",
+        stream_def(
+            left,
+            ReplayConfig(disorder=disorder, seed=seed, watermark_every=watermark_every),
+        ),
+    )
+    catalog.register_stream(
+        "r",
+        stream_def(
+            right,
+            ReplayConfig(
+                disorder=disorder, seed=seed + 1, watermark_every=watermark_every
+            ),
+        ),
+    )
+    return catalog, left, right
+
+
+def settled_rows(relation) -> list[str]:
+    """Exact, order-insensitive rendering of a settled output relation."""
+    return sorted(
+        repr((t.fact, str(canonical(t.lineage)), t.start, t.end, t.probability))
+        for t in relation
+    )
