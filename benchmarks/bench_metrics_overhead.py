@@ -39,8 +39,9 @@ from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
+from repro.options import ExecutionOptions
 from repro.relation import TPRelation
-from repro.stream import StreamQuery, StreamQueryConfig
+from repro.stream import StreamQuery
 
 
 def canonical_rows(relation: TPRelation) -> set:
@@ -66,7 +67,7 @@ def _run_query(size: int, disorder: int, partitions: int, seed: int, metrics: bo
         "r",
         "s",
         [("Metric", "Metric")],
-        config=StreamQueryConfig(partitions=partitions, metrics=metrics),
+        config=ExecutionOptions(partitions=partitions, metrics=metrics),
     )
     result = query.run(merge_seed=seed)
     return result, query.metrics()

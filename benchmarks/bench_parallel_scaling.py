@@ -9,7 +9,7 @@ computation.  The benchmark runs it
   verified tuple-for-tuple (facts, intervals, canonical lineages *and*
   probabilities) against the single-process run, and
 * **continuous** — :class:`repro.stream.StreamQuery` with
-  ``workers="processes"`` at each partition count, verified against the
+  ``transport="processes"`` at each partition count, verified against the
   batch join result,
 
 and reports wall-clock seconds plus the speedup over one worker.  Speedup
@@ -39,9 +39,10 @@ from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
+from repro.options import ExecutionOptions
 from repro.parallel import available_cpus, canonical_order, parallel_tp_join
 from repro.relation import EquiJoinCondition, TPTuple
-from repro.stream import StreamQuery, StreamQueryConfig
+from repro.stream import StreamQuery
 
 JOIN_KIND = "left_outer"
 ON = [("Metric", "Metric")]
@@ -115,9 +116,9 @@ def run_continuous(
             "r",
             "s",
             ON,
-            config=StreamQueryConfig(
+            config=ExecutionOptions(
                 partitions=workers,
-                workers="processes" if workers > 1 else "threads",
+                transport="processes" if workers > 1 else "threads",
                 micro_batch_size=64,
             ),
         )

@@ -55,8 +55,8 @@ from repro.datasets.meteo import meteo_config
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import EventSpace
+from repro.options import ExecutionOptions
 from repro.parallel import available_cpus
-from repro.stream import StreamQueryConfig
 
 #: The two-stage tree: one forward-window and one reverse-window operator.
 KINDS = (("n1", "left_outer", "r", "s"), ("n2", "right_outer", "n1", "t"))
@@ -96,7 +96,7 @@ def run_pipelined(
     """One pipelined run (partitions=1 → pipeline axis, >1 → combined)."""
     catalog = build_catalog(size, disorder, seed)
     nodes = tree(partitions)
-    query = DataflowQuery(catalog, nodes, StreamQueryConfig(workers=backend))
+    query = DataflowQuery(catalog, nodes, ExecutionOptions(transport=backend))
     result = query.run(merge_seed=seed, backend=backend)
     check_against_batch(result, catalog, nodes)
     return {
@@ -120,7 +120,7 @@ def run_stage_sequential(
     elapsed = 0.0
     backends = []
     stage_one = [NodeSpec("n1", "left_outer", "r", "s", ON, partitions=partitions)]
-    query = DataflowQuery(catalog, stage_one, StreamQueryConfig(workers=backend))
+    query = DataflowQuery(catalog, stage_one, ExecutionOptions(transport=backend))
     result_one = query.run(merge_seed=seed, backend=backend)
     elapsed += result_one.elapsed_seconds
     backends.append(result_one.backend)
@@ -136,7 +136,7 @@ def run_stage_sequential(
     stage_two = [
         NodeSpec("n2", "right_outer", "n1_settled", "t", ON, partitions=partitions)
     ]
-    query = DataflowQuery(catalog, stage_two, StreamQueryConfig(workers=backend))
+    query = DataflowQuery(catalog, stage_two, ExecutionOptions(transport=backend))
     result_two = query.run(merge_seed=seed + 1, backend=backend)
     elapsed += result_two.elapsed_seconds
     backends.append(result_two.backend)

@@ -50,7 +50,7 @@ from repro.datasets.generators import generate_relation
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import EventSpace
-from repro.stream import StreamQueryConfig
+from repro.options import ExecutionOptions
 
 TREE = [
     NodeSpec("n1", "left_outer", "r", "s", (("Metric", "Metric"),)),
@@ -81,8 +81,8 @@ def run_one(size: int, disorder: int, early: bool, seed: int, backend: str) -> d
     query = DataflowQuery(
         catalog,
         TREE,
-        StreamQueryConfig(
-            early_emit=early, workers=backend, buffer_capacity=32, micro_batch_size=4
+        ExecutionOptions(
+            early_emit=early, transport=backend, buffer_capacity=32, micro_batch_size=4
         ),
     )
     result = query.run(merge_seed=seed, backend=backend)

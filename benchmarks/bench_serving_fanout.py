@@ -49,10 +49,10 @@ from repro.datasets.meteo import meteo_config
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import EventSpace
+from repro.options import ExecutionOptions
 from repro.parallel import available_cpus
 from repro.relation import TPTuple
 from repro.serve import ResultCache, StandingQueryService
-from repro.stream import StreamQueryConfig
 
 ON = (("Metric", "Metric"),)
 
@@ -84,7 +84,7 @@ def settled_keys(tuples: Sequence[TPTuple]) -> List[tuple]:
 def run_direct(size: int, disorder: int, seed: int) -> dict:
     """The convergence reference: one single-consumer dataflow run."""
     catalog = build_catalog(size, disorder, seed)
-    query = DataflowQuery(catalog, query_nodes(0), StreamQueryConfig(early_emit=True))
+    query = DataflowQuery(catalog, query_nodes(0), ExecutionOptions(early_emit=True))
     result = query.run(merge_seed=seed, backend="threads")
     return {
         "seconds": result.elapsed_seconds,
@@ -119,7 +119,7 @@ def run_served(
     ``shared`` uses one service (one merged plan group); otherwise each
     query gets its own service and therefore its own graph execution.
     """
-    config = StreamQueryConfig(early_emit=True)
+    config = ExecutionOptions(early_emit=True)
 
     def make_service() -> StandingQueryService:
         return StandingQueryService(

@@ -52,9 +52,10 @@ from repro.datasets.meteo import meteo_config
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import EventSpace
+from repro.options import ExecutionOptions
 from repro.relation import EquiJoinCondition
 from repro.runtime import Placement, available_cpus
-from repro.stream import StreamQuery, StreamQueryConfig
+from repro.stream import StreamQuery
 
 ON = (("Metric", "Metric"),)
 
@@ -97,9 +98,9 @@ def run_transport(
         "r",
         "s",
         ON,
-        config=StreamQueryConfig(
+        config=ExecutionOptions(
             partitions=partitions,
-            workers=transport,
+            transport=transport,
             placement=placement if transport == "sockets" else None,
         ),
     )

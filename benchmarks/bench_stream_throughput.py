@@ -40,8 +40,9 @@ from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
+from repro.options import ExecutionOptions
 from repro.relation import EquiJoinCondition, TPRelation
-from repro.stream import StreamQuery, StreamQueryConfig
+from repro.stream import StreamQuery
 
 
 def canonical_rows(relation: TPRelation) -> set:
@@ -77,7 +78,7 @@ def run_one(
         "r",
         "s",
         [("Metric", "Metric")],
-        config=StreamQueryConfig(partitions=partitions),
+        config=ExecutionOptions(partitions=partitions),
     )
     result = query.run(merge_seed=seed)
 

@@ -45,8 +45,9 @@ from repro.engine import Catalog
 from repro.harness.reporting import write_bench_file
 from repro.lineage import canonical
 from repro.obs import DEFAULT_TRACE_SAMPLE_RATE
+from repro.options import ExecutionOptions
 from repro.relation import TPRelation
-from repro.stream import StreamQuery, StreamQueryConfig
+from repro.stream import StreamQuery
 
 #: The three modes, keyed by sample rate (None = tracing off entirely).
 MODES: tuple = (None, DEFAULT_TRACE_SAMPLE_RATE, 1.0)
@@ -70,9 +71,9 @@ def _run_query(size: int, disorder: int, partitions: int, seed: int, rate):
         "s", stream_def(negative, ReplayConfig(disorder=disorder, seed=seed + 1))
     )
     config = (
-        StreamQueryConfig(partitions=partitions)
+        ExecutionOptions(partitions=partitions)
         if rate is None
-        else StreamQueryConfig(
+        else ExecutionOptions(
             partitions=partitions, trace=True, trace_sample_rate=rate
         )
     )

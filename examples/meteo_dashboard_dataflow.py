@@ -31,7 +31,7 @@ from repro.datasets.generators import generate_relation
 from repro.datasets.meteo import meteo_config
 from repro.engine import Engine
 from repro.lineage import EventSpace
-from repro.stream import StreamQueryConfig
+from repro.options import ExecutionOptions
 
 TREE = [
     NodeSpec("stable", "left_outer", "r", "s", (("Metric", "Metric"),)),
@@ -42,7 +42,7 @@ TREE = [
 def main() -> None:
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     events = EventSpace()
-    engine = Engine(stream_config=StreamQueryConfig(early_emit=True))
+    engine = Engine(options=ExecutionOptions(early_emit=True))
     for offset, name in enumerate(("r", "s", "t")):
         relation = generate_relation(meteo_config(size, seed=offset), events, name=name)
         engine.register_stream(

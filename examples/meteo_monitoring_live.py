@@ -26,8 +26,8 @@ from repro.core import tp_left_outer_join
 from repro.datasets import ReplayConfig, meteo_pair, stream_def
 from repro.engine import Engine
 from repro.lineage import canonical
+from repro.options import ExecutionOptions
 from repro.relation import EquiJoinCondition
-from repro.stream import StreamQueryConfig
 
 
 def main(size: int = 600) -> None:
@@ -55,7 +55,7 @@ def main(size: int = 600) -> None:
         "reference",
         "stations",
         [("Metric", "Metric")],
-        config=StreamQueryConfig(partitions=4, micro_batch_size=32),
+        config=ExecutionOptions(partitions=4, micro_batch_size=32),
     )
     result = query.run(merge_seed=7)
     latency = result.latency_summary()

@@ -1,0 +1,60 @@
+"""Batched probability evaluation over the hash-cons table.
+
+A finalized micro-batch of windows repeats lineage structures heavily:
+every window of one positive tuple shares the ``λr ∧ ¬(λs1 ∨ ...)`` frame,
+and adjacent windows differ by one operand.  The object hot path pays one
+``probability()`` call per output tuple anyway — each a hash-cons intern
+walk plus a memo probe.  The batch kernel here restructures that loop:
+intern every lineage of the batch first, dedupe by canonical-node identity,
+evaluate each *distinct* expression exactly once, then scatter the values
+back to the batch positions by intern id.
+
+Bitwise equivalence with the sequential path is structural: the values are
+produced by the very same :class:`~repro.lineage.ProbabilityComputer` memo
+the sequential path uses, and a duplicate occurrence receives the float the
+first occurrence computed — which is exactly what the sequential path's
+memo hit would have returned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..lineage import LineageExpr, ProbabilityComputer
+
+__all__ = ["batch_probabilities", "probability_column"]
+
+
+def batch_probabilities(
+    computer: ProbabilityComputer, lineages: Sequence[LineageExpr]
+) -> List[float]:
+    """Probabilities for a batch of lineages, one evaluation per distinct expr.
+
+    Returns a list aligned with ``lineages``.  Values are bitwise-identical
+    to calling ``computer.probability`` per element in order: distinct
+    expressions are evaluated in first-occurrence order through the same
+    memo, and duplicates are scattered from the first occurrence's value.
+    """
+    values: List[float] = [0.0] * len(lineages)
+    seen: dict = {}
+    for position, lineage in enumerate(lineages):
+        canonical = computer.intern(lineage)
+        cached = seen.get(id(canonical))
+        if cached is None:
+            # First occurrence: evaluate through the computer (which memoises
+            # by the same canonical identity for future batches too).
+            value = computer.probability(canonical)
+            seen[id(canonical)] = (value, canonical)
+            values[position] = value
+        else:
+            values[position] = cached[0]
+    return values
+
+
+def probability_column(
+    computer: ProbabilityComputer, lineages: Sequence[LineageExpr]
+):
+    """Batch probabilities as a float64 numpy column (requires numpy)."""
+    import numpy as np
+
+    return np.asarray(batch_probabilities(computer, lineages), dtype=np.float64)

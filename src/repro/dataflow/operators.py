@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..columnar import maintainer_class
 from ..lineage import EventSpace
 from ..relation import Schema, TPTuple, ThetaCondition
 from ..stream.elements import LEFT, RIGHT, StreamEvent, Tagged, Watermark
@@ -122,6 +123,7 @@ class RevisionJoin:
         events: Optional[EventSpace] = None,
         materialize_probabilities: bool = False,
         clock: Callable[[], float] = time.perf_counter,
+        layout: str = "object",
     ) -> None:
         if kind not in CONTINUOUS_OPERATORS:
             raise ValueError(
@@ -138,9 +140,11 @@ class RevisionJoin:
         self._early = early_emit
         self._materialize = materialize_probabilities
         self._clock = clock
-        self._forward = IncrementalWindowMaintainer(self._theta, events=events)
+        self._layout = layout
+        maintainer_cls = maintainer_class(layout)
+        self._forward = maintainer_cls(self._theta, events=events)
         self._reverse: Optional[IncrementalWindowMaintainer] = (
-            IncrementalWindowMaintainer(swap_theta(self._theta), events=events)
+            maintainer_cls(swap_theta(self._theta), events=events)
             if kind in REVERSE_KINDS
             else None
         )
@@ -335,6 +339,20 @@ class RevisionJoin:
         maintainer = self._reverse if is_reverse else self._forward
         tuples: Dict[tuple, TPTuple] = {}
         computer = maintainer.computer_for(key) if self._materialize else None
+        if computer is not None and self._layout == "columnar":
+            # Batch kernel: one evaluation per distinct interned
+            # sub-expression of the group, scattered by intern id — values
+            # bitwise-identical to the sequential memo path below.
+            from ..columnar.probs import batch_probabilities
+
+            derived = list(derive(self.kind, group, left_width, right_width))
+            values = batch_probabilities(
+                computer, [tp_tuple.lineage for tp_tuple in derived]
+            )
+            for tp_tuple, value in zip(derived, values):
+                tp_tuple = replace(tp_tuple, probability=value)
+                tuples[tp_tuple.key()] = tp_tuple
+            return tuples
         for tp_tuple in derive(self.kind, group, left_width, right_width):
             if computer is not None:
                 tp_tuple = replace(

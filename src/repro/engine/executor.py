@@ -48,7 +48,6 @@ class Engine:
             deprecated_config_call(
                 "Engine(stream_config=...)",
                 "pass the same object as Engine(options=...)",
-                stacklevel=2,
             )
             if options is None:
                 options = stream_config

@@ -158,6 +158,19 @@ class ProbabilityComputer:
     # ------------------------------------------------------------------ #
     # hash-consing
     # ------------------------------------------------------------------ #
+    def intern(self, expr: LineageExpr) -> LineageExpr:
+        """Public interning entry point: the canonical node for ``expr``.
+
+        Structurally equal expressions map to one instance, so ``id()`` of
+        the result is a valid dedup key for batch evaluation
+        (:func:`repro.columnar.probs.batch_probabilities`).  Without
+        hash-consing the expression is returned unchanged — structural
+        equality is then the only dedup the caller can rely on.
+        """
+        if not self._hash_cons:
+            return expr
+        return self._intern(expr)
+
     def _intern(self, expr: LineageExpr) -> LineageExpr:
         """Map ``expr`` to the canonical instance of its structure.
 

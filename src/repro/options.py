@@ -27,11 +27,12 @@ import warnings
 from dataclasses import dataclass
 from typing import Optional
 
+from .columnar import LAYOUTS
 from .obs.metrics import DEFAULT_METRICS_INTERVAL
 from .obs.trace import DEFAULT_TRACE_SAMPLE_RATE
 from .runtime.placement import Placement
 
-__all__ = ["ExecutionOptions", "TRANSPORTS"]
+__all__ = ["ExecutionOptions", "LAYOUTS", "TRANSPORTS"]
 
 #: Valid values of :attr:`ExecutionOptions.transport` for partitioned runs.
 #: (Single-partition runs execute inline regardless.)
@@ -59,6 +60,16 @@ class ExecutionOptions:
     closes them, retracting/refining on later data (honoured by the
     dataflow executor; the planner routes stream joins through a dataflow
     plan whenever it is set).
+
+    ``layout`` picks the window-maintainer state layout: ``"object"``
+    (default) keeps per-tuple Python objects, ``"columnar"`` re-lays the
+    hot state as struct-of-arrays numpy columns with vectorized
+    probe/evict/finalize sweeps (:mod:`repro.columnar`) and, on the
+    sockets transport, ships micro-batches as fixed-layout binary frames
+    (:mod:`repro.runtime.wire`) instead of pickles.  Settled output is
+    tuple-for-tuple, bitwise-probability identical across layouts; when
+    numpy is not installed a columnar request degrades to ``"object"``
+    with a :class:`RuntimeWarning`.
 
     ``metrics`` / ``metrics_interval`` instrument the run with per-worker
     registries (:mod:`repro.obs`); ``trace`` / ``trace_sample_rate``
@@ -97,6 +108,7 @@ class ExecutionOptions:
     checkpoint_interval: Optional[float] = None
     restart_limit: int = 0
     seat_timeout: Optional[float] = None
+    layout: str = "object"
 
     def __post_init__(self) -> None:
         if self.partitions <= 0:
@@ -109,6 +121,8 @@ class ExecutionOptions:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
             )
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ValueError(
                 f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"

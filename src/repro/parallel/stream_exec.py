@@ -39,6 +39,7 @@ from dataclasses import dataclass, replace
 from dataclasses import field as dataclass_field
 from typing import Callable, Iterable, List, Optional
 
+from ..columnar import resolve_layout
 from ..relation import Schema, ThetaCondition, TPTuple
 from ..runtime import SOURCE_CHANNEL, WorkerReport, WorkerStartError  # noqa: F401
 from ..stream.elements import LEFT, RIGHT, Tagged
@@ -83,6 +84,11 @@ class StreamShardSpec:
     left_channels: tuple = (SOURCE_CHANNEL,)
     right_channels: tuple = (SOURCE_CHANNEL,)
     downstream: tuple = ()
+    #: Window-maintainer state layout, already resolved driver-side
+    #: (``resolve_layout``) so a numpy-less worker is never asked for columns.
+    #: ``"columnar"`` additionally switches socket micro-batch frames to the
+    #: binary wire codec (:mod:`repro.runtime.wire`).
+    layout: str = "object"
 
     #: Stream shards have no downstream: settled outputs are collected by
     #: the worker loop and shipped back in the report.
@@ -104,6 +110,7 @@ class StreamShardSpec:
             if materialize
             else None,
             materialize_probabilities=materialize,
+            layout=self.layout,
         )
 
     def report(self, join, outputs: Optional[List[TPTuple]]) -> WorkerReport:
@@ -229,6 +236,8 @@ class DataflowNodeSpec:
     right_channels: tuple = ()
     early_emit: bool = False
     event_probabilities: Optional[dict] = None
+    #: Resolved window-maintainer state layout (see :class:`StreamShardSpec`).
+    layout: str = "object"
     tap: Optional[Callable] = dataclass_field(default=None, repr=False, compare=False)
     probe: Optional[Callable] = dataclass_field(default=None, repr=False, compare=False)
 
@@ -258,6 +267,7 @@ class DataflowNodeSpec:
             if materialize
             else None,
             materialize_probabilities=materialize,
+            layout=self.layout,
         )
 
     def report(self, join, outputs: Optional[List[TPTuple]]) -> WorkerReport:
@@ -350,6 +360,7 @@ def graph_node_specs(graph, config, taps=None, probes=None) -> List[DataflowNode
                     right_channels=tuple(channels[index][RIGHT]),
                     early_emit=getattr(config, "early_emit", False),
                     event_probabilities=event_probabilities,
+                    layout=resolve_layout(getattr(config, "layout", "object")),
                     tap=(taps or {}).get(spec.name),
                     probe=(probes or {}).get(spec.name),
                 )

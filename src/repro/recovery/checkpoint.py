@@ -31,6 +31,13 @@ Only output-collecting shard workers (``spec.collect_outputs``) are
 checkpointable: dataflow node workers have peer edges whose in-flight
 elements a single-worker snapshot cannot capture, so graph recovery is out
 of scope (see :mod:`repro.recovery`).
+
+The codec is *layout-independent*: maintainer state is read and written
+through the four accessor methods (``open_items`` / ``negative_items`` /
+``load_open_entries`` / ``load_negatives``) both maintainer implementations
+provide, never through the storage layout.  A snapshot taken under the
+columnar layout (:mod:`repro.columnar`) therefore restores into an object
+worker and vice versa, through the same ``CHECKPOINT_VERSION`` frames.
 """
 
 from __future__ import annotations
@@ -77,7 +84,7 @@ def encode_maintainer(maintainer: IncrementalWindowMaintainer) -> tuple:
     """
     stats = maintainer.stats
     open_code = []
-    for key, entries in maintainer._open.items():
+    for key, entries in maintainer.open_items():
         entry_codes = []
         for entry in entries:
             entry_codes.append(
@@ -93,7 +100,7 @@ def encode_maintainer(maintainer: IncrementalWindowMaintainer) -> tuple:
             )
         open_code.append((key, entry_codes))
     negative_code = [
-        (key, encode_tuples(bucket)) for key, bucket in maintainer._negatives.items()
+        (key, encode_tuples(bucket)) for key, bucket in maintainer.negative_items()
     ]
     computer_code = [
         (
@@ -167,7 +174,6 @@ def restore_maintainer(maintainer: IncrementalWindowMaintainer, code: tuple) -> 
         stats.positives_retracted,
         stats.negatives_retracted,
     ) = stats_code
-    open_count = 0
     for key, entry_codes in open_code:
         entries: List[OpenPositive] = []
         for tuple_code, ingest_clock, entry_serial, match_codes in entry_codes:
@@ -184,15 +190,9 @@ def restore_maintainer(maintainer: IncrementalWindowMaintainer, code: tuple) -> 
                     )
                 )
             entries.append(entry)
-        maintainer._open[key] = entries
-        open_count += len(entries)
-    maintainer._open_count = open_count
-    negative_count = 0
+        maintainer.load_open_entries(key, entries)
     for key, bucket_code in negative_code:
-        bucket = decode_tuples(bucket_code)
-        maintainer._negatives[key] = bucket
-        negative_count += len(bucket)
-    maintainer._negative_count = negative_count
+        maintainer.load_negatives(key, decode_tuples(bucket_code))
     for key, pairs in computer_code:
         computer = maintainer.computer_for(key)
         computer.seed_cache(

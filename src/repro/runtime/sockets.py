@@ -47,6 +47,7 @@ from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..obs.trace import clock_anchor, estimate_clock_offset, shift_spans
 from ..recovery.types import SeatFailure
 from ..stream.elements import Tagged
+from . import wire
 from .channel import Channel, ChannelClosed
 from .placement import Placement, parse_host_port
 from .transport import (
@@ -79,8 +80,19 @@ def send_frame(sock: socket.socket, payload: object) -> None:
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
+def send_raw_frame(sock: socket.socket, data: bytes) -> None:
+    """Ship one length-prefixed pre-encoded frame (binary wire payloads)."""
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
 def recv_frame(file) -> Optional[object]:
-    """Read one frame from a buffered socket file; ``None`` on EOF."""
+    """Read one frame from a buffered socket file; ``None`` on EOF.
+
+    Frames self-identify by first byte: binary column frames
+    (:mod:`repro.runtime.wire`, columnar-layout micro-batches) decode
+    through the wire codec, everything else unpickles — both peers of a
+    connection can mix the two freely.
+    """
     header = file.read(_HEADER.size)
     if len(header) < _HEADER.size:
         return None
@@ -88,7 +100,7 @@ def recv_frame(file) -> Optional[object]:
     data = file.read(length)
     if len(data) < length:
         return None
-    return pickle.loads(data)
+    return wire.decode_payload(data)
 
 
 # --------------------------------------------------------------------------- #
@@ -112,11 +124,18 @@ class _EncodedChannelInbox:
 
 
 class _PeerPutter:
-    """Worker-side delivery to downstream peers over cached connections."""
+    """Worker-side delivery to downstream peers over cached connections.
 
-    def __init__(self, addresses, job_key: str) -> None:
+    With ``binary=True`` (columnar layout) micro-batches ship as binary
+    column frames — no pickle on the element hot path.  A batch the fixed
+    layout cannot express falls back to one pickled frame; the receiver
+    dispatches per frame, so the mix is safe.
+    """
+
+    def __init__(self, addresses, job_key: str, binary: bool = False) -> None:
         self._addresses = addresses
         self._job_key = job_key
+        self._binary = binary
         self._connections: Dict[int, socket.socket] = {}
 
     def _connection(self, target: int) -> socket.socket:
@@ -129,6 +148,14 @@ class _PeerPutter:
         return connection
 
     def put(self, target: int, batch) -> None:
+        if self._binary:
+            try:
+                data = wire.encode_batch_frame(self._job_key, batch)
+            except wire.WireFormatError:
+                pass
+            else:
+                send_raw_frame(self._connection(target), data)
+                return
         send_frame(self._connection(target), ("batch", self._job_key, batch))
 
     def put_done(self, target: int) -> None:
@@ -204,7 +231,11 @@ class _ServerJob:
         self._thread.start()
 
     def _run(self, addresses, micro_batch_size: int) -> None:
-        putter = _PeerPutter(addresses, self.key)
+        putter = _PeerPutter(
+            addresses,
+            self.key,
+            binary=getattr(self.spec, "layout", "object") == "columnar",
+        )
         try:
             if self._reply is not None:
                 # Handshake anchor: a (wall_clock, perf_counter) pair the
@@ -566,6 +597,18 @@ class _DriverSocketPutter:
             raise self._session.connection_failure(target, error) from error
 
     def put(self, target: int, batch) -> None:
+        spec = self._session._job.specs[target]
+        if getattr(spec, "layout", "object") == "columnar":
+            try:
+                data = wire.encode_batch_frame(self._session.job_key, batch)
+            except wire.WireFormatError:
+                pass
+            else:
+                try:
+                    send_raw_frame(self._session.connections[target], data)
+                except OSError as error:
+                    raise self._session.connection_failure(target, error) from error
+                return
         self._put(target, ("batch", self._session.job_key, batch))
 
     def put_done(self, target: int) -> None:

@@ -400,6 +400,37 @@ class IncrementalWindowMaintainer:
         self._min_open_end = min_end
         return finalized
 
+    # ------------------------------------------------------------------ #
+    # checkpoint accessors (layout-independent state export/import)
+    # ------------------------------------------------------------------ #
+    # The recovery codec (repro.recovery.checkpoint) snapshots and restores
+    # maintainer state through these four methods rather than reaching into
+    # the storage layout, so the columnar maintainer
+    # (repro.columnar.state.ColumnarWindowMaintainer) checkpoints through
+    # the same versioned frames and a snapshot taken under one layout
+    # restores under the other.
+    def open_items(self) -> List[Tuple[Hashable, List[OpenPositive]]]:
+        """Open entries grouped per key, keys in first-seen order."""
+        return [(key, list(entries)) for key, entries in self._open.items()]
+
+    def negative_items(self) -> List[Tuple[Hashable, List[TPTuple]]]:
+        """Indexed negatives grouped per key, keys in first-seen order."""
+        return [(key, list(bucket)) for key, bucket in self._negatives.items()]
+
+    def load_open_entries(self, key: Hashable, entries: List[OpenPositive]) -> None:
+        """Checkpoint restore: adopt pre-built open entries for one key.
+
+        Structural load only — counts are updated, but watermarks, bounds
+        and stats are restored separately by the checkpoint codec.
+        """
+        self._open.setdefault(key, []).extend(entries)
+        self._open_count += len(entries)
+
+    def load_negatives(self, key: Hashable, bucket: List[TPTuple]) -> None:
+        """Checkpoint restore: adopt one key's indexed negatives."""
+        self._negatives.setdefault(key, []).extend(bucket)
+        self._negative_count += len(bucket)
+
     def _evict_negatives(self) -> None:
         """Drop negatives no future positive can overlap.
 

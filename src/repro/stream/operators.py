@@ -52,6 +52,7 @@ from ..core.concat import (
 from ..core.joins import swap_theta
 from ..core.lawan import iter_lawan
 from ..core.overlap import OverlapGroup
+from ..columnar import maintainer_class
 from ..core.windows import WindowClass
 from ..lineage import EventSpace
 from ..relation import Schema, TPTuple, ThetaCondition, theta_or_true
@@ -158,6 +159,7 @@ class ContinuousJoinBase:
         clock: Callable[[], float] = time.perf_counter,
         events: Optional[EventSpace] = None,
         materialize_probabilities: bool = False,
+        layout: str = "object",
     ) -> None:
         if materialize_probabilities and events is None:
             raise ValueError("materialize_probabilities requires an event space")
@@ -169,9 +171,11 @@ class ContinuousJoinBase:
         self._clock = clock
         self._events = events
         self._materialize = materialize_probabilities
-        self._maintainer = IncrementalWindowMaintainer(theta, events=events)
+        self._layout = layout
+        maintainer_cls = maintainer_class(layout)
+        self._maintainer = maintainer_cls(theta, events=events)
         self._reverse: Optional[IncrementalWindowMaintainer] = (
-            IncrementalWindowMaintainer(swap_theta(theta), events=events)
+            maintainer_cls(swap_theta(theta), events=events)
             if self.kind in REVERSE_KINDS
             else None
         )
@@ -199,6 +203,11 @@ class ContinuousJoinBase:
     @property
     def materializes_probabilities(self) -> bool:
         return self._materialize
+
+    @property
+    def layout(self) -> str:
+        """The window-maintainer state layout this operator runs on."""
+        return self._layout
 
     def output_schema(self) -> Schema:
         if self.kind == "anti":
@@ -326,6 +335,20 @@ class ContinuousJoinBase:
             yield from tuples
             return
         computer = maintainer.computer_for(group.key)
+        if self._layout == "columnar":
+            # Batch kernel: evaluate each distinct interned sub-expression of
+            # the group once, scatter by intern id.  Values are produced by
+            # the same per-key computer, so they are bitwise-identical to the
+            # sequential path (a duplicate is exactly a memo hit).
+            from ..columnar.probs import batch_probabilities
+
+            materialized = list(tuples)
+            values = batch_probabilities(
+                computer, [tp_tuple.lineage for tp_tuple in materialized]
+            )
+            for tp_tuple, value in zip(materialized, values):
+                yield replace(tp_tuple, probability=value)
+            return
         for tp_tuple in tuples:
             yield replace(tp_tuple, probability=computer.probability(tp_tuple.lineage))
 
@@ -397,6 +420,7 @@ def continuous_join(
     right_name: str = "s",
     events: Optional[EventSpace] = None,
     materialize_probabilities: bool = False,
+    layout: str = "object",
 ) -> ContinuousJoinBase:
     """Instantiate a continuous join by kind name (see :data:`CONTINUOUS_OPERATORS`)."""
     try:
@@ -414,4 +438,5 @@ def continuous_join(
         right_name=right_name,
         events=events,
         materialize_probabilities=materialize_probabilities,
+        layout=layout,
     )

@@ -38,6 +38,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..columnar import resolve_layout
 from ..lineage import EventSpace
 from ..obs.metrics import DEFAULT_METRICS_INTERVAL
 from ..obs.trace import DEFAULT_TRACE_SAMPLE_RATE
@@ -513,6 +514,10 @@ class StreamQuery:
             left_name=left_def.name or self._left_name,
             right_name=right_def.name or self._right_name,
             event_probabilities=event_probabilities,
+            # Resolved here, driver-side, so a columnar request on a
+            # numpy-less host degrades (with a warning) before any worker
+            # spec ships.
+            layout=resolve_layout(self._config.layout),
         )
 
     # ------------------------------------------------------------------ #

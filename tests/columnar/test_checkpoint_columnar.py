@@ -1,0 +1,94 @@
+"""Checkpoint frames are layout-independent: columnar state round-trips.
+
+PR 9's checkpoint codec snapshots a stream-shard worker's maintainer state.
+The codec reads and writes through the four accessor methods both
+maintainer implementations share (``open_items`` / ``negative_items`` /
+``load_open_entries`` / ``load_negatives``), never through the storage
+layout — so a snapshot taken under the columnar layout must restore into
+an object worker and vice versa, through the same ``CHECKPOINT_VERSION``
+frames, and the resumed run must be bitwise-identical to an uninterrupted
+one.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.columnar import HAS_NUMPY
+from repro.recovery.checkpoint import (
+    checkpoint_elements,
+    restore_worker,
+    snapshot_worker,
+)
+from repro.runtime.worker import Worker
+
+from tests.recovery.test_checkpoint import (
+    _NullEmitter,
+    _elements,
+    _feed,
+    _rows,
+    _spec,
+)
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="columnar layout needs numpy")
+
+
+@pytest.mark.parametrize("kind", ("anti", "left_outer", "full_outer"))
+@pytest.mark.parametrize(
+    "snapshot_layout,restore_layout",
+    (("columnar", "object"), ("object", "columnar"), ("columnar", "columnar")),
+)
+def test_cross_layout_snapshot_resume_is_bitwise_identical(
+    kind, snapshot_layout, restore_layout
+):
+    catalog, merged = _elements()
+    object_spec = _spec(catalog, kind, materialize=True)
+    specs = {
+        "object": object_spec,
+        "columnar": replace(object_spec, layout="columnar"),
+    }
+    cut = len(merged) // 2
+
+    straight = Worker(specs["object"], _NullEmitter())
+    _feed(straight, merged)
+    expected = _rows(straight.finish())
+
+    original = Worker(specs[snapshot_layout], _NullEmitter())
+    _feed(original, merged[:cut])
+    payload = snapshot_worker(original, cut)
+    assert checkpoint_elements(payload) == cut
+
+    restored = Worker(specs[restore_layout], _NullEmitter())
+    assert restore_worker(restored, payload) == cut
+    _feed(restored, merged[cut:])
+    assert _rows(restored.finish()) == expected
+
+
+def test_columnar_snapshot_is_primitive_and_layout_agnostic():
+    """A columnar worker's snapshot must contain no numpy scalars or arrays
+    — the frame pickles to the same primitive shapes the object layout
+    produces, so either implementation can decode it."""
+    catalog, merged = _elements()
+    spec = replace(_spec(catalog, "left_outer"), layout="columnar")
+    worker = Worker(spec, _NullEmitter())
+    _feed(worker, merged[: len(merged) // 2])
+    payload = snapshot_worker(worker, len(merged) // 2)
+
+    def assert_primitive(value):
+        if isinstance(value, (tuple, list)):
+            for item in value:
+                assert_primitive(item)
+        elif isinstance(value, dict):
+            for key, item in value.items():
+                assert_primitive(key)
+                assert_primitive(item)
+        else:
+            assert value is None or isinstance(value, (bool, int, float, str)), (
+                f"non-primitive {type(value).__name__} in checkpoint payload"
+            )
+
+    assert_primitive(payload)
+    assert pickle.loads(pickle.dumps(payload)) == payload
